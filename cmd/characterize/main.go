@@ -1,0 +1,55 @@
+// Command characterize regenerates the interference characterisation of
+// the paper: Figure 1 (tail latency of each LC workload under each
+// antagonist across load) and Figure 3 (max load under SLO as a function
+// of cores and LLC).
+//
+// Usage:
+//
+//	characterize [-workload websearch|ml_cluster|memkeyval|all] [-fig3]
+//	             [-loads n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heracles/internal/experiment"
+)
+
+func main() {
+	workloadFlag := flag.String("workload", "all", "LC workload to characterise (websearch, ml_cluster, memkeyval or all)")
+	fig3 := flag.Bool("fig3", false, "produce the Figure 3 cores x LLC surface instead of Figure 1")
+	nloads := flag.Int("loads", 19, "number of load points (19 reproduces the paper's 5%..95% grid)")
+	flag.Parse()
+
+	lab := experiment.DefaultLab()
+	names := []string{"websearch", "ml_cluster", "memkeyval"}
+	if *workloadFlag != "all" {
+		names = []string{*workloadFlag}
+	}
+
+	loads := make([]float64, *nloads)
+	for i := range loads {
+		loads[i] = 0.05 + 0.90*float64(i)/float64(max(*nloads-1, 1))
+	}
+
+	for _, name := range names {
+		if *fig3 {
+			fracs := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+			surface := lab.Figure3(name, fracs, fracs)
+			fmt.Println(surface)
+			continue
+		}
+		table := lab.Figure1(name, loads)
+		fmt.Println(table)
+	}
+	_ = os.Stdout
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+// Command cluster runs the websearch minicluster experiment of §5.3
+// (Figure 8): a fan-out cluster replaying a 12-hour diurnal trace, with
+// Heracles colocating brain on half of the leaves and streetview on the
+// other half, compared against the no-colocation baseline.
+//
+// Usage:
+//
+//	cluster [-leaves 20] [-hours 12] [-step 1s] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"heracles/internal/cluster"
+	"heracles/internal/experiment"
+	"heracles/internal/trace"
+)
+
+func main() {
+	leaves := flag.Int("leaves", 20, "number of leaf servers")
+	hours := flag.Float64("hours", 12, "trace duration in hours")
+	step := flag.Duration("step", time.Second, "trace step")
+	seed := flag.Uint64("seed", 42, "trace random seed")
+	flag.Parse()
+
+	lab := experiment.DefaultLab()
+	tr := trace.Diurnal(trace.DiurnalConfig{
+		Duration: time.Duration(*hours * float64(time.Hour)),
+		Step:     *step,
+		Seed:     *seed,
+	})
+
+	for _, heraclesOn := range []bool{false, true} {
+		cfg := cluster.Config{
+			Leaves:   *leaves,
+			Heracles: heraclesOn,
+			HW:       lab.Cfg,
+			LC:       lab.LC("websearch"),
+			Brain:    lab.BE("brain"),
+			SView:    lab.BE("streetview"),
+			Seed:     *seed,
+			Model:    lab.DRAMModel("websearch"),
+		}
+		res := cluster.Run(cfg, tr)
+		s := res.Summarize()
+		mode := "baseline"
+		if heraclesOn {
+			mode = "heracles"
+		}
+		fmt.Printf("%-8s  SLO(µ/30s)=%v  meanEMU=%5.1f%%  minEMU=%5.1f%%  meanLatency=%5.1f%%SLO  maxWindow=%5.1f%%SLO  violations=%d\n",
+			mode, s.SLO.Round(time.Microsecond), 100*s.MeanEMU, 100*s.MinEMU,
+			100*s.MeanRootFrac, 100*s.MaxRootFrac, s.Violations)
+	}
+}

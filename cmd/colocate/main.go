@@ -1,0 +1,50 @@
+// Command colocate runs the single-server Heracles evaluation (Figures
+// 4-7): one LC workload colocated with one BE task across a load sweep
+// under controller management, reporting worst-case windowed tail latency,
+// EMU and shared-resource utilisation.
+//
+// Usage:
+//
+//	colocate [-lc websearch] [-be brain|all] [-minutes 12] [-model]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"heracles/internal/experiment"
+)
+
+func main() {
+	lcName := flag.String("lc", "websearch", "latency-critical workload")
+	beName := flag.String("be", "all", "best-effort task (or all)")
+	minutes := flag.Int("minutes", 12, "simulated minutes per load point")
+	useModel := flag.Bool("model", true, "use the offline DRAM bandwidth model (§4.2)")
+	nloads := flag.Int("loads", 10, "number of load points")
+	flag.Parse()
+
+	lab := experiment.DefaultLab()
+	loads := make([]float64, *nloads)
+	for i := range loads {
+		loads[i] = 0.05 + 0.90*float64(i)/float64(*nloads-1)
+	}
+	opts := experiment.RunOpts{
+		Duration:     time.Duration(*minutes) * time.Minute,
+		UseDRAMModel: *useModel,
+	}
+
+	fmt.Println(lab.Baseline(*lcName, loads, opts))
+
+	bes := []string{"stream-LLC", "stream-DRAM", "cpu_pwr", "brain", "streetview", "iperf"}
+	if *beName != "all" {
+		bes = []string{*beName}
+	}
+	for _, be := range bes {
+		s := lab.Colocate(*lcName, be, loads, opts)
+		fmt.Println(s)
+		if v := s.Violations(); len(v) > 0 {
+			fmt.Printf("!! SLO violations at loads %v\n\n", v)
+		}
+	}
+}

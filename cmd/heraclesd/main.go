@@ -1,0 +1,116 @@
+// Command heraclesd runs the Heracles controller as a long-lived daemon
+// against the simulated server, logging every controller decision and
+// mirroring each actuation into a filesystem tree with the real kernel
+// interface formats (resctrl schemata, cgroup cpusets, cpufreq caps, HTB
+// ceilings) so the decision stream can be inspected or replayed.
+//
+// Usage:
+//
+//	heraclesd [-lc websearch] [-be brain] [-load 0.4] [-minutes 10]
+//	          [-fsroot /tmp/heracles-fs] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"heracles/internal/actuate"
+	"heracles/internal/core"
+	"heracles/internal/experiment"
+	"heracles/internal/hw"
+	"heracles/internal/isolation"
+	"heracles/internal/machine"
+	"heracles/internal/workload"
+)
+
+func main() {
+	lcName := flag.String("lc", "websearch", "latency-critical workload")
+	beName := flag.String("be", "brain", "best-effort workload")
+	load := flag.Float64("load", 0.4, "LC load fraction")
+	minutes := flag.Int("minutes", 10, "simulated minutes to run")
+	fsroot := flag.String("fsroot", "", "mirror actuations into kernel-format files under this directory")
+	traceFlag := flag.Bool("trace", true, "log controller decisions")
+	flag.Parse()
+
+	lab := experiment.DefaultLab()
+	m := machine.New(lab.Cfg)
+	m.SetLC(lab.LC(*lcName))
+	m.AddBE(lab.BE(*beName), workload.PlaceDedicated)
+	m.SetLoad(*load)
+
+	var fs *actuate.FSActuator
+	if *fsroot != "" {
+		fs = actuate.NewFS(*fsroot, actuate.DefaultLayout())
+	}
+
+	ctl := core.New(m, lab.DRAMModel(*lcName), core.DefaultConfig())
+	if *traceFlag {
+		ctl.OnEvent(func(e core.Event) {
+			log.Printf("[%8v] %-5s %-18s %s", e.At, e.Loop, e.Action, e.Detail)
+		})
+	}
+
+	epochs := *minutes * 60
+	for i := 0; i < epochs; i++ {
+		t := m.Step()
+		ctl.Step(m.Clock().Now())
+		if fs != nil {
+			mirror(fs, m, lab.Cfg, t)
+		}
+		if i%60 == 59 {
+			fmt.Printf("t=%-6v tail=%6.1f%%SLO EMU=%5.1f%% beCores=%-2d beWays=%-2d dram=%4.1f%% power=%4.1f%%TDP\n",
+				m.Clock().Now(), 100*t.TailLatency.Seconds()/m.SLO().Seconds(),
+				100*t.EMU, t.BECores, t.BEWays, 100*t.DRAMUtil, 100*t.PowerFracTDP)
+		}
+	}
+	if fs != nil {
+		fmt.Printf("kernel-format actuation mirror written under %s\n", *fsroot)
+	}
+	_ = time.Second
+}
+
+// mirror reflects the machine's current isolation state into the
+// filesystem actuator using the exact kernel formats.
+func mirror(fs *actuate.FSActuator, m *machine.Machine, cfg hw.Config, t machine.Telemetry) {
+	tc := cfg.TotalCores()
+	beCores := isolation.NewCPUSet()
+	lcCores := isolation.NewCPUSet()
+	for c := 0; c < tc-t.BECores; c++ {
+		lcCores.Add(c)
+		lcCores.Add(c + tc) // sibling hyperthread
+	}
+	for c := tc - t.BECores; c < tc; c++ {
+		beCores.Add(c)
+		beCores.Add(c + tc)
+	}
+	check(fs.SetCPUSet("lc", lcCores))
+	check(fs.SetCPUSet("be", beCores))
+
+	lcWays := cfg.LLCWays - t.BEWays
+	if t.BEWays == 0 {
+		lcWays = cfg.LLCWays
+	}
+	lcMask, err := isolation.NewWayMask(cfg.LLCWays-lcWays, lcWays)
+	check(err)
+	check(fs.SetSchemata("lc", []isolation.WayMask{lcMask, lcMask}))
+	if t.BEWays > 0 {
+		beMask, err := isolation.NewWayMask(0, t.BEWays)
+		check(err)
+		check(fs.SetSchemata("be", []isolation.WayMask{beMask, beMask}))
+	}
+
+	if t.BEFreqCap > 0 {
+		check(fs.SetFreqCap(beCores, t.BEFreqCap))
+	}
+	if ceil := m.BENetCeil(); ceil > 0 {
+		check(fs.SetHTBCeil("be", ceil))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+// Command tcocalc reproduces the §5.3 total-cost-of-ownership analysis:
+// the throughput/TCO improvement from raising cluster utilisation with
+// Heracles, compared against an energy-proportionality controller.
+//
+// Usage:
+//
+//	tcocalc [-servers 10000] [-cost 2000] [-pue 2.0] [-watts 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"heracles/internal/tco"
+)
+
+func main() {
+	servers := flag.Int("servers", 10000, "cluster size")
+	cost := flag.Float64("cost", 2000, "capital cost per server ($)")
+	pue := flag.Float64("pue", 2.0, "power usage effectiveness")
+	watts := flag.Float64("watts", 500, "per-server peak power (W)")
+	price := flag.Float64("kwh", 0.10, "electricity price ($/kWh)")
+	flag.Parse()
+
+	p := tco.Barroso()
+	p.Servers = *servers
+	p.ServerCost = *cost
+	p.PUE = *pue
+	p.PeakWatts = *watts
+	p.DollarsPerKWh = *price
+
+	fmt.Printf("TCO model: %d servers, $%.0f/server, PUE %.1f, %gW peak, $%.2f/kWh\n\n",
+		p.Servers, p.ServerCost, p.PUE, p.PeakWatts, p.DollarsPerKWh)
+	fmt.Printf("%-28s %14s %14s\n", "scenario", "heracles", "energy-prop")
+	for _, c := range tco.Analyze(p) {
+		fmt.Printf("util %3.0f%% -> %3.0f%%             %+13.1f%% %+13.1f%%\n",
+			100*c.BaseUtil, 100*c.TargetUtil, 100*c.HeraclesGain, 100*c.EnergyGain)
+	}
+	fmt.Printf("\ncluster TCO at 20%% util: $%.1fM; at 90%%: $%.1fM\n",
+		p.ClusterTCO(0.20)/1e6, p.ClusterTCO(0.90)/1e6)
+}

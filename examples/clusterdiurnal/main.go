@@ -1,0 +1,51 @@
+// Clusterdiurnal: the §5.3 experiment at example scale — a websearch
+// fan-out cluster rides a diurnal load curve while Heracles colocates
+// brain and streetview on the leaves, converting latency slack into
+// throughput with no violations of the cluster-level (µ/30s) SLO.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"heracles"
+)
+
+func main() {
+	lab := heracles.DefaultLab()
+
+	tr := heracles.DiurnalTrace(heracles.DiurnalConfig{
+		Duration: 3 * time.Hour,
+		Step:     time.Second,
+		MinLoad:  0.20,
+		MaxLoad:  0.80,
+		Seed:     7,
+	})
+
+	for _, mode := range []bool{false, true} {
+		cfg := heracles.ClusterConfig{
+			Leaves:   12,
+			Heracles: mode,
+			HW:       lab.Cfg,
+			LC:       lab.LC("websearch"),
+			Brain:    lab.BE("brain"),
+			SView:    lab.BE("streetview"),
+			Seed:     7,
+			Model:    lab.DRAMModel("websearch"),
+		}
+		res := heracles.RunCluster(cfg, tr)
+		s := res.Summarize()
+		name := "baseline"
+		if mode {
+			name = "heracles"
+		}
+		fmt.Printf("%-8s meanEMU=%5.1f%% latency(mean/worst)=%.0f%%/%.0f%% of SLO, violations=%d\n",
+			name, 100*s.MeanEMU, 100*s.MeanRootFrac, 100*s.MaxRootFrac, s.Violations)
+	}
+
+	fmt.Println()
+	for _, c := range heracles.AnalyzeTCO(heracles.BarrosoTCO()) {
+		fmt.Printf("raising a %2.0f%%-utilised cluster to %2.0f%%: throughput/TCO %+.0f%% (energy-proportionality alone: %+.1f%%)\n",
+			100*c.BaseUtil, 100*c.TargetUtil, 100*c.HeraclesGain, 100*c.EnergyGain)
+	}
+}

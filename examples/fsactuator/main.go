@@ -1,0 +1,74 @@
+// Fsactuator: drive the controller's isolation decisions into the exact
+// Linux kernel interface formats — cgroup cpuset lists, resctrl CAT
+// schemata, cpufreq caps and HTB ceilings — under a scratch directory.
+// Pointing the same code at "/" on a CAT-capable server programs real
+// hardware.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"heracles"
+	"heracles/internal/isolation"
+)
+
+func main() {
+	root, err := os.MkdirTemp("", "heracles-fs-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(root)
+
+	fs := heracles.NewFSActuator(root, heracles.DefaultFSLayout())
+
+	// The latency-critical job owns CPUs 0-27 with their hyperthread
+	// siblings 36-63; best-effort tasks get the rest.
+	lc := isolation.RangeCPUSet(0, 27)
+	for c := 36; c <= 63; c++ {
+		lc.Add(c)
+	}
+	be := isolation.RangeCPUSet(28, 35)
+	for c := 64; c <= 71; c++ {
+		be.Add(c)
+	}
+	must(fs.SetCPUSet("lc", lc))
+	must(fs.SetCPUSet("be", be))
+
+	// CAT: 18 of 20 ways to the LC partition, 2 ways to BE, per socket.
+	lcMask, _ := isolation.NewWayMask(2, 18)
+	beMask, _ := isolation.NewWayMask(0, 2)
+	must(fs.SetSchemata("lc", []isolation.WayMask{lcMask, lcMask}))
+	must(fs.SetSchemata("be", []isolation.WayMask{beMask, beMask}))
+
+	// Per-core DVFS cap for the BE cores and HTB ceiling for BE egress.
+	must(fs.SetFreqCap(be, 1.8))
+	must(fs.SetHTBCeil("be", 0.55))
+
+	// Show the resulting kernel-format tree.
+	_ = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		b, _ := os.ReadFile(path)
+		rel, _ := filepath.Rel(root, path)
+		fmt.Printf("%-55s %s", rel, string(b))
+		return nil
+	})
+
+	// Everything reads back through the same parsers the kernel formats
+	// define.
+	gotLC, _ := fs.ReadCPUSet("lc")
+	schemata, _ := fs.ReadSchemata("be")
+	cap, _ := fs.ReadFreqCap(28)
+	ceil, _ := fs.ReadHTBCeil("be")
+	fmt.Printf("\nround-trip: lc cpus=%s be schemata=%s cap=%.1fGHz ceil=%.2fGB/s\n",
+		gotLC, isolation.SchemataLine(schemata), cap, ceil)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package heracles is a faithful reimplementation of Heracles — the
+// feedback controller from "Heracles: Improving Resource Efficiency at
+// Scale" (Lo, Cheng, Govindaraju, Ranganathan, Kozyrakis; ISCA 2015) —
+// together with everything needed to reproduce the paper's evaluation:
+// a simulated dual-socket server (cores, hyperthreads, CAT-partitioned
+// LLC, DRAM controllers, RAPL/DVFS power, HTB-shaped NIC), calibrated
+// models of the paper's three latency-critical and six best-effort
+// workloads, baseline policies, a fan-out cluster simulator, a TCO model,
+// and experiment harnesses for every figure and table.
+//
+// # Quick start
+//
+//	lab := heracles.NewLab(heracles.DefaultHardware())
+//	series := lab.Colocate("websearch", "brain", []float64{0.2, 0.5, 0.8},
+//	    heracles.RunOpts{})
+//	fmt.Println(series)
+//
+// The controller itself (heracles.Controller) is written against the Env
+// interface, so the same control logic drives either the simulated
+// machine or filesystem actuators (resctrl/cgroup/cpufreq/tc formats) on
+// real hardware.
+package heracles
+
+import (
+	"heracles/internal/actuate"
+	"heracles/internal/cluster"
+	"heracles/internal/core"
+	"heracles/internal/experiment"
+	"heracles/internal/hw"
+	"heracles/internal/lat"
+	"heracles/internal/machine"
+	"heracles/internal/tco"
+	"heracles/internal/trace"
+	"heracles/internal/workload"
+)
+
+// Hardware description.
+type (
+	// HardwareConfig describes the modelled server (sockets, cores,
+	// LLC ways, DRAM bandwidth, TDP, NIC rate).
+	HardwareConfig = hw.Config
+	// CPUID identifies a logical CPU.
+	CPUID = hw.CPUID
+)
+
+// DefaultHardware returns the dual-socket Haswell-class server of the
+// paper's testbed (§3.2).
+func DefaultHardware() HardwareConfig { return hw.DefaultConfig() }
+
+// Workload models.
+type (
+	// LCSpec describes a latency-critical workload before calibration.
+	LCSpec = workload.LCSpec
+	// LC is a calibrated latency-critical workload.
+	LC = workload.LC
+	// BESpec describes a best-effort workload or antagonist.
+	BESpec = workload.BESpec
+	// BE is a calibrated best-effort workload.
+	BE = workload.BE
+	// PlacementKind selects dedicated, hyperthread-sibling or OS-shared
+	// placement for a BE task.
+	PlacementKind = workload.PlacementKind
+)
+
+// Placement kinds (§3.2 experiment setups).
+const (
+	PlaceDedicated = workload.PlaceDedicated
+	PlaceHTSibling = workload.PlaceHTSibling
+	PlaceOSShared  = workload.PlaceOSShared
+)
+
+// Workload constructors (paper §3.1 and §5.1).
+var (
+	Websearch  = workload.Websearch
+	MLCluster  = workload.MLCluster
+	Memkeyval  = workload.Memkeyval
+	StreamLLC  = workload.StreamLLC
+	StreamDRAM = workload.StreamDRAM
+	CPUPower   = workload.CPUPower
+	Iperf      = workload.Iperf
+	Brain      = workload.Brain
+	Streetview = workload.Streetview
+)
+
+// Machine simulation.
+type (
+	// Machine is the simulated server hosting one LC task and any number
+	// of BE tasks; it satisfies the controller's Env interface.
+	Machine = machine.Machine
+	// Telemetry is one epoch's monitor readings.
+	Telemetry = machine.Telemetry
+	// MachineOption configures a Machine.
+	MachineOption = machine.Option
+)
+
+// Machine constructors and calibration.
+var (
+	// NewMachine builds a simulated server.
+	NewMachine = machine.New
+	// WithEngine selects the latency engine (analytic or DES).
+	WithEngine = machine.WithEngine
+	// WithEpoch sets the resolution epoch.
+	WithEpoch = machine.WithEpoch
+	// CalibrateLC calibrates an LC spec on given hardware (SLO, peak QPS,
+	// guaranteed frequency).
+	CalibrateLC = machine.CalibrateLC
+	// SpecOf adapts an LCSpec for CalibrateLC.
+	SpecOf = machine.SpecOf
+	// CalibrateBE measures a BE spec running alone (EMU normalisation).
+	CalibrateBE = machine.CalibrateBE
+)
+
+// Latency engines.
+type (
+	// LatencyEngine evaluates the LC queue each epoch.
+	LatencyEngine = lat.Engine
+	// AnalyticEngine is the closed-form M/G/k engine.
+	AnalyticEngine = lat.Analytic
+	// DESEngine is the discrete-event simulation engine.
+	DESEngine = lat.DES
+)
+
+// NewDES returns a seeded discrete-event latency engine.
+var NewDES = lat.NewDES
+
+// The Heracles controller (the paper's contribution, §4).
+type (
+	// Controller is the four-mechanism feedback controller.
+	Controller = core.Controller
+	// ControllerConfig carries Algorithm 1-4 constants.
+	ControllerConfig = core.Config
+	// Env is everything the controller monitors and actuates.
+	Env = core.Env
+	// DRAMModel is the offline LC bandwidth model (§4.2).
+	DRAMModel = core.DRAMModel
+	// DRAMModelFunc adapts a function to DRAMModel.
+	DRAMModelFunc = core.DRAMModelFunc
+	// ControllerEvent records one controller decision.
+	ControllerEvent = core.Event
+)
+
+var (
+	// NewController binds a controller to an environment.
+	NewController = core.New
+	// DefaultControllerConfig returns the paper's constants.
+	DefaultControllerConfig = core.DefaultConfig
+)
+
+// Experiments (one per paper figure/table).
+type (
+	// Lab caches calibrated workloads and runs the experiments.
+	Lab = experiment.Lab
+	// RunOpts configures colocation runs.
+	RunOpts = experiment.RunOpts
+	// Series is a load sweep for one LC/BE pair.
+	Series = experiment.Series
+	// Fig1Table is an interference characterisation table.
+	Fig1Table = experiment.Fig1Table
+	// Fig3Surface is the cores x LLC performance surface.
+	Fig3Surface = experiment.Fig3Surface
+	// DRAMTable is the profiled offline DRAM model.
+	DRAMTable = experiment.DRAMTable
+)
+
+var (
+	// NewLab builds a lab for the given hardware.
+	NewLab = experiment.NewLab
+	// DefaultLab builds a lab on the reference hardware.
+	DefaultLab = experiment.DefaultLab
+	// DefaultLoads returns the 19 load points of Figure 1.
+	DefaultLoads = experiment.DefaultLoads
+)
+
+// Cluster experiment (§5.3, Figure 8).
+type (
+	// ClusterConfig describes a fan-out cluster run.
+	ClusterConfig = cluster.Config
+	// ClusterResult is a full cluster run.
+	ClusterResult = cluster.Result
+	// ClusterSummary aggregates a run.
+	ClusterSummary = cluster.Summary
+	// LoadTrace is a time-ordered load trace.
+	LoadTrace = trace.Trace
+	// DiurnalConfig parameterises the synthetic diurnal trace.
+	DiurnalConfig = trace.DiurnalConfig
+)
+
+var (
+	// RunCluster replays a load trace against the cluster.
+	RunCluster = cluster.Run
+	// DiurnalTrace synthesises the §5.3 12-hour load trace.
+	DiurnalTrace = trace.Diurnal
+	// ConstantTrace returns a flat load trace.
+	ConstantTrace = trace.Constant
+)
+
+// TCO analysis (§5.3).
+type (
+	// TCOParams are the Barroso cost-model inputs.
+	TCOParams = tco.Params
+	// TCOComparison is one §5.3 scenario.
+	TCOComparison = tco.Comparison
+)
+
+var (
+	// BarrosoTCO returns the paper's cost parameters.
+	BarrosoTCO = tco.Barroso
+	// AnalyzeTCO reproduces the §5.3 scenarios.
+	AnalyzeTCO = tco.Analyze
+)
+
+// Filesystem actuation (kernel interface formats).
+type (
+	// FSActuator writes resctrl/cgroup/cpufreq/tc files.
+	FSActuator = actuate.FSActuator
+	// FSLayout holds the file-tree layout.
+	FSLayout = actuate.Layout
+)
+
+var (
+	// NewFSActuator returns an actuator rooted at a directory.
+	NewFSActuator = actuate.NewFS
+	// DefaultFSLayout mirrors the standard Linux mount points.
+	DefaultFSLayout = actuate.DefaultLayout
+)

@@ -1,0 +1,148 @@
+// Package actuate applies Heracles' isolation decisions to a target. Two
+// backends exist: the simulated machine (which implements the controller's
+// Env interface directly), and FSActuator, which writes the exact file
+// formats the Linux kernel interfaces expect — cgroup cpuset lists,
+// resctrl schemata, cpufreq scaling_max_freq, and an HTB class dump — under
+// a configurable root directory.
+//
+// On a real server the root would be "/" (so paths resolve to
+// /sys/fs/resctrl, /sys/fs/cgroup, ...); in tests and demos any directory
+// works, and the written trees can be inspected or replayed.
+package actuate
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"heracles/internal/isolation"
+)
+
+// Layout holds the paths used by FSActuator, relative to its root.
+type Layout struct {
+	CgroupDir  string // cgroup v1 cpuset hierarchy
+	ResctrlDir string // resctrl filesystem
+	CPUFreqDir string // sysfs cpufreq root
+	TCDir      string // directory for HTB class state (one file per class)
+}
+
+// DefaultLayout mirrors the standard Linux mount points.
+func DefaultLayout() Layout {
+	return Layout{
+		CgroupDir:  "sys/fs/cgroup/cpuset",
+		ResctrlDir: "sys/fs/resctrl",
+		CPUFreqDir: "sys/devices/system/cpu",
+		TCDir:      "run/heracles/tc",
+	}
+}
+
+// FSActuator writes isolation settings as kernel-format files.
+type FSActuator struct {
+	root   string
+	layout Layout
+}
+
+// NewFS returns an actuator rooted at dir.
+func NewFS(dir string, layout Layout) *FSActuator {
+	return &FSActuator{root: dir, layout: layout}
+}
+
+func (a *FSActuator) path(parts ...string) string {
+	return filepath.Join(append([]string{a.root}, parts...)...)
+}
+
+func (a *FSActuator) writeFile(path, content string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("actuate: %v", err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return fmt.Errorf("actuate: %v", err)
+	}
+	return nil
+}
+
+// SetCPUSet pins a task group (e.g. "lc" or "be") to the given CPUs by
+// writing its cgroup cpuset.cpus file.
+func (a *FSActuator) SetCPUSet(group string, cpus isolation.CPUSet) error {
+	p := a.path(a.layout.CgroupDir, group, "cpuset.cpus")
+	return a.writeFile(p, cpus.String()+"\n")
+}
+
+// ReadCPUSet reads a task group's cpuset back.
+func (a *FSActuator) ReadCPUSet(group string) (isolation.CPUSet, error) {
+	p := a.path(a.layout.CgroupDir, group, "cpuset.cpus")
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("actuate: %v", err)
+	}
+	return isolation.ParseCPUSet(string(b))
+}
+
+// SetSchemata programs a resctrl class-of-service group with per-socket
+// L3 way masks. Masks must be contiguous, per Intel CAT rules.
+func (a *FSActuator) SetSchemata(cos string, perSocket []isolation.WayMask) error {
+	for i, m := range perSocket {
+		if !m.Contiguous() {
+			return fmt.Errorf("actuate: way mask %s for socket %d is not contiguous", m, i)
+		}
+	}
+	p := a.path(a.layout.ResctrlDir, cos, "schemata")
+	return a.writeFile(p, isolation.SchemataLine(perSocket)+"\n")
+}
+
+// ReadSchemata reads a resctrl group's L3 masks back.
+func (a *FSActuator) ReadSchemata(cos string) ([]isolation.WayMask, error) {
+	p := a.path(a.layout.ResctrlDir, cos, "schemata")
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("actuate: %v", err)
+	}
+	return isolation.ParseSchemataLine(string(b))
+}
+
+// SetFreqCap writes scaling_max_freq (in kHz) for each CPU in the set.
+func (a *FSActuator) SetFreqCap(cpus isolation.CPUSet, ghz float64) error {
+	khz := isolation.FreqKHz(ghz)
+	for _, c := range cpus.Sorted() {
+		p := a.path(a.layout.CPUFreqDir, fmt.Sprintf("cpu%d", c), "cpufreq", "scaling_max_freq")
+		if err := a.writeFile(p, fmt.Sprintf("%d\n", khz)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFreqCap reads one CPU's scaling_max_freq back in GHz.
+func (a *FSActuator) ReadFreqCap(cpu int) (float64, error) {
+	p := a.path(a.layout.CPUFreqDir, fmt.Sprintf("cpu%d", cpu), "cpufreq", "scaling_max_freq")
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return 0, fmt.Errorf("actuate: %v", err)
+	}
+	var khz int
+	if _, err := fmt.Sscanf(string(b), "%d", &khz); err != nil {
+		return 0, fmt.Errorf("actuate: bad scaling_max_freq %q: %v", string(b), err)
+	}
+	return isolation.KHzToGHz(khz), nil
+}
+
+// SetHTBCeil records the ceil rate of a traffic class (the `ceil`
+// parameter of tc class change ... htb, §4.1).
+func (a *FSActuator) SetHTBCeil(class string, gbs float64) error {
+	p := a.path(a.layout.TCDir, class+".ceil")
+	return a.writeFile(p, isolation.HTBRate(gbs)+"\n")
+}
+
+// ReadHTBCeil reads a class ceil back in GB/s.
+func (a *FSActuator) ReadHTBCeil(class string) (float64, error) {
+	p := a.path(a.layout.TCDir, class+".ceil")
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return 0, fmt.Errorf("actuate: %v", err)
+	}
+	var s string
+	if _, err := fmt.Sscanf(string(b), "%s", &s); err != nil {
+		return 0, fmt.Errorf("actuate: %v", err)
+	}
+	return isolation.ParseHTBRate(s)
+}

@@ -1,0 +1,109 @@
+// Package baseline implements the comparison policies Heracles is
+// evaluated against:
+//
+//   - OS-only isolation (CFS shares, no pinning, no CAT/DVFS/HTB) — the
+//     "brain" rows of Figure 1, realised through the machine model's
+//     OS-shared placement.
+//   - Static partitioning — a fixed, load-oblivious split of cores and
+//     cache, representing the "any static policy would be either too
+//     conservative or overly optimistic" argument of §3.3.
+//   - Energy proportionality — the power-management-only alternative of
+//     the §5.3 TCO comparison (implemented analytically in internal/tco).
+package baseline
+
+import (
+	"time"
+
+	"heracles/internal/machine"
+	"heracles/internal/workload"
+)
+
+// StaticConfig fixes a resource split for the static-partitioning policy.
+type StaticConfig struct {
+	BECores int // cores permanently granted to BE tasks
+	BEWays  int // LLC ways permanently granted to BE tasks
+	// BENetGBs is a permanent HTB ceiling for BE traffic (0 = uncapped).
+	BENetGBs float64
+	// BEFreqGHz is a permanent DVFS cap for BE cores (0 = uncapped).
+	BEFreqGHz float64
+}
+
+// ConservativeStatic returns a static split that protects the LC workload
+// at peak load — and therefore wastes most of the machine at low load.
+func ConservativeStatic(totalCores, totalWays int) StaticConfig {
+	return StaticConfig{
+		BECores:   totalCores / 8,
+		BEWays:    totalWays / 10,
+		BENetGBs:  0.05,
+		BEFreqGHz: 1.2,
+	}
+}
+
+// AggressiveStatic returns a static split sized for low-load operation —
+// which violates SLOs as soon as load rises.
+func AggressiveStatic(totalCores, totalWays int) StaticConfig {
+	return StaticConfig{
+		BECores: totalCores * 2 / 3,
+		BEWays:  totalWays / 2,
+	}
+}
+
+// ApplyStatic configures a machine with the static split. Unlike Heracles,
+// nothing ever re-adjusts it.
+func ApplyStatic(m *machine.Machine, cfg StaticConfig) {
+	m.Partition(cfg.BECores)
+	m.PartitionWays(cfg.BEWays)
+	if cfg.BENetGBs > 0 {
+		m.SetBENetCeil(cfg.BENetGBs)
+	}
+	if cfg.BEFreqGHz > 0 {
+		m.SetBEFreqCap(cfg.BEFreqGHz)
+	}
+}
+
+// StaticPoint is one measured load point under a static policy.
+type StaticPoint struct {
+	Load      float64
+	TailFrac  float64 // mean tail latency / SLO
+	EMU       float64
+	Violation bool
+}
+
+// RunStatic sweeps a static partitioning policy over the given loads.
+func RunStatic(hwm machineFactory, lc *workload.LC, be *workload.BE,
+	cfg StaticConfig, loads []float64, dur time.Duration) []StaticPoint {
+	var out []StaticPoint
+	for _, load := range loads {
+		m := hwm()
+		m.SetLC(lc)
+		m.AddBE(be, workload.PlaceDedicated)
+		ApplyStatic(m, cfg)
+		m.SetLoad(load)
+		epochs := int(dur / m.Epoch())
+		if epochs < 8 {
+			epochs = 8
+		}
+		var tailSum, emuSum float64
+		n := 0
+		for i := 0; i < epochs; i++ {
+			t := m.Step()
+			if i < epochs/4 {
+				continue
+			}
+			tailSum += t.TailLatency.Seconds() / lc.SLO.Seconds()
+			emuSum += t.EMU
+			n++
+		}
+		p := StaticPoint{
+			Load:     load,
+			TailFrac: tailSum / float64(n),
+			EMU:      emuSum / float64(n),
+		}
+		p.Violation = p.TailFrac > 1
+		out = append(out, p)
+	}
+	return out
+}
+
+// machineFactory builds a fresh machine per load point.
+type machineFactory func() *machine.Machine

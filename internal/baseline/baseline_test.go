@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"heracles/internal/hw"
+	"heracles/internal/machine"
+	"heracles/internal/workload"
+)
+
+var (
+	setupOnce sync.Once
+	lcWS      *workload.LC
+	beBrain   *workload.BE
+)
+
+func setup(t *testing.T) {
+	t.Helper()
+	setupOnce.Do(func() {
+		cfg := hw.DefaultConfig()
+		lcWS = machine.CalibrateLC(cfg, machine.SpecOf(workload.Websearch()))
+		beBrain = machine.CalibrateBE(cfg, workload.Brain())
+	})
+}
+
+func factory() *machine.Machine { return machine.New(hw.DefaultConfig()) }
+
+func TestConservativeStaticNeverViolatesButWastes(t *testing.T) {
+	setup(t)
+	cfg := ConservativeStatic(36, 20)
+	points := RunStatic(factory, lcWS, beBrain, cfg, []float64{0.2, 0.5, 0.8}, 2*time.Minute)
+	for _, p := range points {
+		if p.Violation {
+			t.Fatalf("conservative static violated at load %v (%.0f%%)", p.Load, 100*p.TailFrac)
+		}
+	}
+	// The price of safety: at low load most of the machine idles (§3.3:
+	// "too conservative, missing opportunities for colocation").
+	if points[0].EMU > 0.55 {
+		t.Fatalf("conservative static EMU at 20%% load = %v; expected stranded capacity", points[0].EMU)
+	}
+}
+
+func TestAggressiveStaticViolatesAtHighLoad(t *testing.T) {
+	setup(t)
+	cfg := AggressiveStatic(36, 20)
+	points := RunStatic(factory, lcWS, beBrain, cfg, []float64{0.2, 0.8}, 2*time.Minute)
+	if !points[1].Violation {
+		t.Fatalf("aggressive static at 80%% load = %.0f%%: expected an SLO violation (§3.3: 'overly optimistic')",
+			100*points[1].TailFrac)
+	}
+}
+
+func TestApplyStaticConfiguresMachine(t *testing.T) {
+	setup(t)
+	m := factory()
+	m.SetLC(lcWS)
+	m.AddBE(beBrain, workload.PlaceDedicated)
+	cfg := StaticConfig{BECores: 6, BEWays: 3, BENetGBs: 0.2, BEFreqGHz: 1.5}
+	ApplyStatic(m, cfg)
+	if m.BECoreCount() != 6 || m.BEWayCount() != 3 {
+		t.Fatalf("static split not applied: cores=%d ways=%d", m.BECoreCount(), m.BEWayCount())
+	}
+	if m.BENetCeil() != 0.2 || m.BEFreqCap() != 1.5 {
+		t.Fatalf("caps not applied: net=%v freq=%v", m.BENetCeil(), m.BEFreqCap())
+	}
+}
+
+func TestStaticConfigsSane(t *testing.T) {
+	c := ConservativeStatic(36, 20)
+	a := AggressiveStatic(36, 20)
+	if c.BECores >= a.BECores {
+		t.Fatal("conservative config should grant fewer cores than aggressive")
+	}
+	if c.BEWays >= a.BEWays {
+		t.Fatal("conservative config should grant fewer ways than aggressive")
+	}
+}

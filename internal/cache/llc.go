@@ -1,0 +1,304 @@
+// Package cache models a way-partitioned last-level cache: per-workload
+// miss-ratio curves built from working-set components, and a fixed-point
+// occupancy solver that divides cache capacity among the tasks allowed to
+// allocate into each way.
+//
+// Occupancy is driven by recency pressure — how often a component's lines
+// are touched — with a discount for hits (a line that hits is renewed in
+// place, while a miss inserts a new line). Capacity a component cannot use
+// (its footprint is smaller than its share) is redistributed to the other
+// sharers by water-filling. This captures the behaviours the paper's
+// characterisation (§3.3) depends on: streaming antagonists with large
+// footprints evict the small-but-hot working sets of latency-critical
+// workloads, antagonists sized below their partition stay contained, and
+// CAT way-partitioning confines each task's insertions to its own ways.
+package cache
+
+import "math"
+
+// Component is one piece of a workload's cache working set, for example a
+// hot instruction+data set, a per-request data set, or a streaming region.
+type Component struct {
+	Name        string
+	AccessFrac  float64 // fraction of the task's LLC accesses that touch this component
+	FootprintMB float64 // size of the component's working set
+	HitMax      float64 // hit ratio achieved when the component fits entirely
+	Theta       float64 // concavity of the hit curve; 1 = linear, <1 = front-loaded benefit
+	// ScalesWithLoad marks per-request working sets whose effective
+	// footprint grows with the number of outstanding requests
+	// (paper §3.1: ml_cluster's per-request cache pressure).
+	ScalesWithLoad bool
+	// Scan marks cyclic streaming access patterns, which thrash under
+	// LRU: a line is evicted just before its reuse unless the whole
+	// footprint fits, so the hit ratio is a near-step function of
+	// occupancy rather than a smooth curve.
+	Scan bool
+}
+
+// HitRatio returns the component's hit ratio when granted occ MB of cache,
+// given an effective footprint of footprint MB.
+func (c Component) HitRatio(occ, footprint float64) float64 {
+	if footprint <= 0 || c.HitMax <= 0 {
+		return 0
+	}
+	frac := occ / footprint
+	if frac >= 1 {
+		return c.HitMax
+	}
+	if frac <= 0 {
+		return 0
+	}
+	if c.Scan {
+		// LRU thrashing: almost no reuse survives until the scan nearly
+		// fits; ramp over the last 10% to keep the solver stable.
+		const knee = 0.9
+		if frac <= knee {
+			return 0
+		}
+		return c.HitMax * (frac - knee) / (1 - knee)
+	}
+	theta := c.Theta
+	if theta <= 0 {
+		theta = 1
+	}
+	return c.HitMax * math.Pow(frac, theta)
+}
+
+// Demand describes one task's cache behaviour on one socket for the solver.
+type Demand struct {
+	AccessRate float64     // LLC accesses per second on this socket
+	Components []Component // working-set decomposition
+	WayMask    uint64      // CAT ways this task may allocate into (bit i = way i)
+	// LoadScale multiplies the footprint of ScalesWithLoad components;
+	// callers set it to the current number of outstanding requests
+	// relative to the component's reference concurrency.
+	LoadScale float64
+}
+
+// Share is the solver's result for one demand.
+type Share struct {
+	OccupancyMB float64 // cache space held at the fixed point
+	HitRatio    float64 // overall hit ratio across components
+	MissRate    float64 // misses per second (DRAM traffic source)
+}
+
+// Solver resolves shared-cache occupancy for a set of demands.
+type Solver struct {
+	WayMB      float64 // capacity of one way in MB
+	Ways       int     // number of ways
+	Iterations int     // fixed-point iterations; 0 selects the default
+	Damping    float64 // 0 selects the default of 0.5
+	// RecencyDiscount weighs hits against misses in occupancy pressure;
+	// 0 selects the default of 0.5 (a hit renews an existing line, a miss
+	// inserts a new one and is twice as effective at claiming space).
+	RecencyDiscount float64
+}
+
+type compState struct {
+	demand    int // index into demands
+	comp      Component
+	rate      float64 // accesses/s to this component
+	footprint float64 // effective footprint (after load scaling)
+	mask      uint64
+	occ       float64
+	pressure  float64
+}
+
+// region is a maximal set of ways with an identical sharer set.
+type region struct {
+	capacity float64
+	comps    []int // indices into comps
+}
+
+// Resolve computes the fixed point of occupancy and miss rates.
+func (s Solver) Resolve(demands []Demand) []Share {
+	iters := s.Iterations
+	if iters <= 0 {
+		iters = 20
+	}
+	damp := s.Damping
+	if damp <= 0 || damp > 1 {
+		damp = 0.5
+	}
+	recency := s.RecencyDiscount
+	if recency <= 0 || recency > 1 {
+		recency = 0.5
+	}
+
+	var comps []compState
+	for di, d := range demands {
+		scale := d.LoadScale
+		if scale <= 0 {
+			scale = 1
+		}
+		for _, c := range d.Components {
+			if c.AccessFrac <= 0 {
+				continue
+			}
+			fp := c.FootprintMB
+			if c.ScalesWithLoad {
+				fp *= scale
+			}
+			comps = append(comps, compState{
+				demand:    di,
+				comp:      c,
+				rate:      d.AccessRate * c.AccessFrac,
+				footprint: fp,
+				mask:      d.WayMask,
+			})
+		}
+	}
+
+	// Group ways into regions by sharer-set signature.
+	sig := make(map[uint64]*region)
+	var regions []*region
+	for w := 0; w < s.Ways; w++ {
+		bit := uint64(1) << uint(w)
+		var key uint64
+		for i := range comps {
+			if comps[i].mask&bit != 0 {
+				key |= 1 << uint(i%63)
+			}
+		}
+		// Build exact sharer list; the hash key above may collide for
+		// >63 components, so verify by membership below.
+		r, ok := sig[key]
+		if ok {
+			same := true
+			for _, ci := range r.comps {
+				if comps[ci].mask&bit == 0 {
+					same = false
+					break
+				}
+			}
+			if same {
+				r.capacity += s.WayMB
+				continue
+			}
+		}
+		nr := &region{capacity: s.WayMB}
+		for i := range comps {
+			if comps[i].mask&bit != 0 {
+				nr.comps = append(nr.comps, i)
+			}
+		}
+		if len(nr.comps) == 0 {
+			continue
+		}
+		sig[key] = nr
+		regions = append(regions, nr)
+	}
+
+	// Initial guess: even split of each region.
+	for _, r := range regions {
+		per := r.capacity / float64(len(r.comps))
+		for _, ci := range r.comps {
+			comps[ci].occ += per
+		}
+	}
+	for i := range comps {
+		if comps[i].occ > comps[i].footprint {
+			comps[i].occ = comps[i].footprint
+		}
+	}
+
+	const pressureFloor = 1e-9
+	next := make([]float64, len(comps))
+	for it := 0; it < iters; it++ {
+		for i := range comps {
+			c := &comps[i]
+			h := c.comp.HitRatio(c.occ, c.footprint)
+			// Recency pressure: misses insert new lines; hits renew
+			// existing ones at a discount.
+			c.pressure = c.rate*((1-h)+recency*h) + pressureFloor
+		}
+		for i := range next {
+			next[i] = 0
+		}
+		for _, r := range regions {
+			waterFill(comps, r, next)
+		}
+		for i := range comps {
+			c := &comps[i]
+			n := next[i]
+			if n > c.footprint {
+				n = c.footprint
+			}
+			c.occ = damp*c.occ + (1-damp)*n
+		}
+	}
+
+	out := make([]Share, len(demands))
+	for i := range comps {
+		c := &comps[i]
+		h := c.comp.HitRatio(c.occ, c.footprint)
+		sh := &out[c.demand]
+		sh.OccupancyMB += c.occ
+		sh.HitRatio += h * c.comp.AccessFrac
+		sh.MissRate += c.rate * (1 - h)
+	}
+	return out
+}
+
+// waterFill divides a region's capacity among its components in proportion
+// to pressure, capping each component at its footprint and redistributing
+// the excess to the remaining components.
+func waterFill(comps []compState, r *region, next []float64) {
+	remaining := r.capacity
+	active := make([]int, len(r.comps))
+	copy(active, r.comps)
+	// The allocation already granted in other regions counts against the
+	// footprint cap.
+	for rounds := 0; rounds < len(r.comps)+1 && remaining > 1e-12 && len(active) > 0; rounds++ {
+		var total float64
+		for _, ci := range active {
+			total += comps[ci].pressure
+		}
+		if total <= 0 {
+			break
+		}
+		var nextActive []int
+		allocated := 0.0
+		for _, ci := range active {
+			share := remaining * comps[ci].pressure / total
+			room := comps[ci].footprint - next[ci]
+			if room <= 0 {
+				continue
+			}
+			if share >= room {
+				next[ci] += room
+				allocated += room
+			} else {
+				next[ci] += share
+				allocated += share
+				nextActive = append(nextActive, ci)
+			}
+		}
+		remaining -= allocated
+		if len(nextActive) == len(active) {
+			// Nobody hit a cap; the region is fully distributed.
+			break
+		}
+		active = nextActive
+	}
+}
+
+// MaskOfWays returns a contiguous way mask of n ways starting at way lo.
+func MaskOfWays(lo, n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		n = 64
+	}
+	var m uint64
+	if n == 64 {
+		m = ^uint64(0)
+	} else {
+		m = (uint64(1) << uint(n)) - 1
+	}
+	return m << uint(lo)
+}
+
+// FullMask returns a mask covering all ways of the solver.
+func FullMask(ways int) uint64 { return MaskOfWays(0, ways) }

@@ -1,0 +1,239 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func solver() Solver { return Solver{WayMB: 2.25, Ways: 20} }
+
+func TestHitRatioCurve(t *testing.T) {
+	c := Component{FootprintMB: 10, HitMax: 0.9, Theta: 1}
+	if got := c.HitRatio(10, 10); got != 0.9 {
+		t.Fatalf("full fit hit = %v", got)
+	}
+	if got := c.HitRatio(20, 10); got != 0.9 {
+		t.Fatalf("over-provisioned hit = %v", got)
+	}
+	if got := c.HitRatio(5, 10); math.Abs(got-0.45) > 1e-12 {
+		t.Fatalf("half fit linear hit = %v", got)
+	}
+	if got := c.HitRatio(0, 10); got != 0 {
+		t.Fatalf("no cache hit = %v", got)
+	}
+}
+
+func TestHitRatioConcave(t *testing.T) {
+	c := Component{FootprintMB: 10, HitMax: 1, Theta: 0.5}
+	// Theta < 1: front-loaded benefit, h(half) > half of h(full).
+	if got := c.HitRatio(5, 10); got <= 0.5 {
+		t.Fatalf("theta=0.5 at half occupancy = %v, want > 0.5", got)
+	}
+}
+
+func TestHitRatioScanThrashes(t *testing.T) {
+	c := Component{FootprintMB: 40, HitMax: 0.98, Scan: true}
+	if got := c.HitRatio(20, 40); got != 0 {
+		t.Fatalf("scan at half occupancy should thrash, got %v", got)
+	}
+	if got := c.HitRatio(40, 40); got != 0.98 {
+		t.Fatalf("fitting scan hit = %v", got)
+	}
+	if got := c.HitRatio(38, 40); got <= 0 || got >= 0.98 {
+		t.Fatalf("knee region should interpolate, got %v", got)
+	}
+}
+
+func TestHitRatioMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(fp, a, b uint16, theta uint8) bool {
+		c := Component{
+			FootprintMB: float64(fp%200) + 1,
+			HitMax:      0.95,
+			Theta:       float64(theta%30)/10 + 0.1,
+		}
+		x, y := float64(a%250), float64(b%250)
+		if x > y {
+			x, y = y, x
+		}
+		return c.HitRatio(x, c.FootprintMB) <= c.HitRatio(y, c.FootprintMB)+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveSingleDemandGetsFootprint(t *testing.T) {
+	s := solver()
+	shares := s.Resolve([]Demand{{
+		AccessRate: 1e8,
+		Components: []Component{{AccessFrac: 1, FootprintMB: 10, HitMax: 0.95, Theta: 1}},
+		WayMask:    FullMask(20),
+	}})
+	if math.Abs(shares[0].OccupancyMB-10) > 0.2 {
+		t.Fatalf("occupancy = %v, want ~10 (footprint)", shares[0].OccupancyMB)
+	}
+	if shares[0].HitRatio < 0.9 {
+		t.Fatalf("hit = %v, want ~0.95", shares[0].HitRatio)
+	}
+}
+
+func TestResolveCapacityConservation(t *testing.T) {
+	s := solver()
+	demands := []Demand{
+		{AccessRate: 1e9, Components: []Component{{AccessFrac: 1, FootprintMB: 100, HitMax: 0.5, Theta: 1}}, WayMask: FullMask(20)},
+		{AccessRate: 2e9, Components: []Component{{AccessFrac: 1, FootprintMB: 200, HitMax: 0.5, Theta: 1}}, WayMask: FullMask(20)},
+	}
+	shares := s.Resolve(demands)
+	total := shares[0].OccupancyMB + shares[1].OccupancyMB
+	if total > 45.01 {
+		t.Fatalf("occupancy %v exceeds capacity 45", total)
+	}
+	if total < 44 {
+		t.Fatalf("oversubscribed cache underfilled: %v", total)
+	}
+}
+
+func TestResolveFootprintCapAndRedistribution(t *testing.T) {
+	s := solver()
+	// A small, hot task plus a big-footprint task: the small task gets its
+	// footprint and the rest flows to the big one.
+	demands := []Demand{
+		{AccessRate: 5e9, Components: []Component{{AccessFrac: 1, FootprintMB: 5, HitMax: 0.99, Theta: 1}}, WayMask: FullMask(20)},
+		{AccessRate: 1e8, Components: []Component{{AccessFrac: 1, FootprintMB: 500, HitMax: 0.4, Theta: 1}}, WayMask: FullMask(20)},
+	}
+	shares := s.Resolve(demands)
+	if shares[0].OccupancyMB > 5.01 {
+		t.Fatalf("capped task exceeded footprint: %v", shares[0].OccupancyMB)
+	}
+	if shares[1].OccupancyMB < 35 {
+		t.Fatalf("freed capacity not redistributed: big task got %v", shares[1].OccupancyMB)
+	}
+}
+
+func TestResolvePartitionIsolation(t *testing.T) {
+	s := solver()
+	// Disjoint CAT masks: the streaming task cannot evict the hot task.
+	demands := []Demand{
+		{AccessRate: 1e8, Components: []Component{{AccessFrac: 1, FootprintMB: 8, HitMax: 0.99, Theta: 1}}, WayMask: MaskOfWays(10, 10)},
+		{AccessRate: 5e9, Components: []Component{{AccessFrac: 1, FootprintMB: 100, HitMax: 0.9, Scan: true}}, WayMask: MaskOfWays(0, 10)},
+	}
+	shares := s.Resolve(demands)
+	if shares[0].OccupancyMB < 7.9 {
+		t.Fatalf("partitioned hot task evicted: %v MB", shares[0].OccupancyMB)
+	}
+	if shares[1].OccupancyMB > 22.51 {
+		t.Fatalf("stream escaped its partition: %v MB", shares[1].OccupancyMB)
+	}
+}
+
+func TestResolveBigStreamEvictsHotSet(t *testing.T) {
+	s := solver()
+	// Shared cache: an intense nearly-cache-sized scan squeezes a
+	// low-rate hot working set (the §3.3 LLC (big) behaviour).
+	demands := []Demand{
+		{AccessRate: 1.2e8, Components: []Component{{AccessFrac: 1, FootprintMB: 8, HitMax: 0.99, Theta: 0.6}}, WayMask: FullMask(20)},
+		{AccessRate: 4e9, Components: []Component{{AccessFrac: 1, FootprintMB: 42, HitMax: 0.98, Scan: true}}, WayMask: FullMask(20)},
+	}
+	shares := s.Resolve(demands)
+	if shares[0].OccupancyMB > 6 {
+		t.Fatalf("hot set survived with %v MB against intense scan", shares[0].OccupancyMB)
+	}
+	if shares[1].OccupancyMB > 42.01 {
+		t.Fatalf("scan exceeded its footprint: %v", shares[1].OccupancyMB)
+	}
+}
+
+func TestResolveBigStreamThrashesAgainstActiveCompetitor(t *testing.T) {
+	s := solver()
+	// When the competitor's access rate is comparable, the near-cache-
+	// sized scan cannot hold its whole footprint and thrashes — this is
+	// what turns the LLC (big) antagonist into a DRAM antagonist (§3.3).
+	demands := []Demand{
+		{AccessRate: 2e9, Components: []Component{{AccessFrac: 1, FootprintMB: 8, HitMax: 0.99, Theta: 0.6}}, WayMask: FullMask(20)},
+		{AccessRate: 4e9, Components: []Component{{AccessFrac: 1, FootprintMB: 42, HitMax: 0.98, Scan: true}}, WayMask: FullMask(20)},
+	}
+	shares := s.Resolve(demands)
+	if shares[1].HitRatio > 0.5 {
+		t.Fatalf("scan should thrash against an active competitor, hit=%v", shares[1].HitRatio)
+	}
+	if shares[1].MissRate < 1e9 {
+		t.Fatalf("thrashing scan should miss heavily, missRate=%v", shares[1].MissRate)
+	}
+}
+
+func TestResolveSmallStreamContained(t *testing.T) {
+	s := solver()
+	// A stream that fits (11 MB of 45) caches itself and leaves the hot
+	// set alone (LLC (small) row of Figure 1 for websearch).
+	demands := []Demand{
+		{AccessRate: 1.2e8, Components: []Component{{AccessFrac: 1, FootprintMB: 8, HitMax: 0.99, Theta: 0.6}}, WayMask: FullMask(20)},
+		{AccessRate: 4e9, Components: []Component{{AccessFrac: 1, FootprintMB: 11, HitMax: 0.98, Scan: true}}, WayMask: FullMask(20)},
+	}
+	shares := s.Resolve(demands)
+	if shares[0].OccupancyMB < 7.5 {
+		t.Fatalf("hot set lost space to a fitting stream: %v MB", shares[0].OccupancyMB)
+	}
+	if shares[1].HitRatio < 0.9 {
+		t.Fatalf("fitting stream should hit, got %v", shares[1].HitRatio)
+	}
+}
+
+func TestLoadScaleGrowsFootprint(t *testing.T) {
+	s := solver()
+	demand := Demand{
+		AccessRate: 1e9,
+		Components: []Component{{AccessFrac: 1, FootprintMB: 30, HitMax: 0.97, Theta: 1, ScalesWithLoad: true}},
+		WayMask:    FullMask(20),
+	}
+	demand.LoadScale = 1
+	low := s.Resolve([]Demand{demand})[0]
+	demand.LoadScale = 3
+	high := s.Resolve([]Demand{demand})[0]
+	if high.HitRatio >= low.HitRatio {
+		t.Fatalf("3x footprint should lower hit ratio: %v -> %v", low.HitRatio, high.HitRatio)
+	}
+}
+
+func TestMaskHelpers(t *testing.T) {
+	if MaskOfWays(0, 4) != 0xf {
+		t.Fatalf("MaskOfWays(0,4) = %x", MaskOfWays(0, 4))
+	}
+	if MaskOfWays(4, 4) != 0xf0 {
+		t.Fatalf("MaskOfWays(4,4) = %x", MaskOfWays(4, 4))
+	}
+	if MaskOfWays(0, 0) != 0 {
+		t.Fatal("empty mask should be 0")
+	}
+	if MaskOfWays(0, 64) != ^uint64(0) {
+		t.Fatal("64-way mask should be all ones")
+	}
+	if FullMask(20) != (1<<20)-1 {
+		t.Fatalf("FullMask(20) = %x", FullMask(20))
+	}
+}
+
+func TestResolveEmptyDemands(t *testing.T) {
+	s := solver()
+	if got := s.Resolve(nil); len(got) != 0 {
+		t.Fatalf("resolve(nil) = %v", got)
+	}
+	// A demand with zero access-frac components resolves to zero shares.
+	shares := s.Resolve([]Demand{{AccessRate: 1e9, WayMask: FullMask(20)}})
+	if shares[0].OccupancyMB != 0 {
+		t.Fatalf("componentless demand got %v MB", shares[0].OccupancyMB)
+	}
+}
+
+func TestResolveMissRateNonNegativeProperty(t *testing.T) {
+	s := solver()
+	if err := quick.Check(func(rate uint32, fp uint16) bool {
+		shares := s.Resolve([]Demand{{
+			AccessRate: float64(rate),
+			Components: []Component{{AccessFrac: 1, FootprintMB: float64(fp%500) + 1, HitMax: 0.9, Theta: 1}},
+			WayMask:    FullMask(20),
+		}})
+		return shares[0].MissRate >= 0 && shares[0].MissRate <= float64(rate)+1
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

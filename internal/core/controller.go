@@ -1,0 +1,240 @@
+// Package core implements the Heracles controller — the paper's primary
+// contribution (§4): a real-time feedback controller that coordinates four
+// hardware and software isolation mechanisms so that a latency-critical
+// (LC) workload meets its SLO while best-effort (BE) tasks consume every
+// spare resource.
+//
+// The controller is organised exactly as Figure 2 of the paper: a
+// top-level controller (Algorithm 1) polls tail latency and load and
+// enables/disables/limits BE growth; three subcontrollers — core & memory
+// (Algorithm 2), power (Algorithm 3) and network (Algorithm 4) — each keep
+// one shared resource away from saturation.
+//
+// The controller is written against the Env interface so it can drive
+// either the simulated machine (internal/machine) or filesystem actuators
+// (internal/actuate) on real hardware.
+package core
+
+import (
+	"time"
+)
+
+// Env is everything the controller monitors and actuates. The simulated
+// machine satisfies it directly.
+type Env interface {
+	// Latency-critical workload monitors.
+	TailLatency(window time.Duration) (time.Duration, bool)
+	Load() float64
+	SLO() time.Duration
+	GuaranteedGHz() float64
+
+	// BE lifecycle and benefit monitor.
+	EnableBE()
+	DisableBE()
+	BEEnabled() bool
+	BERate() float64
+
+	// Core allocation (cgroups cpuset).
+	BECoreCount() int
+	SetBECores(n int)
+	MaxBECores() int
+
+	// LLC allocation (Intel CAT).
+	BEWayCount() int
+	SetBEWays(n int)
+	TotalWays() int
+
+	// DRAM bandwidth monitors (performance counters). DRAMMaxSocketFrac
+	// is the utilisation of the busiest memory controller; a single
+	// saturated socket is as dangerous as machine-wide saturation (§4.3
+	// reads per-controller registers).
+	DRAMTotalGBs() float64
+	DRAMMaxSocketFrac() float64
+	BEDRAMCounterGBs() float64
+	DRAMPeakGBs() float64
+
+	// Power monitors and per-core DVFS.
+	MaxSocketPowerFrac() float64
+	LCFreqGHz() float64
+	LowerBEFreq()
+	RaiseBEFreq()
+
+	// Network monitors and HTB egress limits.
+	LCTxGBs() float64
+	LinkGBs() float64
+	SetBETxCeil(gbs float64)
+}
+
+// DRAMModel is the offline model of the LC workload's DRAM bandwidth as a
+// function of load and allocation (§4.2: current hardware cannot attribute
+// bandwidth per core, so Heracles carries this one piece of offline
+// information; §4.3 uses it as LcBwModel()).
+type DRAMModel interface {
+	LCDemandGBs(load float64, lcCores, lcWays int) float64
+}
+
+// DRAMModelFunc adapts a function to the DRAMModel interface.
+type DRAMModelFunc func(load float64, lcCores, lcWays int) float64
+
+// LCDemandGBs implements DRAMModel.
+func (f DRAMModelFunc) LCDemandGBs(load float64, lcCores, lcWays int) float64 {
+	return f(load, lcCores, lcWays)
+}
+
+// Config carries the controller's tunables; the defaults are the constants
+// of Algorithms 1-4.
+type Config struct {
+	PollInterval      time.Duration // top-level poll (15 s)
+	CorePollInterval  time.Duration // core & memory subcontroller (2 s)
+	PowerPollInterval time.Duration // power subcontroller (2 s)
+	NetPollInterval   time.Duration // network subcontroller (1 s)
+
+	LoadDisable float64       // disable BE above this LC load (0.85)
+	LoadEnable  float64       // re-enable BE below this LC load (0.80)
+	SlackGrow   float64       // BE may grow only above this slack (0.10)
+	SlackPanic  float64       // shrink BE cores below this slack (0.05)
+	Cooldown    time.Duration // BE off after an SLO violation (5 min)
+
+	DRAMLimitFrac float64 // DRAM saturation threshold (0.90 of peak)
+	PowerLimit    float64 // socket power threshold (0.90 of TDP)
+
+	NetLinkHeadroom float64 // 0.05 of link rate
+	NetLCHeadroom   float64 // 0.10 of LC bandwidth
+
+	InitialBECores   int     // BE cores granted on enable (1)
+	InitialWaysFrac  float64 // BE LLC fraction on enable (0.10)
+	KeepBECores      int     // cores BE keeps after a slack panic (2)
+	BenefitThreshold float64 // min relative BE rate gain to keep growing cache
+}
+
+// DefaultConfig returns the constants used in the paper.
+func DefaultConfig() Config {
+	return Config{
+		PollInterval:      15 * time.Second,
+		CorePollInterval:  2 * time.Second,
+		PowerPollInterval: 2 * time.Second,
+		NetPollInterval:   time.Second,
+		LoadDisable:       0.85,
+		LoadEnable:        0.80,
+		SlackGrow:         0.10,
+		SlackPanic:        0.05,
+		Cooldown:          5 * time.Minute,
+		DRAMLimitFrac:     0.90,
+		PowerLimit:        0.90,
+		NetLinkHeadroom:   0.05,
+		NetLCHeadroom:     0.10,
+		InitialBECores:    1,
+		InitialWaysFrac:   0.10,
+		KeepBECores:       2,
+		BenefitThreshold:  0.01,
+	}
+}
+
+// GrowState is the core & memory subcontroller's gradient-descent phase.
+type GrowState int
+
+const (
+	// GrowLLC grows the BE cache partition one way at a time.
+	GrowLLC GrowState = iota
+	// GrowCores reassigns cores from the LC job to BE tasks.
+	GrowCores
+)
+
+// String names the phase.
+func (s GrowState) String() string {
+	if s == GrowLLC {
+		return "GROW_LLC"
+	}
+	return "GROW_CORES"
+}
+
+// Event records one controller decision for observability and tests.
+type Event struct {
+	At     time.Duration
+	Loop   string // "top", "core", "power", "net"
+	Action string
+	Detail string
+}
+
+// Controller is the Heracles controller instance for one server.
+type Controller struct {
+	cfg   Config
+	env   Env
+	model DRAMModel
+
+	// Top-level state.
+	enabled      bool
+	growAllowed  bool
+	cooldownTill time.Duration
+	slack        float64
+	latency      time.Duration
+
+	// Core & memory subcontroller state.
+	state        GrowState
+	lastBW       float64
+	bwDerivative float64
+	pendingWays  int           // ways before the last cache growth, for rollback
+	pendingCheck bool          // a cache growth awaits its derivative check
+	rateBefore   float64       // BE rate before the last cache growth
+	lastGrow     time.Duration // time of the last core growth (for damping)
+
+	// Scheduling.
+	nextTop, nextCore, nextPower, nextNet time.Duration
+
+	events []Event
+	trace  func(Event)
+}
+
+// New returns a controller bound to env. model may be nil, in which case
+// the controller treats LC bandwidth as total minus the BE counters (what
+// §4.2 says becomes possible once per-core DRAM accounting exists).
+func New(env Env, model DRAMModel, cfg Config) *Controller {
+	c := &Controller{cfg: cfg, env: env, model: model, enabled: false}
+	return c
+}
+
+// OnEvent installs a decision-trace callback.
+func (c *Controller) OnEvent(fn func(Event)) { c.trace = fn }
+
+// Events returns the recorded decision trace.
+func (c *Controller) Events() []Event { return c.events }
+
+// Slack returns the most recent latency slack (SLO - latency)/SLO.
+func (c *Controller) Slack() float64 { return c.slack }
+
+// State returns the core & memory subcontroller phase.
+func (c *Controller) State() GrowState { return c.state }
+
+// BEEnabled reports whether the controller currently allows BE execution.
+func (c *Controller) BEEnabled() bool { return c.enabled }
+
+func (c *Controller) emit(at time.Duration, loop, action, detail string) {
+	e := Event{At: at, Loop: loop, Action: action, Detail: detail}
+	if len(c.events) < 4096 {
+		c.events = append(c.events, e)
+	}
+	if c.trace != nil {
+		c.trace(e)
+	}
+}
+
+// Step runs every control loop that is due at simulated time now. Callers
+// invoke it once per machine epoch.
+func (c *Controller) Step(now time.Duration) {
+	if now >= c.nextTop {
+		c.topLevel(now)
+		c.nextTop = now + c.cfg.PollInterval
+	}
+	if now >= c.nextCore {
+		c.coreMemory(now)
+		c.nextCore = now + c.cfg.CorePollInterval
+	}
+	if now >= c.nextPower {
+		c.power(now)
+		c.nextPower = now + c.cfg.PowerPollInterval
+	}
+	if now >= c.nextNet {
+		c.network(now)
+		c.nextNet = now + c.cfg.NetPollInterval
+	}
+}

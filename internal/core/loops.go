@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// topLevel is Algorithm 1: poll tail latency and load every 15 seconds,
+// disable BE execution on SLO violations (with a cooldown) and at high
+// load (with hysteresis), and otherwise use latency slack to steer the
+// subcontrollers.
+func (c *Controller) topLevel(now time.Duration) {
+	slo := c.env.SLO()
+	latency, ok := c.env.TailLatency(c.cfg.PollInterval)
+	if !ok || slo <= 0 {
+		return
+	}
+	load := c.env.Load()
+	slack := (slo.Seconds() - latency.Seconds()) / slo.Seconds()
+	c.slack = slack
+	c.latency = latency
+
+	switch {
+	case slack < 0:
+		// SLO violation: give everything back to the LC workload and stay
+		// out for a while (§4.3: "We give all resources to the latency
+		// critical workload for a while (e.g., 5 minutes) before
+		// attempting colocation again").
+		c.disable(now)
+		c.cooldownTill = now + c.cfg.Cooldown
+		c.emit(now, "top", "disable-be", fmt.Sprintf("slack=%.3f<0, cooldown until %v", slack, c.cooldownTill))
+
+	case load > c.cfg.LoadDisable:
+		c.disable(now)
+		c.emit(now, "top", "disable-be", fmt.Sprintf("load=%.2f>%.2f", load, c.cfg.LoadDisable))
+
+	case load < c.cfg.LoadEnable:
+		if now < c.cooldownTill {
+			c.emit(now, "top", "cooldown", fmt.Sprintf("%v remaining", c.cooldownTill-now))
+			break
+		}
+		if !c.enabled {
+			c.enable(now)
+		}
+		c.steerGrowth(now, slack)
+
+	default:
+		// Hysteresis band [LoadEnable, LoadDisable]: keep the current BE
+		// enablement, still steer growth by slack.
+		if c.enabled {
+			c.steerGrowth(now, slack)
+		}
+	}
+}
+
+// steerGrowth applies the slack thresholds of Algorithm 1: below 10% slack
+// growth is disallowed; below 5% cores are taken from BE tasks
+// (be_cores.Remove(be_cores.Size()-2) keeps two BE cores).
+func (c *Controller) steerGrowth(now time.Duration, slack float64) {
+	switch {
+	case slack < c.cfg.SlackPanic:
+		c.growAllowed = false
+		n := c.env.BECoreCount()
+		if n > c.cfg.KeepBECores {
+			c.env.SetBECores(c.cfg.KeepBECores)
+			c.emit(now, "top", "shrink-be-cores", fmt.Sprintf("slack=%.3f<%.2f, %d->%d cores",
+				slack, c.cfg.SlackPanic, n, c.cfg.KeepBECores))
+		}
+	case slack < c.cfg.SlackGrow:
+		c.growAllowed = false
+		c.emit(now, "top", "disallow-growth", fmt.Sprintf("slack=%.3f<%.2f", slack, c.cfg.SlackGrow))
+	default:
+		c.growAllowed = true
+	}
+}
+
+// enable starts BE execution from the initial allocation of Algorithm 2:
+// one core and ~10% of the LLC, in the GROW_LLC phase.
+func (c *Controller) enable(now time.Duration) {
+	c.enabled = true
+	c.env.EnableBE()
+	c.env.SetBECores(c.cfg.InitialBECores)
+	ways := int(math.Round(c.cfg.InitialWaysFrac * float64(c.env.TotalWays())))
+	if ways < 1 {
+		ways = 1
+	}
+	c.env.SetBEWays(ways)
+	c.state = GrowLLC
+	c.pendingCheck = false
+	c.lastBW = 0
+	c.bwDerivative = 0
+	c.emit(now, "top", "enable-be", fmt.Sprintf("cores=%d ways=%d", c.cfg.InitialBECores, ways))
+}
+
+// disable halts BE execution and returns all resources to the LC task.
+func (c *Controller) disable(now time.Duration) {
+	if !c.enabled && c.env.BECoreCount() == 0 {
+		return
+	}
+	c.enabled = false
+	c.growAllowed = false
+	c.env.DisableBE()
+	c.env.SetBECores(0)
+	c.env.SetBEWays(0)
+	c.env.SetBETxCeil(0.001)
+	c.pendingCheck = false
+}
+
+// canGrowBE gates the gradient descent: BE must be enabled and the
+// top-level controller must have allowed growth.
+func (c *Controller) canGrowBE() bool {
+	return c.enabled && c.growAllowed
+}
+
+// beBwPerCore estimates the DRAM bandwidth each BE core consumes, from the
+// per-core hardware counters (§4.3).
+func (c *Controller) beBwPerCore() float64 {
+	n := c.env.BECoreCount()
+	bw := c.env.BEDRAMCounterGBs()
+	if n <= 0 || bw <= 0 {
+		// No BE cores yet: assume a conservative single-stream estimate so
+		// the predicted-bandwidth guard still works.
+		return 2.0
+	}
+	return bw / float64(n)
+}
+
+// lcBwModel evaluates the offline DRAM model at the current operating
+// point; without a model it falls back to counter subtraction.
+func (c *Controller) lcBwModel() float64 {
+	lcCores := c.env.MaxBECores() + 1 - c.env.BECoreCount()
+	lcWays := c.env.TotalWays() - c.env.BEWayCount()
+	if c.model != nil {
+		return c.model.LCDemandGBs(c.env.Load(), lcCores, lcWays)
+	}
+	lc := c.env.DRAMTotalGBs() - c.env.BEDRAMCounterGBs()
+	if lc < 0 {
+		lc = 0
+	}
+	return lc
+}
+
+// coreMemory is Algorithm 2: avoid DRAM bandwidth saturation first, then
+// run a gradient descent in the cores x LLC-ways plane, alternating
+// GROW_LLC and GROW_CORES phases.
+func (c *Controller) coreMemory(now time.Duration) {
+	limit := c.cfg.DRAMLimitFrac * c.env.DRAMPeakGBs()
+	// Effective bandwidth: a saturated individual memory controller is
+	// scaled up to look like machine-wide saturation, since BE tasks are
+	// often pinned to one socket (numactl, §4.3) and can flood it while
+	// machine-total bandwidth still looks moderate.
+	totalBW := c.env.DRAMTotalGBs()
+	if socketEq := c.env.DRAMMaxSocketFrac() * c.env.DRAMPeakGBs(); socketEq > totalBW {
+		totalBW = socketEq
+	}
+	c.bwDerivative = totalBW - c.lastBW
+	c.lastBW = totalBW
+
+	// Refresh the slack estimate between top-level polls so the gradient
+	// descent reacts to its own recent reallocations; the shorter window
+	// trades statistical stability for responsiveness, which is the right
+	// trade while actively moving resources.
+	if slo := c.env.SLO(); slo > 0 {
+		if lat, ok := c.env.TailLatency(2 * c.cfg.CorePollInterval); ok {
+			c.slack = (slo.Seconds() - lat.Seconds()) / slo.Seconds()
+		}
+	}
+
+	if !c.env.BEEnabled() {
+		return
+	}
+
+	// Saturation guard: remove as many BE cores as needed (§4.3: "the
+	// subcontroller removes as many cores as needed from BE tasks").
+	if totalBW > limit {
+		overage := totalBW - limit
+		per := c.beBwPerCore()
+		drop := int(math.Ceil(overage / per))
+		n := c.env.BECoreCount()
+		target := n - drop
+		if target < 0 {
+			target = 0
+		}
+		if target < n {
+			c.env.SetBECores(target)
+			c.emit(now, "core", "dram-saturation", fmt.Sprintf("bw=%.1f>%.1fGB/s, cores %d->%d", totalBW, limit, n, target))
+		}
+		c.pendingCheck = false
+		return
+	}
+
+	// Finish a pending cache-growth check: if the LC task lost its slack
+	// margin, or growing the BE cache did not reduce total DRAM
+	// bandwidth, roll back and switch phases; if the BE job did not
+	// benefit, just switch phases. (§4.3: "Its LLC allocation is
+	// increased as long as the LC workload meets its SLO, bandwidth
+	// saturation is avoided, and the BE task benefits.")
+	if c.pendingCheck {
+		c.pendingCheck = false
+		switch {
+		case c.slack < c.cfg.SlackPanic:
+			c.env.SetBEWays(c.pendingWays)
+			c.state = GrowCores
+			c.emit(now, "core", "rollback-llc", fmt.Sprintf("slack=%.3f<%.2f, ways->%d", c.slack, c.cfg.SlackPanic, c.pendingWays))
+		case c.bwDerivative >= 0:
+			c.env.SetBEWays(c.pendingWays)
+			c.state = GrowCores
+			c.emit(now, "core", "rollback-llc", fmt.Sprintf("bw_derivative=%.2f>=0, ways->%d", c.bwDerivative, c.pendingWays))
+		case c.env.BERate() < c.rateBefore*(1+c.cfg.BenefitThreshold):
+			c.state = GrowCores
+			c.emit(now, "core", "no-be-benefit", fmt.Sprintf("rate %.3f -> %.3f", c.rateBefore, c.env.BERate()))
+		}
+	}
+
+	if !c.canGrowBE() {
+		return
+	}
+
+	switch c.state {
+	case GrowLLC:
+		predicted := c.lcBwModel() + c.env.BEDRAMCounterGBs() + c.bwDerivative
+		if predicted > limit {
+			c.state = GrowCores
+			c.emit(now, "core", "phase", fmt.Sprintf("predicted bw %.1f>%.1f, -> GROW_CORES", predicted, limit))
+			return
+		}
+		ways := c.env.BEWayCount()
+		if ways >= c.env.TotalWays()-1 {
+			c.state = GrowCores
+			return
+		}
+		if c.slack <= c.cfg.SlackGrow {
+			return
+		}
+		c.pendingWays = ways
+		c.rateBefore = c.env.BERate()
+		c.env.SetBEWays(ways + 1)
+		c.pendingCheck = true
+		c.emit(now, "core", "grow-llc", fmt.Sprintf("ways %d->%d", ways, ways+1))
+
+	case GrowCores:
+		needed := c.lcBwModel() + c.env.BEDRAMCounterGBs() + c.beBwPerCore()
+		if needed > limit {
+			c.state = GrowLLC
+			c.emit(now, "core", "phase", fmt.Sprintf("needed bw %.1f>%.1f, -> GROW_LLC", needed, limit))
+			return
+		}
+		if c.slack > c.cfg.SlackGrow {
+			n := c.env.BECoreCount()
+			if n < c.env.MaxBECores() && c.coreMovePredictedSafe(now) && c.growthDue(now) {
+				c.env.SetBECores(n + 1)
+				c.lastGrow = now
+				c.emit(now, "core", "grow-cores", fmt.Sprintf("cores %d->%d", n, n+1))
+			}
+		}
+	}
+}
+
+// growthDue damps the gradient-descent step rate as slack shrinks, so the
+// 15-second latency feedback loop can catch up before the next move. Far
+// from the SLO the descent runs at full speed (one core per cycle); close
+// to it, steps slow down by up to 6x.
+func (c *Controller) growthDue(now time.Duration) bool {
+	interval := c.cfg.CorePollInterval
+	switch {
+	case c.slack > 3.5*c.cfg.SlackGrow:
+		// full speed
+	case c.slack > 2*c.cfg.SlackGrow:
+		interval *= 3
+	default:
+		interval *= 6
+	}
+	// Near the power ceiling every added core shifts frequency budgets;
+	// slow down so the 100 MHz-per-cycle power loop keeps pace.
+	if c.env.MaxSocketPowerFrac() > c.cfg.PowerLimit && interval < 3*c.cfg.CorePollInterval {
+		interval = 3 * c.cfg.CorePollInterval
+	}
+	return now-c.lastGrow >= interval
+}
+
+// coreMovePredictedSafe estimates whether taking one more core from the LC
+// workload would push it into an SLO violation, implementing §4.3's
+// "during gradient descent, the subcontroller must avoid trying suboptimal
+// allocations that will ... trigger a signal from the top-level controller
+// to disable BE tasks. Heracles estimates whether it is close to an SLO
+// violation for the LC task based on the amount of latency slack."
+//
+// The estimate assumes tail latency scales at worst quadratically with the
+// per-core load increase caused by shrinking the LC core pool from k to
+// k-1; the move is allowed only if the predicted slack stays above the
+// panic threshold.
+func (c *Controller) coreMovePredictedSafe(now time.Duration) bool {
+	k := c.env.MaxBECores() + 1 - c.env.BECoreCount()
+	if k <= 2 {
+		return false
+	}
+	total := c.env.MaxBECores() + 1
+	// Queueing guard: the LC workload needs roughly load*totalCores busy
+	// cores; never shrink its pool to the point where per-core occupancy
+	// would exceed ~92%, which is where tail latency detaches from the
+	// slack signal's time constant.
+	if rhoHat := c.env.Load() * float64(total) / float64(k-1); rhoHat > 0.92 {
+		c.emit(now, "core", "hold-cores", fmt.Sprintf("predicted occupancy %.2f>0.92 at lcCores=%d", rhoHat, k-1))
+		return false
+	}
+	// Power guard: while the package is power-saturated AND the LC cores
+	// have already lost their guaranteed frequency, adding BE cores races
+	// against the power subcontroller's 100 MHz steps; let the power loop
+	// restore the frequency first. (Power saturation alone is fine — the
+	// chip simply runs everyone a little slower.)
+	if c.env.MaxSocketPowerFrac() > c.cfg.PowerLimit && c.env.LCFreqGHz() < c.env.GuaranteedGHz() {
+		c.emit(now, "core", "hold-cores", fmt.Sprintf("power %.2f>%.2f and lcFreq %.2f<%.2f, waiting for power loop",
+			c.env.MaxSocketPowerFrac(), c.cfg.PowerLimit, c.env.LCFreqGHz(), c.env.GuaranteedGHz()))
+		return false
+	}
+	// DRAM guard: adding a BE core adds roughly one core's worth of
+	// bandwidth, and the queueing-delay inflation near the limit feeds
+	// straight into the LC service time. Keep a 1.5x per-core margin
+	// below the saturation threshold, judging by the busiest socket.
+	effBW := c.env.DRAMTotalGBs()
+	if socketEq := c.env.DRAMMaxSocketFrac() * c.env.DRAMPeakGBs(); socketEq > effBW {
+		effBW = socketEq
+	}
+	if per := c.beBwPerCore(); effBW+1.5*per > c.cfg.DRAMLimitFrac*c.env.DRAMPeakGBs() {
+		c.emit(now, "core", "hold-cores", fmt.Sprintf("bw %.1f+1.5*%.1f would crowd the DRAM limit", effBW, per))
+		return false
+	}
+	latFrac := 1 - c.slack // latency as fraction of SLO
+	scale := float64(k) / float64(k-1)
+	predicted := 1 - latFrac*scale*scale
+	if predicted < c.cfg.SlackPanic {
+		c.emit(now, "core", "hold-cores", fmt.Sprintf("predicted slack %.3f<%.2f at lcCores=%d", predicted, c.cfg.SlackPanic, k-1))
+		return false
+	}
+	return true
+}
+
+// power is Algorithm 3: when the package runs close to TDP and the LC
+// cores fall below their guaranteed frequency, shift power to them by
+// lowering the BE cores' DVFS; restore BE frequency when there is
+// headroom.
+func (c *Controller) power(now time.Duration) {
+	if !c.env.BEEnabled() {
+		return
+	}
+	pw := c.env.MaxSocketPowerFrac()
+	lsFreq := c.env.LCFreqGHz()
+	guaranteed := c.env.GuaranteedGHz()
+	switch {
+	case pw > c.cfg.PowerLimit && lsFreq < guaranteed:
+		c.env.LowerBEFreq()
+		c.emit(now, "power", "lower-be-freq", fmt.Sprintf("power=%.2f lcFreq=%.2f<%.2f", pw, lsFreq, guaranteed))
+	case pw <= c.cfg.PowerLimit && lsFreq >= guaranteed:
+		c.env.RaiseBEFreq()
+	}
+}
+
+// network is Algorithm 4: reserve the LC workload's current egress
+// bandwidth plus headroom, and give the rest to BE traffic via the HTB
+// ceiling.
+func (c *Controller) network(now time.Duration) {
+	if !c.env.BEEnabled() {
+		return
+	}
+	link := c.env.LinkGBs()
+	lcBW := c.env.LCTxGBs()
+	head := math.Max(c.cfg.NetLinkHeadroom*link, c.cfg.NetLCHeadroom*lcBW)
+	beBW := link - lcBW - head
+	if beBW < 0.001 {
+		beBW = 0.001
+	}
+	c.env.SetBETxCeil(beBW)
+}

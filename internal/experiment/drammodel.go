@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"sort"
+
+	"heracles/internal/core"
+)
+
+// DRAMTable is the offline model of LC DRAM bandwidth demand as a function
+// of load, core count and LLC ways (§4.2). It is produced by profiling the
+// LC workload alone and queried by the core & memory subcontroller as
+// LcBwModel(). Lookups use trilinear interpolation with clamping.
+type DRAMTable struct {
+	Loads []float64 // ascending
+	Cores []int     // ascending
+	Ways  []int     // ascending
+	// GBs[i][j][k] is the bandwidth at Loads[i], Cores[j], Ways[k].
+	GBs [][][]float64
+}
+
+var _ core.DRAMModel = (*DRAMTable)(nil)
+
+// LCDemandGBs implements core.DRAMModel.
+func (t *DRAMTable) LCDemandGBs(load float64, lcCores, lcWays int) float64 {
+	if len(t.Loads) == 0 || len(t.Cores) == 0 || len(t.Ways) == 0 {
+		return 0
+	}
+	i0, i1, fi := bracketF(t.Loads, load)
+	j0, j1, fj := bracketI(t.Cores, lcCores)
+	k0, k1, fk := bracketI(t.Ways, lcWays)
+
+	lerp := func(a, b, f float64) float64 { return a + (b-a)*f }
+	c00 := lerp(t.GBs[i0][j0][k0], t.GBs[i1][j0][k0], fi)
+	c01 := lerp(t.GBs[i0][j0][k1], t.GBs[i1][j0][k1], fi)
+	c10 := lerp(t.GBs[i0][j1][k0], t.GBs[i1][j1][k0], fi)
+	c11 := lerp(t.GBs[i0][j1][k1], t.GBs[i1][j1][k1], fi)
+	c0 := lerp(c00, c10, fj)
+	c1 := lerp(c01, c11, fj)
+	return lerp(c0, c1, fk)
+}
+
+func bracketF(xs []float64, x float64) (int, int, float64) {
+	n := len(xs)
+	if x <= xs[0] {
+		return 0, 0, 0
+	}
+	if x >= xs[n-1] {
+		return n - 1, n - 1, 0
+	}
+	i := sort.SearchFloat64s(xs, x)
+	lo := i - 1
+	f := (x - xs[lo]) / (xs[i] - xs[lo])
+	return lo, i, f
+}
+
+func bracketI(xs []int, x int) (int, int, float64) {
+	n := len(xs)
+	if x <= xs[0] {
+		return 0, 0, 0
+	}
+	if x >= xs[n-1] {
+		return n - 1, n - 1, 0
+	}
+	i := sort.SearchInts(xs, x)
+	if xs[i] == x {
+		return i, i, 0
+	}
+	lo := i - 1
+	f := float64(x-xs[lo]) / float64(xs[i]-xs[lo])
+	return lo, i, f
+}
+
+// DRAMModel profiles (or returns the cached) offline DRAM bandwidth model
+// for the named LC workload on the lab's hardware, sweeping a coarse grid
+// of load, cores and ways. This is the §4.2 offline step: it must be
+// regenerated only when the workload structure changes significantly, and
+// the paper shows Heracles tolerates a somewhat outdated model.
+func (l *Lab) DRAMModel(lcName string) *DRAMTable {
+	l.mu.Lock()
+	if l.dramModels == nil {
+		l.dramModels = make(map[string]*DRAMTable)
+	}
+	if t, ok := l.dramModels[lcName]; ok {
+		l.mu.Unlock()
+		return t
+	}
+	l.mu.Unlock()
+
+	wl := l.LC(lcName)
+	total := l.Cfg.TotalCores()
+	ways := l.Cfg.LLCWays
+
+	t := &DRAMTable{
+		Loads: []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95},
+		Cores: gridInts(2, total, 6),
+		Ways:  gridInts(2, ways, 5),
+	}
+	t.GBs = make([][][]float64, len(t.Loads))
+	for i, load := range t.Loads {
+		t.GBs[i] = make([][]float64, len(t.Cores))
+		for j, n := range t.Cores {
+			t.GBs[i][j] = make([]float64, len(t.Ways))
+			for k, w := range t.Ways {
+				m := l.newMachine(nil)
+				m.SetLC(wl)
+				m.PinLC(n)
+				if w < ways {
+					m.LC().Ways = w
+				}
+				m.SetLoad(load)
+				var bw float64
+				for s := 0; s < 5; s++ {
+					bw = m.Step().LCDRAMGBs
+				}
+				t.GBs[i][j][k] = bw
+			}
+		}
+	}
+
+	l.mu.Lock()
+	l.dramModels[lcName] = t
+	l.mu.Unlock()
+	return t
+}
+
+// gridInts returns n roughly evenly spaced ints from lo to hi inclusive.
+func gridInts(lo, hi, n int) []int {
+	if n < 2 || hi <= lo {
+		return []int{lo, hi}
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		v := lo + (hi-lo)*i/(n-1)
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+// Package experiment implements one runner per figure and table of the
+// paper's evaluation (§3.3 and §5): the interference characterisation
+// grid (Figure 1), the cores×LLC performance surface (Figure 3), the
+// Heracles colocation sweeps (Figures 4-7), the offline DRAM bandwidth
+// model profiler (§4.2), and shared infrastructure — workload calibration
+// caching and table rendering.
+package experiment
+
+import (
+	"sync"
+	"time"
+
+	"heracles/internal/hw"
+	"heracles/internal/lat"
+	"heracles/internal/machine"
+	"heracles/internal/workload"
+)
+
+// Lab caches calibrated workloads for a hardware configuration so that the
+// many experiment runners share one calibration pass.
+type Lab struct {
+	Cfg hw.Config
+
+	mu         sync.Mutex
+	lcs        map[string]*workload.LC
+	bes        map[string]*workload.BE
+	dramModels map[string]*DRAMTable
+}
+
+// NewLab returns a lab for the given hardware.
+func NewLab(cfg hw.Config) *Lab {
+	return &Lab{
+		Cfg: cfg,
+		lcs: make(map[string]*workload.LC),
+		bes: make(map[string]*workload.BE),
+	}
+}
+
+// DefaultLab returns a lab on the paper's reference hardware.
+func DefaultLab() *Lab { return NewLab(hw.DefaultConfig()) }
+
+// LC returns the calibrated latency-critical workload with the given name,
+// calibrating it on first use. It panics on unknown names (experiment
+// configuration is programmer error, not runtime input).
+func (l *Lab) LC(name string) *workload.LC {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if wl, ok := l.lcs[name]; ok {
+		return wl
+	}
+	spec, ok := workload.LCByName(name)
+	if !ok {
+		panic("experiment: unknown LC workload " + name)
+	}
+	wl := machine.CalibrateLC(l.Cfg, machine.SpecOf(spec))
+	l.lcs[name] = wl
+	return wl
+}
+
+// BE returns the calibrated best-effort workload with the given name,
+// calibrating it on first use.
+func (l *Lab) BE(name string) *workload.BE {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if wl, ok := l.bes[name]; ok {
+		return wl
+	}
+	spec, ok := workload.BEByName(name)
+	if !ok {
+		if name == "filler" {
+			spec = workload.Filler()
+		} else {
+			panic("experiment: unknown BE workload " + name)
+		}
+	}
+	wl := machine.CalibrateBE(l.Cfg, spec)
+	l.bes[name] = wl
+	return wl
+}
+
+// newMachine builds a machine with the lab's hardware and an optional
+// engine override.
+func (l *Lab) newMachine(engine lat.Engine) *machine.Machine {
+	if engine == nil {
+		return machine.New(l.Cfg)
+	}
+	return machine.New(l.Cfg, machine.WithEngine(engine))
+}
+
+// MinCoresForSLO returns the smallest number of cores on which the LC
+// workload meets its SLO at the given load, running alone with the full
+// LLC — the §3.2 characterisation setup ("pinning the LC workload to
+// enough cores to satisfy its SLO at the specific load").
+func (l *Lab) MinCoresForSLO(lcName string, load float64) int {
+	wl := l.LC(lcName)
+	total := l.Cfg.TotalCores()
+	// Pin with a modest margin (90% of the SLO): operators leave headroom
+	// when sizing, and the paper's Figure 1 cells hover around 100%. The
+	// remaining cores run a neutral compute filler during the probe so
+	// that sizing happens at realistic (non-turbo) frequencies — the
+	// antagonist occupying those cores will consume the turbo headroom.
+	target := wl.SLO.Seconds() * 0.90
+	filler := l.BE("filler")
+	meets := func(n int) bool {
+		m := l.newMachine(nil)
+		m.SetLC(wl)
+		m.AddBE(filler, workload.PlaceDedicated)
+		m.SetLoad(load)
+		m.PinLC(n)
+		var t machine.Telemetry
+		for i := 0; i < 6; i++ {
+			t = m.Step()
+		}
+		return t.TailLatency.Seconds() <= target
+	}
+	lo, hi := 1, total
+	if !meets(hi) {
+		return hi
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if meets(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// measureTail runs the machine for warmup+measure epochs and returns the
+// mean tail latency over the measurement phase as a fraction of the SLO.
+func measureTail(m *machine.Machine, slo time.Duration, warmup, measure int) float64 {
+	for i := 0; i < warmup; i++ {
+		m.Step()
+	}
+	var sum float64
+	for i := 0; i < measure; i++ {
+		t := m.Step()
+		sum += t.TailLatency.Seconds()
+	}
+	return sum / float64(measure) / slo.Seconds()
+}

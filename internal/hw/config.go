@@ -1,0 +1,157 @@
+// Package hw describes the modelled server hardware and implements its
+// frequency/power behaviour: the turbo-bin table, the per-core dynamic
+// power model, and the chip-level frequency resolution under a TDP budget
+// with per-core DVFS caps.
+//
+// The default configuration mirrors the machines in the paper's evaluation
+// (§3.2): dual-socket Haswell-class Xeons with a high core count, a nominal
+// frequency of 2.3 GHz, 2.5 MB of LLC per core, way-partitionable LLC
+// (Cache Allocation Technology), RAPL power monitoring and per-core DVFS.
+package hw
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes one server.
+type Config struct {
+	// Topology.
+	Sockets        int // number of CPU sockets
+	CoresPerSocket int // physical cores per socket
+	ThreadsPerCore int // hyperthreads per physical core
+
+	// Frequency domain (GHz).
+	NominalGHz  float64 // guaranteed base frequency
+	MinGHz      float64 // lowest DVFS operating point
+	MaxTurboGHz float64 // single-core max turbo
+	TurboBinGHz float64 // turbo reduction per additional active core
+
+	// Last-level cache, per socket.
+	LLCMB   float64 // capacity in MB
+	LLCWays int     // way count (CAT partitioning granularity)
+
+	// Memory system, per socket.
+	DRAMGBs float64 // peak streaming DRAM bandwidth (GB/s)
+
+	// Power, per socket.
+	TDPWatts     float64 // thermal design power
+	IdleWatts    float64 // uncore + package idle power
+	CoreDynWatts float64 // dynamic power of one core at nominal GHz, activity 1.0
+	FreqExponent float64 // P ~ f^FreqExponent (captures V scaling with f)
+
+	// Network.
+	LinkGbps float64 // full-duplex NIC line rate
+}
+
+// DefaultConfig returns the dual-socket Haswell-class server modelled on the
+// paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		Sockets:        2,
+		CoresPerSocket: 18,
+		ThreadsPerCore: 2,
+		NominalGHz:     2.3,
+		MinGHz:         1.2,
+		MaxTurboGHz:    3.6,
+		TurboBinGHz:    0.05,
+		LLCMB:          45, // 2.5 MB per core * 18 cores
+		LLCWays:        20,
+		DRAMGBs:        60,
+		TDPWatts:       145,
+		IdleWatts:      40,
+		CoreDynWatts:   5.2,
+		FreqExponent:   2.5,
+		LinkGbps:       10,
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Sockets <= 0:
+		return errors.New("hw: Sockets must be positive")
+	case c.CoresPerSocket <= 0:
+		return errors.New("hw: CoresPerSocket must be positive")
+	case c.ThreadsPerCore <= 0:
+		return errors.New("hw: ThreadsPerCore must be positive")
+	case c.MinGHz <= 0 || c.NominalGHz < c.MinGHz || c.MaxTurboGHz < c.NominalGHz:
+		return fmt.Errorf("hw: need 0 < MinGHz <= NominalGHz <= MaxTurboGHz, got %g/%g/%g",
+			c.MinGHz, c.NominalGHz, c.MaxTurboGHz)
+	case c.TurboBinGHz < 0:
+		return errors.New("hw: TurboBinGHz must be non-negative")
+	case c.LLCMB <= 0:
+		return errors.New("hw: LLCMB must be positive")
+	case c.LLCWays <= 0:
+		return errors.New("hw: LLCWays must be positive")
+	case c.DRAMGBs <= 0:
+		return errors.New("hw: DRAMGBs must be positive")
+	case c.TDPWatts <= c.IdleWatts:
+		return errors.New("hw: TDPWatts must exceed IdleWatts")
+	case c.CoreDynWatts <= 0:
+		return errors.New("hw: CoreDynWatts must be positive")
+	case c.FreqExponent < 1:
+		return errors.New("hw: FreqExponent must be at least 1")
+	case c.LinkGbps <= 0:
+		return errors.New("hw: LinkGbps must be positive")
+	}
+	return nil
+}
+
+// TotalCores returns the number of physical cores in the server.
+func (c Config) TotalCores() int { return c.Sockets * c.CoresPerSocket }
+
+// TotalThreads returns the number of logical CPUs in the server.
+func (c Config) TotalThreads() int { return c.TotalCores() * c.ThreadsPerCore }
+
+// TotalDRAMGBs returns the aggregate peak DRAM bandwidth across sockets.
+func (c Config) TotalDRAMGBs() float64 { return float64(c.Sockets) * c.DRAMGBs }
+
+// TotalTDPWatts returns the aggregate TDP across sockets.
+func (c Config) TotalTDPWatts() float64 { return float64(c.Sockets) * c.TDPWatts }
+
+// LinkGBs returns the NIC line rate in gigabytes per second.
+func (c Config) LinkGBs() float64 { return c.LinkGbps / 8 }
+
+// WayMB returns the capacity of a single LLC way in MB.
+func (c Config) WayMB() float64 { return c.LLCMB / float64(c.LLCWays) }
+
+// CPUID identifies a logical CPU. Logical CPUs are numbered the Linux way:
+// CPU id = core + socket*CoresPerSocket + thread*TotalCores, so the first
+// TotalCores ids are thread 0 of every core and the sibling hyperthread of
+// CPU i is i + TotalCores.
+type CPUID int
+
+// Socket returns the socket that hosts logical CPU id.
+func (c Config) Socket(id CPUID) int {
+	return (int(id) % c.TotalCores()) / c.CoresPerSocket
+}
+
+// Core returns the physical core index (machine-wide) of logical CPU id.
+func (c Config) Core(id CPUID) int { return int(id) % c.TotalCores() }
+
+// Thread returns the hyperthread index of logical CPU id within its core.
+func (c Config) Thread(id CPUID) int { return int(id) / c.TotalCores() }
+
+// Sibling returns the other hyperthread on the same physical core, assuming
+// two threads per core. With one thread per core it returns id itself.
+func (c Config) Sibling(id CPUID) CPUID {
+	if c.ThreadsPerCore < 2 {
+		return id
+	}
+	tc := c.TotalCores()
+	if int(id) < tc {
+		return id + CPUID(tc)
+	}
+	return id - CPUID(tc)
+}
+
+// ThreadsOfCore returns the logical CPU ids belonging to physical core
+// (machine-wide index).
+func (c Config) ThreadsOfCore(core int) []CPUID {
+	ids := make([]CPUID, c.ThreadsPerCore)
+	for t := 0; t < c.ThreadsPerCore; t++ {
+		ids[t] = CPUID(core + t*c.TotalCores())
+	}
+	return ids
+}

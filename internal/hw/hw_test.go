@@ -1,0 +1,242 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Sockets = 0 },
+		func(c *Config) { c.CoresPerSocket = -1 },
+		func(c *Config) { c.ThreadsPerCore = 0 },
+		func(c *Config) { c.MinGHz = 0 },
+		func(c *Config) { c.MaxTurboGHz = c.NominalGHz - 1 },
+		func(c *Config) { c.TurboBinGHz = -0.1 },
+		func(c *Config) { c.LLCMB = 0 },
+		func(c *Config) { c.LLCWays = 0 },
+		func(c *Config) { c.DRAMGBs = 0 },
+		func(c *Config) { c.TDPWatts = c.IdleWatts },
+		func(c *Config) { c.CoreDynWatts = 0 },
+		func(c *Config) { c.FreqExponent = 0.5 },
+		func(c *Config) { c.LinkGbps = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if cfg.Validate() == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	c := DefaultConfig()
+	if c.TotalCores() != 36 {
+		t.Fatalf("cores = %d", c.TotalCores())
+	}
+	if c.TotalThreads() != 72 {
+		t.Fatalf("threads = %d", c.TotalThreads())
+	}
+	if c.TotalDRAMGBs() != 120 {
+		t.Fatalf("dram = %v", c.TotalDRAMGBs())
+	}
+	if c.TotalTDPWatts() != 290 {
+		t.Fatalf("tdp = %v", c.TotalTDPWatts())
+	}
+	if c.LinkGBs() != 1.25 {
+		t.Fatalf("link = %v", c.LinkGBs())
+	}
+	if math.Abs(c.WayMB()-2.25) > 1e-12 {
+		t.Fatalf("wayMB = %v", c.WayMB())
+	}
+}
+
+func TestTopologyMapping(t *testing.T) {
+	c := DefaultConfig()
+	// CPU 0: socket 0, core 0, thread 0. Its sibling is CPU 36.
+	if c.Socket(0) != 0 || c.Core(0) != 0 || c.Thread(0) != 0 {
+		t.Fatal("cpu 0 mapping wrong")
+	}
+	if c.Sibling(0) != 36 || c.Sibling(36) != 0 {
+		t.Fatalf("sibling(0)=%d sibling(36)=%d", c.Sibling(0), c.Sibling(36))
+	}
+	// CPU 20: socket 1, core 20, thread 0.
+	if c.Socket(20) != 1 || c.Thread(20) != 0 {
+		t.Fatalf("cpu 20: socket=%d thread=%d", c.Socket(20), c.Thread(20))
+	}
+	// CPU 40 = thread 1 of core 4.
+	if c.Core(40) != 4 || c.Thread(40) != 1 {
+		t.Fatalf("cpu 40: core=%d thread=%d", c.Core(40), c.Thread(40))
+	}
+	th := c.ThreadsOfCore(5)
+	if len(th) != 2 || th[0] != 5 || th[1] != 41 {
+		t.Fatalf("threads of core 5 = %v", th)
+	}
+}
+
+func TestSiblingSingleThread(t *testing.T) {
+	c := DefaultConfig()
+	c.ThreadsPerCore = 1
+	if c.Sibling(3) != 3 {
+		t.Fatal("single-thread sibling should be itself")
+	}
+}
+
+func TestTurboLimitTable(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.TurboLimitGHz(1); got != c.MaxTurboGHz {
+		t.Fatalf("single-core turbo = %v", got)
+	}
+	if got := c.TurboLimitGHz(2); math.Abs(got-(c.MaxTurboGHz-c.TurboBinGHz)) > 1e-12 {
+		t.Fatalf("2-core turbo = %v", got)
+	}
+	// Never below nominal.
+	if got := c.TurboLimitGHz(1000); got != c.NominalGHz {
+		t.Fatalf("all-core turbo floor = %v", got)
+	}
+}
+
+func TestCorePowerScalesWithFrequency(t *testing.T) {
+	c := DefaultConfig()
+	atNominal := c.CorePowerWatts(c.NominalGHz, 1)
+	if math.Abs(atNominal-c.CoreDynWatts) > 1e-12 {
+		t.Fatalf("power at nominal = %v, want %v", atNominal, c.CoreDynWatts)
+	}
+	higher := c.CorePowerWatts(c.NominalGHz*1.2, 1)
+	want := c.CoreDynWatts * math.Pow(1.2, c.FreqExponent)
+	if math.Abs(higher-want) > 1e-9 {
+		t.Fatalf("power at 1.2x = %v, want %v", higher, want)
+	}
+	if c.CorePowerWatts(0, 1) != 0 || c.CorePowerWatts(1, 0) != 0 {
+		t.Fatal("idle power should be zero")
+	}
+}
+
+func TestResolveFrequenciesIdleSocket(t *testing.T) {
+	c := DefaultConfig()
+	res := c.ResolveFrequencies(make([]CoreLoad, c.CoresPerSocket))
+	if res.PowerWatts != c.IdleWatts {
+		t.Fatalf("idle power = %v", res.PowerWatts)
+	}
+	for _, f := range res.FreqGHz {
+		if f != 0 {
+			t.Fatal("idle cores should report zero frequency")
+		}
+	}
+}
+
+func TestResolveFrequenciesSingleCoreTurbo(t *testing.T) {
+	c := DefaultConfig()
+	loads := make([]CoreLoad, c.CoresPerSocket)
+	loads[0].Activity = 1
+	res := c.ResolveFrequencies(loads)
+	if res.FreqGHz[0] < c.MaxTurboGHz-0.11 {
+		t.Fatalf("single active core at %v, want near max turbo %v", res.FreqGHz[0], c.MaxTurboGHz)
+	}
+}
+
+func TestResolveFrequenciesRespectsTDP(t *testing.T) {
+	c := DefaultConfig()
+	loads := make([]CoreLoad, c.CoresPerSocket)
+	for i := range loads {
+		loads[i].Activity = 1.35 // power virus everywhere
+	}
+	res := c.ResolveFrequencies(loads)
+	if res.PowerWatts > c.TDPWatts*1.001 {
+		t.Fatalf("power %v exceeds TDP %v", res.PowerWatts, c.TDPWatts)
+	}
+	if res.FreeGHz >= c.NominalGHz {
+		t.Fatalf("power virus should force below nominal, got %v", res.FreeGHz)
+	}
+}
+
+func TestResolveFrequenciesHonorsCaps(t *testing.T) {
+	c := DefaultConfig()
+	loads := make([]CoreLoad, c.CoresPerSocket)
+	for i := range loads {
+		loads[i].Activity = 1
+	}
+	loads[3].CapGHz = 1.5
+	res := c.ResolveFrequencies(loads)
+	if res.FreqGHz[3] > 1.5+1e-9 {
+		t.Fatalf("cap ignored: %v", res.FreqGHz[3])
+	}
+	// Capping one core frees budget: the others should run at least as
+	// fast as the capped one.
+	if res.FreqGHz[0] < res.FreqGHz[3] {
+		t.Fatalf("uncapped %v < capped %v", res.FreqGHz[0], res.FreqGHz[3])
+	}
+}
+
+func TestCappingBECoresShiftsPowerBudget(t *testing.T) {
+	c := DefaultConfig()
+	uncapped := make([]CoreLoad, c.CoresPerSocket)
+	capped := make([]CoreLoad, c.CoresPerSocket)
+	for i := range uncapped {
+		uncapped[i].Activity = 1.35
+		capped[i].Activity = 1.35
+		if i >= 2 { // 16 "BE" cores capped low
+			capped[i].CapGHz = 1.4
+		}
+	}
+	fUncapped := c.ResolveFrequencies(uncapped).FreqGHz[0]
+	fCapped := c.ResolveFrequencies(capped).FreqGHz[0]
+	if fCapped <= fUncapped {
+		t.Fatalf("capping BE cores should raise LC frequency: %v -> %v", fUncapped, fCapped)
+	}
+}
+
+func TestResolveFrequenciesQuantised(t *testing.T) {
+	c := DefaultConfig()
+	loads := make([]CoreLoad, c.CoresPerSocket)
+	for i := range loads {
+		loads[i].Activity = 1
+	}
+	res := c.ResolveFrequencies(loads)
+	steps := res.FreeGHz * 10
+	if math.Abs(steps-math.Round(steps)) > 1e-9 {
+		t.Fatalf("frequency %v not on a 100MHz step", res.FreeGHz)
+	}
+}
+
+func TestResolveFrequenciesPowerNeverExceedsTDPProperty(t *testing.T) {
+	c := DefaultConfig()
+	if err := quick.Check(func(acts []uint8) bool {
+		loads := make([]CoreLoad, c.CoresPerSocket)
+		for i := range loads {
+			if i < len(acts) {
+				loads[i].Activity = float64(acts[i]%150) / 100
+			}
+		}
+		res := c.ResolveFrequencies(loads)
+		// Allow the floor case: at MinGHz the chip may exceed TDP by
+		// design (thermal throttling is outside the model).
+		if res.FreeGHz > c.MinGHz {
+			return res.PowerWatts <= c.TDPWatts*1.001
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTurboUsesEffectiveActiveCores(t *testing.T) {
+	c := DefaultConfig()
+	// 18 barely-active cores should still turbo near the few-core bins.
+	light := make([]CoreLoad, c.CoresPerSocket)
+	for i := range light {
+		light[i].Activity = 0.05
+	}
+	res := c.ResolveFrequencies(light)
+	if res.FreeGHz < 3.4 {
+		t.Fatalf("lightly loaded socket at %v, want near single-core turbo", res.FreeGHz)
+	}
+}

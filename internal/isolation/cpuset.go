@@ -1,0 +1,153 @@
+// Package isolation defines the typed isolation settings Heracles
+// programs — CPU sets, CAT way masks, DVFS frequency caps, and HTB rates —
+// together with parsers and formatters for the exact kernel interfaces
+// (cgroup cpuset lists, resctrl schemata hex masks, cpufreq kHz values,
+// tc rate strings).
+package isolation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CPUSet is a set of logical CPU ids.
+type CPUSet map[int]struct{}
+
+// NewCPUSet returns a set holding the given CPUs.
+func NewCPUSet(cpus ...int) CPUSet {
+	s := make(CPUSet, len(cpus))
+	for _, c := range cpus {
+		s[c] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts a CPU into the set.
+func (s CPUSet) Add(cpu int) { s[cpu] = struct{}{} }
+
+// Remove deletes a CPU from the set.
+func (s CPUSet) Remove(cpu int) { delete(s, cpu) }
+
+// Contains reports membership.
+func (s CPUSet) Contains(cpu int) bool {
+	_, ok := s[cpu]
+	return ok
+}
+
+// Len returns the set size.
+func (s CPUSet) Len() int { return len(s) }
+
+// Sorted returns the CPU ids in ascending order.
+func (s CPUSet) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Equal reports whether two sets hold the same CPUs.
+func (s CPUSet) Equal(o CPUSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for c := range s {
+		if !o.Contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the sets share any CPU.
+func (s CPUSet) Intersects(o CPUSet) bool {
+	small, big := s, o
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for c := range small {
+		if big.Contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// String formats the set as a kernel cpulist ("0-3,8,10-11"), the format
+// cgroup v1 cpuset.cpus and v2 cpuset.cpus files use. An empty set formats
+// as the empty string.
+func (s CPUSet) String() string {
+	ids := s.Sorted()
+	if len(ids) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	i := 0
+	for i < len(ids) {
+		j := i
+		for j+1 < len(ids) && ids[j+1] == ids[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if i == j {
+			fmt.Fprintf(&b, "%d", ids[i])
+		} else {
+			fmt.Fprintf(&b, "%d-%d", ids[i], ids[j])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// ParseCPUSet parses a kernel cpulist. The empty string parses to an empty
+// set.
+func ParseCPUSet(list string) (CPUSet, error) {
+	s := NewCPUSet()
+	list = strings.TrimSpace(list)
+	if list == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("isolation: empty range in cpulist %q", list)
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, fmt.Errorf("isolation: bad cpulist range start %q: %v", lo, err)
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil {
+				return nil, fmt.Errorf("isolation: bad cpulist range end %q: %v", hi, err)
+			}
+			if a < 0 || b < a {
+				return nil, fmt.Errorf("isolation: invalid cpulist range %q", part)
+			}
+			for c := a; c <= b; c++ {
+				s.Add(c)
+			}
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("isolation: bad cpu id %q", part)
+		}
+		s.Add(c)
+	}
+	return s, nil
+}
+
+// RangeCPUSet returns the set {lo..hi} inclusive.
+func RangeCPUSet(lo, hi int) CPUSet {
+	s := NewCPUSet()
+	for c := lo; c <= hi; c++ {
+		s.Add(c)
+	}
+	return s
+}

@@ -1,0 +1,353 @@
+// Package machine assembles the modelled server: hardware (cores,
+// hyperthreads, way-partitioned LLC, DRAM controllers, power/turbo, NIC),
+// one latency-critical task, and any number of best-effort tasks. Each
+// call to Step resolves one control epoch — frequencies under the power
+// budget, cache occupancy, DRAM bandwidth shares, network shares, the LC
+// workload's inflated service parameters and resulting tail latency, and
+// every telemetry counter the Heracles controller reads.
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"heracles/internal/hw"
+	"heracles/internal/lat"
+	"heracles/internal/sim"
+	"heracles/internal/workload"
+)
+
+// LCTask is the latency-critical task hosted on the machine.
+type LCTask struct {
+	WL   *workload.LC
+	Load float64 // offered load as a fraction of calibrated peak QPS
+
+	Cores []int // physical core ids owned by the task
+	Ways  int   // LLC ways owned (top ways of each socket); 0 = share all
+
+	// OSShared marks the §3.3 OS-isolation-only experiment where the LC
+	// task floats across every core under CFS instead of being pinned.
+	OSShared bool
+}
+
+// BETask is one best-effort task or antagonist on the machine.
+type BETask struct {
+	WL        *workload.BE
+	Placement workload.PlacementKind
+	Enabled   bool
+
+	Cores      []int   // physical core ids (dedicated placement only)
+	Ways       int     // LLC ways (bottom ways of each socket); 0 = share all
+	FreqCapGHz float64 // per-core DVFS cap; 0 = uncapped
+
+	// LastRate is the work rate of the previous epoch; LastNorm is the
+	// same normalised to the calibrated alone-rate (EMU contribution).
+	// LastHit is the cache hit ratio observed in the previous epoch.
+	LastRate float64
+	LastNorm float64
+	LastHit  float64
+}
+
+// Machine is the simulated server.
+type Machine struct {
+	cfg    hw.Config
+	engine lat.Engine
+	clock  *sim.Clock
+	epoch  time.Duration
+
+	lc  *LCTask
+	bes []*BETask
+
+	beNetCeilGBs float64 // HTB ceiling over all BE traffic; 0 = uncapped
+	sloScale     float64 // controller-visible SLO scale; 0 or 1 = unscaled
+
+	lastService float64 // previous epoch mean LC service time (seconds)
+	tel         Telemetry
+	recent      []Telemetry // ring of recent epochs for controller polling
+	recentMax   int
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithEngine selects the latency engine (default: lat.Analytic).
+func WithEngine(e lat.Engine) Option { return func(m *Machine) { m.engine = e } }
+
+// WithEpoch sets the resolution epoch (default: 1s).
+func WithEpoch(d time.Duration) Option { return func(m *Machine) { m.epoch = d } }
+
+// New returns a machine with the given hardware config.
+func New(cfg hw.Config, opts ...Option) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("machine: invalid config: %v", err))
+	}
+	m := &Machine{
+		cfg:       cfg,
+		engine:    lat.Analytic{},
+		clock:     sim.NewClock(0),
+		epoch:     time.Second,
+		recentMax: 600,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Config returns the hardware configuration.
+func (m *Machine) Config() hw.Config { return m.cfg }
+
+// Clock returns the machine's simulated clock.
+func (m *Machine) Clock() *sim.Clock { return m.clock }
+
+// Epoch returns the resolution epoch.
+func (m *Machine) Epoch() time.Duration { return m.epoch }
+
+// SetLC installs the latency-critical task with all cores and ways.
+func (m *Machine) SetLC(wl *workload.LC) *LCTask {
+	m.lc = &LCTask{WL: wl, Cores: coreRange(0, m.cfg.TotalCores())}
+	m.lastService = wl.Spec.BaseService().Seconds()
+	return m.lc
+}
+
+// LC returns the installed LC task, or nil.
+func (m *Machine) LC() *LCTask { return m.lc }
+
+// AddBE installs a best-effort task with no cores; callers place it with
+// Partition, PinLC or by setting Cores directly.
+func (m *Machine) AddBE(wl *workload.BE, placement workload.PlacementKind) *BETask {
+	be := &BETask{WL: wl, Placement: placement, Enabled: true}
+	m.bes = append(m.bes, be)
+	return be
+}
+
+// BEs returns the installed BE tasks.
+func (m *Machine) BEs() []*BETask { return m.bes }
+
+// RemoveBEs detaches all BE tasks and restores all cores and ways to LC.
+func (m *Machine) RemoveBEs() {
+	m.bes = nil
+	if m.lc != nil {
+		m.lc.Cores = coreRange(0, m.cfg.TotalCores())
+		m.lc.Ways = 0
+	}
+	m.beNetCeilGBs = 0
+}
+
+// SetLoad sets the LC offered load as a fraction of peak QPS.
+func (m *Machine) SetLoad(load float64) {
+	if m.lc == nil {
+		return
+	}
+	if load < 0 {
+		load = 0
+	}
+	m.lc.Load = load
+}
+
+// Partition splits cores Heracles-style: dedicated BE tasks receive nBE
+// cores taken from the top of each socket alternately (so BE memory
+// traffic spreads across both memory controllers, as happens with
+// abundant single-socket BE tasks), and the LC task owns the rest. The LC
+// workload spans sockets for cores and memory (§4.3).
+func (m *Machine) Partition(nBE int) {
+	tc := m.cfg.TotalCores()
+	cps := m.cfg.CoresPerSocket
+	if nBE < 0 {
+		nBE = 0
+	}
+	if nBE > tc-1 {
+		nBE = tc - 1
+	}
+	// Pick BE cores from the top of each socket, round-robin over sockets.
+	beCores := make([]int, 0, nBE)
+	taken := make([]int, m.cfg.Sockets)
+	for len(beCores) < nBE {
+		for s := 0; s < m.cfg.Sockets && len(beCores) < nBE; s++ {
+			if taken[s] >= cps {
+				continue
+			}
+			taken[s]++
+			beCores = append(beCores, s*cps+cps-taken[s])
+		}
+	}
+	isBE := make([]bool, tc)
+	for _, c := range beCores {
+		isBE[c] = true
+	}
+	if m.lc != nil {
+		m.lc.Cores = m.lc.Cores[:0]
+		for c := 0; c < tc; c++ {
+			if !isBE[c] {
+				m.lc.Cores = append(m.lc.Cores, c)
+			}
+		}
+	}
+	dedicated := make([]*BETask, 0, len(m.bes))
+	for _, be := range m.bes {
+		if be.Placement == workload.PlaceDedicated {
+			dedicated = append(dedicated, be)
+		}
+	}
+	if len(dedicated) == 0 {
+		return
+	}
+	for i, be := range dedicated {
+		be.Cores = be.Cores[:0]
+		for j := i; j < len(beCores); j += len(dedicated) {
+			be.Cores = append(be.Cores, beCores[j])
+		}
+	}
+}
+
+// PinLC pins the LC task to exactly n cores (the characterisation setup of
+// §3.2: "pinning the LC workload to enough cores to satisfy its SLO at the
+// specific load"). Dedicated BE tasks receive all remaining cores. Both
+// allocations interleave sockets, matching the paper's use of numactl to
+// ensure the antagonist and the LC task share sockets and "all memory
+// channels are stressed".
+func (m *Machine) PinLC(n int) {
+	tc := m.cfg.TotalCores()
+	cps := m.cfg.CoresPerSocket
+	if n < 1 {
+		n = 1
+	}
+	if n > tc {
+		n = tc
+	}
+	lcCores := make([]int, 0, n)
+	taken := make([]int, m.cfg.Sockets)
+	for len(lcCores) < n {
+		for s := 0; s < m.cfg.Sockets && len(lcCores) < n; s++ {
+			if taken[s] >= cps {
+				continue
+			}
+			lcCores = append(lcCores, s*cps+taken[s])
+			taken[s]++
+		}
+	}
+	isLC := make([]bool, tc)
+	for _, c := range lcCores {
+		isLC[c] = true
+	}
+	rest := make([]int, 0, tc-n)
+	for c := 0; c < tc; c++ {
+		if !isLC[c] {
+			rest = append(rest, c)
+		}
+	}
+	if m.lc != nil {
+		m.lc.Cores = lcCores
+	}
+	for _, be := range m.bes {
+		if be.Placement == workload.PlaceDedicated {
+			be.Cores = rest
+		}
+	}
+}
+
+// PartitionWays gives the BE tasks the bottom beWays LLC ways and the LC
+// task the rest, on every socket (how Heracles programs CAT: one partition
+// for the LC workload, a second for all BE tasks, §4.1).
+func (m *Machine) PartitionWays(beWays int) {
+	w := m.cfg.LLCWays
+	if beWays < 0 {
+		beWays = 0
+	}
+	if beWays > w-1 {
+		beWays = w - 1
+	}
+	if m.lc != nil {
+		if beWays == 0 {
+			m.lc.Ways = 0
+		} else {
+			m.lc.Ways = w - beWays
+		}
+	}
+	for _, be := range m.bes {
+		be.Ways = beWays
+	}
+}
+
+// SetBENetCeil sets the HTB ceiling for aggregate BE egress traffic.
+func (m *Machine) SetBENetCeil(gbs float64) {
+	if gbs < 0 {
+		gbs = 0
+	}
+	m.beNetCeilGBs = gbs
+}
+
+// BENetCeil returns the current aggregate BE egress ceiling (0 = uncapped).
+func (m *Machine) BENetCeil() float64 { return m.beNetCeilGBs }
+
+// SetBEFreqCap applies a DVFS cap to all BE cores.
+func (m *Machine) SetBEFreqCap(ghz float64) {
+	for _, be := range m.bes {
+		be.FreqCapGHz = ghz
+	}
+}
+
+// BEFreqCap returns the DVFS cap of the first BE task (they share caps
+// when set through SetBEFreqCap), or 0 if none is installed.
+func (m *Machine) BEFreqCap() float64 {
+	for _, be := range m.bes {
+		return be.FreqCapGHz
+	}
+	return 0
+}
+
+// EnableBE / DisableBE toggle execution of all BE tasks.
+func (m *Machine) EnableBE() {
+	for _, be := range m.bes {
+		be.Enabled = true
+	}
+}
+
+// DisableBE suspends all BE tasks.
+func (m *Machine) DisableBE() {
+	for _, be := range m.bes {
+		be.Enabled = false
+		be.LastRate, be.LastNorm = 0, 0
+	}
+}
+
+// BEEnabled reports whether any BE task is currently enabled.
+func (m *Machine) BEEnabled() bool {
+	for _, be := range m.bes {
+		if be.Enabled {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats clears telemetry history and queue state between experiment
+// points.
+func (m *Machine) ResetStats() {
+	m.recent = m.recent[:0]
+	m.engine.Reset()
+	if m.lc != nil {
+		m.lastService = m.lc.WL.Spec.BaseService().Seconds()
+	}
+}
+
+func coreRange(lo, hi int) []int {
+	if hi <= lo {
+		return nil
+	}
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func coresOnSocket(cfg hw.Config, cores []int, socket int) int {
+	n := 0
+	for _, c := range cores {
+		if c/cfg.CoresPerSocket == socket {
+			n++
+		}
+	}
+	return n
+}

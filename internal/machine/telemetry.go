@@ -1,0 +1,273 @@
+package machine
+
+import (
+	"math"
+	"time"
+
+	"heracles/internal/lat"
+	"heracles/internal/workload"
+)
+
+// Telemetry is the full set of counters produced by one resolved epoch.
+// It contains everything the Heracles controller monitors (tail latency,
+// load, DRAM bandwidth, RAPL-style power, core frequencies, link
+// bandwidth) plus the accounting the experiments report (EMU, utilisation
+// percentages).
+type Telemetry struct {
+	Time time.Duration // simulated time at the end of the epoch
+
+	// Latency-critical workload.
+	Lat         lat.EpochStats
+	TailLatency time.Duration // at the workload's SLO quantile
+	LCLoad      float64       // offered load fraction
+	LCServed    float64       // served QPS / peak QPS
+	LCCores     int
+	LCWays      int
+	LCFreqGHz   float64 // minimum frequency across LC cores
+	LCDRAMGBs   float64
+	LCTxGBs     float64
+
+	// Best-effort tasks (aggregate).
+	BEEnabled  bool
+	BECores    int
+	BEWays     int
+	BEFreqCap  float64
+	BEDRAMGBs  float64
+	BETxGBs    float64
+	BERateNorm float64 // sum of per-task normalised rates
+	BEFreqGHz  float64 // mean achieved frequency across BE cores
+
+	// Shared resources.
+	SocketPowerW   []float64
+	PowerFracTDP   float64 // total power / total TDP
+	MaxSocketPower float64 // max over sockets of power/TDP
+	CPUUtil        float64 // busy cores / total cores
+	DRAMTotalGBs   float64 // achieved, all sockets
+	DRAMDemandGBs  float64
+	DRAMUtil       float64   // achieved / peak, all sockets
+	DRAMSocketUtil []float64 // achieved / peak per socket (controller registers)
+	PerCoreDRAMGBs []float64
+	LinkUtil       float64 // egress
+
+	// Effective machine utilisation (§5.1): LC throughput + BE throughput,
+	// both normalised to running alone.
+	EMU float64
+}
+
+// Last returns the telemetry of the most recent epoch.
+func (m *Machine) Last() Telemetry { return m.tel }
+
+// Recent returns up to n most recent epoch telemetries, oldest first.
+func (m *Machine) Recent(n int) []Telemetry {
+	if n > len(m.recent) {
+		n = len(m.recent)
+	}
+	return m.recent[len(m.recent)-n:]
+}
+
+// TailLatency returns the LC tail latency averaged over the epochs within
+// the trailing window — the controller's 15-second poll (paper §4.3,
+// "polls the tail latency and load of the LC workload every 15 seconds...
+// sufficient queries to calculate statistically meaningful tail
+// latencies"). The boolean is false if no epoch has completed yet.
+func (m *Machine) TailLatency(window time.Duration) (time.Duration, bool) {
+	if len(m.recent) == 0 {
+		return 0, false
+	}
+	cutoff := m.clock.Now() - window
+	var sum float64
+	var n int
+	for i := len(m.recent) - 1; i >= 0; i-- {
+		t := m.recent[i]
+		if t.Time <= cutoff {
+			break
+		}
+		sum += t.TailLatency.Seconds()
+		n++
+	}
+	if n == 0 {
+		t := m.recent[len(m.recent)-1]
+		return t.TailLatency, true
+	}
+	return time.Duration(sum / float64(n) * float64(time.Second)), true
+}
+
+// Load returns the LC offered load fraction (the controller's load poll).
+func (m *Machine) Load() float64 {
+	if m.lc == nil {
+		return 0
+	}
+	return m.lc.Load
+}
+
+// SLO returns the LC workload's latency target as seen by the controller,
+// scaled by any SLO scale installed with SetSLOScale.
+func (m *Machine) SLO() time.Duration {
+	if m.lc == nil {
+		return 0
+	}
+	if m.sloScale > 0 {
+		return time.Duration(float64(m.lc.WL.SLO) * m.sloScale)
+	}
+	return m.lc.WL.SLO
+}
+
+// SetSLOScale tightens (scale < 1) or relaxes the latency target the
+// controller defends, without changing experiment accounting. The cluster
+// experiment of §5.3 uses this: each leaf runs "a uniform 99%-ile latency
+// target set such that the latency at the root satisfies the SLO".
+func (m *Machine) SetSLOScale(scale float64) { m.sloScale = scale }
+
+// GuaranteedGHz returns the LC workload's guaranteed frequency, measured
+// at calibration time when it runs alone at full load (§4.3).
+func (m *Machine) GuaranteedGHz() float64 {
+	if m.lc == nil {
+		return 0
+	}
+	return m.lc.WL.GuaranteedGHz
+}
+
+// --- Controller-facing monitors and actuators -------------------------
+
+// BECoreCount returns the number of cores currently granted to dedicated
+// BE tasks.
+func (m *Machine) BECoreCount() int {
+	set := map[int]bool{}
+	for _, be := range m.bes {
+		if be.Placement != workload.PlaceDedicated {
+			continue
+		}
+		for _, c := range be.Cores {
+			set[c] = true
+		}
+	}
+	return len(set)
+}
+
+// SetBECores grows or shrinks the dedicated BE core allocation to n,
+// reassigning the remaining cores to the LC task (Heracles reassigns cores
+// between the LC and BE jobs one at a time, §4.3).
+func (m *Machine) SetBECores(n int) { m.Partition(n) }
+
+// MaxBECores is the largest BE core allocation the machine permits; the
+// LC task always keeps at least one core.
+func (m *Machine) MaxBECores() int { return m.cfg.TotalCores() - 1 }
+
+// BEWayCount returns the LLC ways currently granted to BE tasks.
+func (m *Machine) BEWayCount() int {
+	for _, be := range m.bes {
+		return be.Ways
+	}
+	return 0
+}
+
+// SetBEWays resizes the BE cache partition (CAT reprogramming, §4.1).
+func (m *Machine) SetBEWays(n int) { m.PartitionWays(n) }
+
+// TotalWays returns the number of LLC ways per socket.
+func (m *Machine) TotalWays() int { return m.cfg.LLCWays }
+
+// DRAMPeakGBs returns the machine's peak streaming DRAM bandwidth.
+func (m *Machine) DRAMPeakGBs() float64 { return m.cfg.TotalDRAMGBs() }
+
+// DRAMTotalGBs returns the last epoch's achieved DRAM bandwidth (the
+// "registers that track bandwidth usage" of §4.3).
+func (m *Machine) DRAMTotalGBs() float64 { return m.tel.DRAMTotalGBs }
+
+// DRAMMaxSocketFrac returns the utilisation of the busiest memory
+// controller (achieved/peak of the hottest socket). The paper's
+// controller reads per-controller bandwidth registers; a single saturated
+// socket hurts any task with memory there even when machine-total
+// bandwidth looks moderate.
+func (m *Machine) DRAMMaxSocketFrac() float64 {
+	var max float64
+	for _, u := range m.tel.DRAMSocketUtil {
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// BEDRAMCounterGBs estimates BE DRAM bandwidth by summing the per-core
+// bandwidth counters over the BE cores, the same hardware-counter
+// estimate Heracles uses (§4.3).
+func (m *Machine) BEDRAMCounterGBs() float64 {
+	var sum float64
+	for _, be := range m.bes {
+		if be.Placement != workload.PlaceDedicated || !be.Enabled {
+			continue
+		}
+		for _, c := range be.Cores {
+			if c < len(m.tel.PerCoreDRAMGBs) {
+				sum += m.tel.PerCoreDRAMGBs[c]
+			}
+		}
+	}
+	return sum
+}
+
+// MaxSocketPowerFrac returns the highest socket power as a fraction of its
+// TDP (the RAPL reading of Algorithm 3).
+func (m *Machine) MaxSocketPowerFrac() float64 { return m.tel.MaxSocketPower }
+
+// LCFreqGHz returns the minimum operating frequency across LC cores.
+func (m *Machine) LCFreqGHz() float64 { return m.tel.LCFreqGHz }
+
+// LowerBEFreq lowers the BE DVFS cap by one 100 MHz step.
+func (m *Machine) LowerBEFreq() {
+	cur := m.BEFreqCap()
+	if cur == 0 {
+		cur = m.cfg.MaxTurboGHz
+	}
+	next := cur - 0.1
+	if next < m.cfg.MinGHz {
+		next = m.cfg.MinGHz
+	}
+	m.SetBEFreqCap(next)
+}
+
+// RaiseBEFreq raises the BE DVFS cap by one 100 MHz step; at the top the
+// cap is removed entirely.
+func (m *Machine) RaiseBEFreq() {
+	cur := m.BEFreqCap()
+	if cur == 0 {
+		return
+	}
+	next := cur + 0.1
+	if next >= m.cfg.MaxTurboGHz {
+		m.SetBEFreqCap(0)
+		return
+	}
+	m.SetBEFreqCap(next)
+}
+
+// LCTxGBs returns the LC workload's egress bandwidth last epoch.
+func (m *Machine) LCTxGBs() float64 { return m.tel.LCTxGBs }
+
+// LinkGBs returns the NIC line rate in GB/s.
+func (m *Machine) LinkGBs() float64 { return m.cfg.LinkGBs() }
+
+// SetBETxCeil installs the aggregate HTB ceiling for BE egress traffic.
+func (m *Machine) SetBETxCeil(gbs float64) { m.SetBENetCeil(gbs) }
+
+// BERate returns the aggregate normalised BE work rate (for the
+// controller's BeBenefit check and for EMU accounting).
+func (m *Machine) BERate() float64 { return m.tel.BERateNorm }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func nanToZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

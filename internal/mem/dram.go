@@ -1,0 +1,74 @@
+// Package mem models per-socket DRAM bandwidth: proportional sharing when
+// demand exceeds the controllers' peak streaming bandwidth, and the
+// queueing-delay inflation that memory accesses suffer as the channels
+// approach saturation.
+//
+// The paper (§2) notes there is no commercially available DRAM bandwidth
+// isolation mechanism, which is why Heracles falls back to scaling down
+// best-effort cores when the socket's measured bandwidth crosses its limit.
+// This model provides the measured-bandwidth counters that decision needs.
+package mem
+
+import "heracles/internal/queue"
+
+// InflationCoeff and InflationPower shape the latency inflation curve
+// g(rho) = 1 + coeff*rho^power/(1-rho). The defaults keep inflation below
+// ~5% until 70% utilisation and triple access latency by ~97%.
+const (
+	InflationCoeff = 0.12
+	InflationPower = 4.0
+	// OverloadPenalty scales the additional inflation applied per unit of
+	// unmet demand when total demand exceeds the socket's peak bandwidth
+	// (the open queue grows without bound; we model a steep finite proxy).
+	OverloadPenalty = 8.0
+)
+
+// Result describes the resolution of one socket's DRAM bandwidth.
+type Result struct {
+	AchievedGBs []float64 // per demand, in input order
+	TotalGBs    float64   // sum of achieved bandwidth
+	DemandGBs   float64   // sum of requested bandwidth
+	Utilisation float64   // achieved / peak, in [0, 1]
+	Inflation   float64   // memory access latency multiplier (>= 1)
+}
+
+// Resolve shares peakGBs of bandwidth among the demands. When total demand
+// fits, every demand is satisfied; otherwise bandwidth is divided
+// proportionally to demand (DRAM controllers are roughly fair across
+// streams) and the latency inflation grows with the overload ratio.
+func Resolve(peakGBs float64, demands []float64) Result {
+	res := Result{AchievedGBs: make([]float64, len(demands))}
+	if peakGBs <= 0 {
+		return res
+	}
+	var total float64
+	for _, d := range demands {
+		if d > 0 {
+			total += d
+		}
+	}
+	res.DemandGBs = total
+	if total <= peakGBs {
+		for i, d := range demands {
+			if d > 0 {
+				res.AchievedGBs[i] = d
+			}
+		}
+		res.TotalGBs = total
+		res.Utilisation = total / peakGBs
+		res.Inflation = queue.SaturationInflation(res.Utilisation, InflationCoeff, InflationPower)
+		return res
+	}
+	scale := peakGBs / total
+	for i, d := range demands {
+		if d > 0 {
+			res.AchievedGBs[i] = d * scale
+		}
+	}
+	res.TotalGBs = peakGBs
+	res.Utilisation = 1
+	overload := total/peakGBs - 1
+	res.Inflation = queue.SaturationInflation(0.995, InflationCoeff, InflationPower) *
+		(1 + OverloadPenalty*overload)
+	return res
+}

@@ -1,0 +1,83 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResolveUnderCapacity(t *testing.T) {
+	res := Resolve(60, []float64{10, 20})
+	if res.AchievedGBs[0] != 10 || res.AchievedGBs[1] != 20 {
+		t.Fatalf("achieved = %v", res.AchievedGBs)
+	}
+	if res.TotalGBs != 30 || res.Utilisation != 0.5 {
+		t.Fatalf("total=%v util=%v", res.TotalGBs, res.Utilisation)
+	}
+	if res.Inflation < 1 || res.Inflation > 1.05 {
+		t.Fatalf("inflation at 50%% = %v", res.Inflation)
+	}
+}
+
+func TestResolveOverCapacityScalesProportionally(t *testing.T) {
+	res := Resolve(60, []float64{60, 60})
+	if res.AchievedGBs[0] != 30 || res.AchievedGBs[1] != 30 {
+		t.Fatalf("achieved = %v", res.AchievedGBs)
+	}
+	if res.TotalGBs != 60 || res.Utilisation != 1 {
+		t.Fatalf("total=%v util=%v", res.TotalGBs, res.Utilisation)
+	}
+	if res.Inflation < 10 {
+		t.Fatalf("overload inflation = %v, want large", res.Inflation)
+	}
+}
+
+func TestResolveInflationGrowsNearSaturation(t *testing.T) {
+	low := Resolve(60, []float64{30}).Inflation
+	mid := Resolve(60, []float64{50}).Inflation
+	high := Resolve(60, []float64{57}).Inflation
+	if !(low < mid && mid < high) {
+		t.Fatalf("inflation not monotone: %v %v %v", low, mid, high)
+	}
+	if high < 1.5 {
+		t.Fatalf("inflation at 95%% = %v, want >1.5", high)
+	}
+}
+
+func TestResolveNegativeDemandsIgnored(t *testing.T) {
+	res := Resolve(60, []float64{-5, 20})
+	if res.AchievedGBs[0] != 0 || res.AchievedGBs[1] != 20 {
+		t.Fatalf("achieved = %v", res.AchievedGBs)
+	}
+}
+
+func TestResolveZeroPeak(t *testing.T) {
+	res := Resolve(0, []float64{10})
+	if res.AchievedGBs[0] != 0 {
+		t.Fatalf("achieved with zero peak = %v", res.AchievedGBs)
+	}
+}
+
+func TestResolveConservationProperty(t *testing.T) {
+	if err := quick.Check(func(d1, d2, d3 uint16) bool {
+		demands := []float64{float64(d1), float64(d2), float64(d3)}
+		res := Resolve(60, demands)
+		var sum float64
+		for i, a := range res.AchievedGBs {
+			if a < 0 || a > demands[i]+1e-9 {
+				return false
+			}
+			sum += a
+		}
+		return sum <= 60.0001
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveOverloadInflationGrowsWithOverload(t *testing.T) {
+	a := Resolve(60, []float64{70}).Inflation
+	b := Resolve(60, []float64{140}).Inflation
+	if b <= a {
+		t.Fatalf("inflation should grow with overload: %v -> %v", a, b)
+	}
+}

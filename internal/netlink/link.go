@@ -1,0 +1,131 @@
+// Package netlink models the server's NIC egress path: TCP-fair sharing by
+// flow count (so many best-effort "mice" flows overwhelm a latency-critical
+// service's flows, §3.2 of the paper), hierarchical token bucket (HTB)
+// ceilings for traffic classes, and the transmit-queueing latency inflation
+// the latency-critical workload observes near saturation.
+package netlink
+
+import "heracles/internal/queue"
+
+// Class describes one traffic class (one task's flow aggregate).
+type Class struct {
+	DemandGBs float64 // offered egress bandwidth
+	Flows     int     // number of TCP flows; weight for fair sharing
+	CeilGBs   float64 // HTB ceiling; 0 or negative = uncapped
+}
+
+// Result describes the resolved egress bandwidth allocation.
+type Result struct {
+	AchievedGBs []float64 // per class, input order
+	TotalGBs    float64
+	Utilisation float64 // total achieved / link rate
+}
+
+// InflationCoeff and InflationPower shape the egress queueing delay factor.
+const (
+	InflationCoeff = 0.05
+	InflationPower = 6.0
+	// StarvationPenalty controls the latency blow-up when a class's
+	// achieved bandwidth falls short of its demand: the transmit queue
+	// grows without bound, so even a small shortfall is catastrophic for
+	// tail latency.
+	StarvationPenalty = 60.0
+)
+
+// Resolve performs weighted max-min fair sharing (water filling) of the
+// link among the classes. Each class's weight is its flow count, mirroring
+// per-flow TCP fairness; a class never receives more than
+// min(demand, ceil).
+func Resolve(linkGBs float64, classes []Class) Result {
+	res := Result{AchievedGBs: make([]float64, len(classes))}
+	if linkGBs <= 0 {
+		return res
+	}
+	limit := make([]float64, len(classes))
+	active := make([]bool, len(classes))
+	for i, c := range classes {
+		l := c.DemandGBs
+		if l < 0 {
+			l = 0
+		}
+		if c.CeilGBs > 0 && c.CeilGBs < l {
+			l = c.CeilGBs
+		}
+		limit[i] = l
+		active[i] = l > 0
+	}
+	remaining := linkGBs
+	for iter := 0; iter < len(classes)+1; iter++ {
+		var weight float64
+		for i, c := range classes {
+			if active[i] {
+				w := float64(c.Flows)
+				if w <= 0 {
+					w = 1
+				}
+				weight += w
+			}
+		}
+		if weight == 0 || remaining <= 0 {
+			break
+		}
+		progress := false
+		// First pass: classes whose fair share exceeds their limit are
+		// frozen at the limit.
+		for i, c := range classes {
+			if !active[i] {
+				continue
+			}
+			w := float64(c.Flows)
+			if w <= 0 {
+				w = 1
+			}
+			fair := remaining * w / weight
+			if fair >= limit[i] {
+				res.AchievedGBs[i] = limit[i]
+				remaining -= limit[i]
+				active[i] = false
+				progress = true
+			}
+		}
+		if !progress {
+			// Everyone is constrained by the link: give fair shares.
+			for i, c := range classes {
+				if !active[i] {
+					continue
+				}
+				w := float64(c.Flows)
+				if w <= 0 {
+					w = 1
+				}
+				res.AchievedGBs[i] = remaining * w / weight
+				active[i] = false
+			}
+			remaining = 0
+			break
+		}
+	}
+	for _, a := range res.AchievedGBs {
+		res.TotalGBs += a
+	}
+	res.Utilisation = res.TotalGBs / linkGBs
+	if res.Utilisation > 1 {
+		res.Utilisation = 1
+	}
+	return res
+}
+
+// Inflation returns the transmit latency multiplier for a class that
+// demanded demand GB/s and achieved achieved GB/s on a link running at the
+// given utilisation. Starvation (achieved < demand) dominates; otherwise a
+// mild queueing term applies near link saturation.
+func Inflation(demand, achieved, utilisation float64) float64 {
+	g := queue.SaturationInflation(utilisation, InflationCoeff, InflationPower)
+	if demand > 0 && achieved > 0 && achieved < demand {
+		shortfall := demand/achieved - 1
+		g *= 1 + StarvationPenalty*shortfall
+	} else if demand > 0 && achieved == 0 {
+		g *= 1 + StarvationPenalty*10
+	}
+	return g
+}

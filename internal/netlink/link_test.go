@@ -1,0 +1,115 @@
+package netlink
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestResolveUnderCapacity(t *testing.T) {
+	res := Resolve(1.25, []Class{
+		{DemandGBs: 0.2, Flows: 10},
+		{DemandGBs: 0.3, Flows: 5},
+	})
+	if res.AchievedGBs[0] != 0.2 || res.AchievedGBs[1] != 0.3 {
+		t.Fatalf("achieved = %v", res.AchievedGBs)
+	}
+	if math.Abs(res.TotalGBs-0.5) > 1e-9 {
+		t.Fatalf("total = %v", res.TotalGBs)
+	}
+}
+
+func TestResolveFairShareByFlowCount(t *testing.T) {
+	// Saturated link: shares split by flow count (per-flow TCP fairness,
+	// which is how many mice flows strangle a service, §3.2).
+	res := Resolve(1.25, []Class{
+		{DemandGBs: 1.25, Flows: 100}, // iperf mice
+		{DemandGBs: 1.25, Flows: 25},  // LC flows
+	})
+	ratio := res.AchievedGBs[0] / res.AchievedGBs[1]
+	if math.Abs(ratio-4) > 0.01 {
+		t.Fatalf("share ratio = %v, want 4 (100:25 flows)", ratio)
+	}
+	if math.Abs(res.TotalGBs-1.25) > 1e-9 {
+		t.Fatalf("saturated total = %v", res.TotalGBs)
+	}
+}
+
+func TestResolveHTBCeilEnforced(t *testing.T) {
+	res := Resolve(1.25, []Class{
+		{DemandGBs: 1.25, Flows: 100, CeilGBs: 0.2}, // BE with HTB ceiling
+		{DemandGBs: 0.9, Flows: 25},                 // LC unrestricted
+	})
+	if res.AchievedGBs[0] > 0.2+1e-9 {
+		t.Fatalf("ceil violated: %v", res.AchievedGBs[0])
+	}
+	if res.AchievedGBs[1] < 0.9-1e-9 {
+		t.Fatalf("LC starved despite ceiling: %v", res.AchievedGBs[1])
+	}
+}
+
+func TestResolveExcessRedistributed(t *testing.T) {
+	// One class is capped; the freed bandwidth goes to the other.
+	res := Resolve(1.0, []Class{
+		{DemandGBs: 1.0, Flows: 50, CeilGBs: 0.1},
+		{DemandGBs: 1.0, Flows: 50},
+	})
+	if math.Abs(res.AchievedGBs[1]-0.9) > 1e-9 {
+		t.Fatalf("uncapped class got %v, want 0.9", res.AchievedGBs[1])
+	}
+}
+
+func TestResolveZeroLink(t *testing.T) {
+	res := Resolve(0, []Class{{DemandGBs: 1, Flows: 1}})
+	if res.AchievedGBs[0] != 0 {
+		t.Fatalf("achieved on zero link = %v", res.AchievedGBs)
+	}
+}
+
+func TestResolveDefaultsFlowWeight(t *testing.T) {
+	res := Resolve(1.0, []Class{
+		{DemandGBs: 1.0, Flows: 0}, // zero flows weighs as 1
+		{DemandGBs: 1.0, Flows: 1},
+	})
+	if math.Abs(res.AchievedGBs[0]-res.AchievedGBs[1]) > 1e-9 {
+		t.Fatalf("defaulted weight shares unequal: %v", res.AchievedGBs)
+	}
+}
+
+func TestInflationStarvation(t *testing.T) {
+	mild := Inflation(0.5, 0.5, 0.5)
+	starved := Inflation(0.6, 0.5, 0.99)
+	if mild > 1.2 {
+		t.Fatalf("satisfied demand inflation = %v", mild)
+	}
+	if starved < 5 {
+		t.Fatalf("starved inflation = %v, want large", starved)
+	}
+	if zero := Inflation(0.5, 0, 1); zero < starved {
+		t.Fatalf("fully starved inflation %v should exceed partial %v", zero, starved)
+	}
+}
+
+func TestResolveConservationProperty(t *testing.T) {
+	if err := quick.Check(func(d1, d2 uint8, f1, f2 uint8, ceil uint8) bool {
+		classes := []Class{
+			{DemandGBs: float64(d1) / 100, Flows: int(f1), CeilGBs: float64(ceil) / 200},
+			{DemandGBs: float64(d2) / 100, Flows: int(f2)},
+		}
+		res := Resolve(1.25, classes)
+		var sum float64
+		for i, a := range res.AchievedGBs {
+			lim := classes[i].DemandGBs
+			if classes[i].CeilGBs > 0 && classes[i].CeilGBs < lim {
+				lim = classes[i].CeilGBs
+			}
+			if a < -1e-9 || a > lim+1e-9 {
+				return false
+			}
+			sum += a
+		}
+		return sum <= 1.25+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+// Package sim provides the deterministic simulation kernel used by the
+// Heracles reproduction: a virtual clock, a seedable pseudo-random number
+// generator, and a binary-heap event queue.
+//
+// Everything in this repository that depends on time or randomness goes
+// through this package so that experiments are reproducible bit-for-bit for
+// a fixed seed.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value starts at time zero.
+type Clock struct {
+	now time.Duration
+}
+
+// NewClock returns a clock positioned at start.
+func NewClock(start time.Duration) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current simulated time as an offset from the simulation
+// epoch.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Advance panics if d is negative:
+// simulated time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock to the absolute simulated time t. It panics if t
+// is in the past.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: AdvanceTo %v before current time %v", t, c.now))
+	}
+	c.now = t
+}
+
+// Seconds reports the current time in seconds as a float64, which is the
+// unit most of the resource models work in.
+func (c *Clock) Seconds() float64 { return c.now.Seconds() }

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a callback scheduled at an absolute simulated time.
+type Event struct {
+	At time.Duration
+	Fn func()
+
+	seq   uint64 // tie-breaker for deterministic FIFO ordering at equal times
+	index int    // heap bookkeeping; -1 when not queued
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine couples a clock with an event queue and runs events in
+// deterministic timestamp order (FIFO among equal timestamps).
+type Engine struct {
+	Clock *Clock
+	queue eventHeap
+	seq   uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero.
+func NewEngine() *Engine {
+	return &Engine{Clock: NewClock(0)}
+}
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics. It returns the event, which can be passed to Cancel.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.Clock.Now() {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	ev := &Event{At: t, Fn: fn, seq: e.seq}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current simulated time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.At(e.Clock.Now()+d, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already ran (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step runs the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.Clock.AdvanceTo(ev.At)
+	ev.Fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event lies
+// beyond t, then advances the clock to exactly t.
+func (e *Engine) RunUntil(t time.Duration) {
+	for len(e.queue) > 0 && e.queue[0].At <= t {
+		e.Step()
+	}
+	if t > e.Clock.Now() {
+		e.Clock.AdvanceTo(t)
+	}
+}
+
+// Run drains the event queue completely.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0)
+	c.Advance(3 * time.Second)
+	c.Advance(2 * time.Second)
+	if got := c.Now(); got != 5*time.Second {
+		t.Fatalf("Now=%v, want 5s", got)
+	}
+	if got := c.Seconds(); got != 5 {
+		t.Fatalf("Seconds=%v, want 5", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative advance")
+		}
+	}()
+	NewClock(0).Advance(-time.Second)
+}
+
+func TestClockAdvanceToPastPanics(t *testing.T) {
+	c := NewClock(10 * time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on AdvanceTo in the past")
+		}
+	}()
+	c.AdvanceTo(time.Second)
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) produced only %d distinct values", len(seen))
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Fatalf("Exp mean %.3f, want ~2.5", mean)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(3, 2)
+		sum += v
+		sumsq += (v - 3) * (v - 3)
+	}
+	mean, sd := sum/n, math.Sqrt(sumsq/n)
+	if math.Abs(mean-3) > 0.03 {
+		t.Fatalf("Norm mean %.3f, want ~3", mean)
+	}
+	if math.Abs(sd-2) > 0.03 {
+		t.Fatalf("Norm stddev %.3f, want ~2", sd)
+	}
+}
+
+func TestRNGLogNormalMean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 400000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.LogNormal(5, 0.6)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("LogNormal mean %.3f, want ~5", mean)
+	}
+}
+
+func TestRNGLogNormalPositive(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			if r.LogNormal(1, 0.5) <= 0 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3*time.Second, func() { order = append(order, 3) })
+	e.At(1*time.Second, func() { order = append(order, 1) })
+	e.At(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Clock.Now() != 3*time.Second {
+		t.Fatalf("clock at %v after run", e.Clock.Now())
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(time.Second, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling twice is a no-op.
+	e.Cancel(ev)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.At(1*time.Second, func() { fired = append(fired, 1) })
+	e.At(5*time.Second, func() { fired = append(fired, 5) })
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if e.Clock.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", e.Clock.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Clock.Advance(time.Minute)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic scheduling in the past")
+		}
+	}()
+	e.At(time.Second, func() {})
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	e.Clock.Advance(time.Minute)
+	fired := time.Duration(0)
+	e.After(5*time.Second, func() { fired = e.Clock.Now() })
+	e.Run()
+	if fired != time.Minute+5*time.Second {
+		t.Fatalf("After fired at %v", fired)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(99)
+	child := parent.Split()
+	if parent.Uint64() == child.Uint64() {
+		t.Fatal("split stream mirrors parent")
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import "math"
+
+// EWMA is an exponentially weighted moving average. The zero value is not
+// usable; construct with NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]. Larger
+// alpha weighs recent samples more heavily.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds in a new sample and returns the updated average.
+func (e *EWMA) Add(v float64) float64 {
+	if !e.init {
+		e.value = v
+		e.init = true
+		return v
+	}
+	e.value = e.alpha*v + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average, or NaN before any sample.
+func (e *EWMA) Value() float64 {
+	if !e.init {
+		return math.NaN()
+	}
+	return e.value
+}
+
+// Initialized reports whether at least one sample has been added.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Summary accumulates count, mean, min and max online.
+type Summary struct {
+	N    int
+	Sum  float64
+	Min  float64
+	MaxV float64
+}
+
+// Add folds in a sample.
+func (s *Summary) Add(v float64) {
+	if s.N == 0 {
+		s.Min, s.MaxV = v, v
+	} else {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.MaxV {
+			s.MaxV = v
+		}
+	}
+	s.N++
+	s.Sum += v
+}
+
+// Mean returns the running mean, or NaN if empty.
+func (s *Summary) Mean() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Max returns the running maximum, or NaN if empty.
+func (s *Summary) Max() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.MaxV
+}

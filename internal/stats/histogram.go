@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a log-bucketed histogram suitable for latency data spanning
+// several orders of magnitude (microseconds to seconds). Bucket boundaries
+// grow geometrically from Min by a factor of Growth per bucket.
+type Histogram struct {
+	min     float64
+	growth  float64
+	logG    float64
+	counts  []uint64
+	under   uint64
+	total   uint64
+	sum     float64
+	maxSeen float64
+}
+
+// NewHistogram returns a histogram with nbuckets geometric buckets starting
+// at min and growing by growth per bucket. growth must exceed 1.
+func NewHistogram(min, growth float64, nbuckets int) *Histogram {
+	if min <= 0 {
+		panic("stats: histogram min must be positive")
+	}
+	if growth <= 1 {
+		panic("stats: histogram growth must exceed 1")
+	}
+	if nbuckets <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	return &Histogram{
+		min:    min,
+		growth: growth,
+		logG:   math.Log(growth),
+		counts: make([]uint64, nbuckets),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	h.sum += v
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	if v < h.min {
+		h.under++
+		return
+	}
+	idx := int(math.Log(v/h.min) / h.logG)
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+}
+
+// Count reports the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean reports the mean of observed samples (exact, not bucketed).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max reports the largest observed sample.
+func (h *Histogram) Max() float64 { return h.maxSeen }
+
+// Quantile returns an estimate of the q-quantile using the upper edge of
+// the bucket containing the target rank. This overestimates slightly, which
+// is the conservative direction for SLO checking.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	cum := h.under
+	if cum >= target {
+		return h.min
+	}
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			upper := h.min * math.Pow(h.growth, float64(i+1))
+			if upper > h.maxSeen && h.maxSeen > 0 {
+				return h.maxSeen
+			}
+			return upper
+		}
+	}
+	return h.maxSeen
+}
+
+// Reset clears all recorded samples.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.under, h.total = 0, 0
+	h.sum, h.maxSeen = 0, 0
+}
+
+// String summarises the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("histogram{n=%d mean=%.4g p99=%.4g max=%.4g}",
+		h.total, h.Mean(), h.Quantile(0.99), h.maxSeen)
+}

@@ -1,0 +1,116 @@
+// Package stats provides the small statistical toolkit used throughout the
+// Heracles reproduction: exact windowed quantiles, log-bucketed histograms,
+// exponentially weighted moving averages, and online summaries.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of values using linear
+// interpolation between closest ranks. It returns NaN for an empty input.
+// The input slice is not modified.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted computes the interpolated q-quantile of an ascending slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Window collects samples over a bounded window and answers quantile
+// queries over the retained samples. When the capacity is exceeded the
+// oldest samples are discarded (sliding window), which matches how the
+// Heracles controller computes tail latency over its polling period.
+type Window struct {
+	cap    int
+	buf    []float64
+	next   int
+	filled bool
+}
+
+// NewWindow returns a window holding at most capacity samples.
+// A capacity of zero or less defaults to 1.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Window{cap: capacity, buf: make([]float64, 0, capacity)}
+}
+
+// Add appends a sample, evicting the oldest if the window is full.
+func (w *Window) Add(v float64) {
+	if len(w.buf) < w.cap {
+		w.buf = append(w.buf, v)
+		return
+	}
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % w.cap
+	w.filled = true
+}
+
+// Len reports the number of retained samples.
+func (w *Window) Len() int { return len(w.buf) }
+
+// Reset drops all samples.
+func (w *Window) Reset() {
+	w.buf = w.buf[:0]
+	w.next = 0
+	w.filled = false
+}
+
+// Quantile returns the q-quantile of the retained samples, or NaN if empty.
+func (w *Window) Quantile(q float64) float64 {
+	return Quantile(w.buf, q)
+}
+
+// Mean returns the mean of the retained samples, or NaN if empty.
+func (w *Window) Mean() float64 {
+	if len(w.buf) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range w.buf {
+		sum += v
+	}
+	return sum / float64(len(w.buf))
+}
+
+// Max returns the maximum retained sample, or NaN if empty.
+func (w *Window) Max() float64 {
+	if len(w.buf) == 0 {
+		return math.NaN()
+	}
+	m := w.buf[0]
+	for _, v := range w.buf[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("quantile of empty input should be NaN")
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Fatalf("q=%v: got %v", q, got)
+		}
+	}
+}
+
+func TestQuantileExactRanks(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(v, c.q); got != c.want {
+			t.Fatalf("q=%v: got %v want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	v := []float64{0, 10}
+	if got := Quantile(v, 0.5); got != 5 {
+		t.Fatalf("got %v want 5", got)
+	}
+}
+
+func TestQuantileClampsRange(t *testing.T) {
+	v := []float64{1, 2, 3}
+	if got := Quantile(v, -1); got != 1 {
+		t.Fatalf("q<0: got %v", got)
+	}
+	if got := Quantile(v, 2); got != 3 {
+		t.Fatalf("q>1: got %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Quantile(v, 0.5)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatalf("input mutated: %v", v)
+	}
+}
+
+func TestQuantileOrderingProperty(t *testing.T) {
+	if err := quick.Check(func(vals []float64, a, b float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		qa, qb := math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(vals, qa) <= Quantile(vals, qb)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		q := Quantile(vals, 0.5)
+		return q >= sorted[0] && q <= sorted[len(sorted)-1]
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(3)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		w.Add(v)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("len=%d", w.Len())
+	}
+	// Retained samples are {3,4,5}.
+	if got := w.Quantile(0); got != 3 {
+		t.Fatalf("min retained = %v, want 3", got)
+	}
+	if got := w.Max(); got != 5 {
+		t.Fatalf("max = %v, want 5", got)
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	w := NewWindow(4)
+	for _, v := range []float64{2, 4, 6} {
+		w.Add(v)
+	}
+	if got := w.Mean(); got != 4 {
+		t.Fatalf("mean=%v", got)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	w.Add(1)
+	w.Reset()
+	if w.Len() != 0 || !math.IsNaN(w.Mean()) {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestWindowZeroCapacityDefaultsToOne(t *testing.T) {
+	w := NewWindow(0)
+	w.Add(1)
+	w.Add(2)
+	if w.Len() != 1 || w.Max() != 2 {
+		t.Fatalf("len=%d max=%v", w.Len(), w.Max())
+	}
+}
+
+func TestHistogramQuantileApproximation(t *testing.T) {
+	h := NewHistogram(1e-6, 1.1, 400)
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	p99 := h.Quantile(0.99)
+	want := 0.099
+	if p99 < want*0.95 || p99 > want*1.15 {
+		t.Fatalf("p99=%v, want within ~10%% of %v", p99, want)
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewHistogram(0.001, 2, 40)
+	h.Observe(1)
+	h.Observe(3)
+	if got := h.Mean(); got != 2 {
+		t.Fatalf("mean=%v", got)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("count=%d", h.Count())
+	}
+}
+
+func TestHistogramUnderflow(t *testing.T) {
+	h := NewHistogram(1, 2, 10)
+	h.Observe(0.5)
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("underflow quantile = %v, want min", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(1, 2, 10)
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 2, 10) },
+		func() { NewHistogram(1, 1, 10) },
+		func() { NewHistogram(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic for invalid histogram params")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.5)
+	for i := 0; i < 40; i++ {
+		e.Add(10)
+	}
+	if math.Abs(e.Value()-10) > 1e-9 {
+		t.Fatalf("value=%v", e.Value())
+	}
+}
+
+func TestEWMAFirstSample(t *testing.T) {
+	e := NewEWMA(0.1)
+	if e.Initialized() {
+		t.Fatal("initialized before any sample")
+	}
+	if got := e.Add(5); got != 5 {
+		t.Fatalf("first sample = %v", got)
+	}
+}
+
+func TestEWMAInvalidAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for alpha=0")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) {
+		t.Fatal("empty summary mean should be NaN")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	if s.N != 3 || s.Min != 1 || s.Max() != 3 || s.Mean() != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+}

@@ -1,0 +1,117 @@
+// Package tco implements the total-cost-of-ownership analysis of §5.3,
+// using the TCO calculator parameters of Barroso et al.'s case study of a
+// datacenter with low per-server cost: $2000 servers with a PUE of 2.0, a
+// peak power draw of 500 W, electricity at $0.10/kWh, and a cluster of
+// 10,000 servers.
+package tco
+
+// Params are the cost-model inputs.
+type Params struct {
+	ServerCost    float64 // capital cost per server ($)
+	PUE           float64 // power usage effectiveness
+	PeakWatts     float64 // per-server peak power draw
+	IdleFrac      float64 // idle power as a fraction of peak
+	DollarsPerKWh float64
+	Servers       int
+	LifetimeYears float64
+}
+
+// Barroso returns the paper's parameters.
+func Barroso() Params {
+	return Params{
+		ServerCost:    2000,
+		PUE:           2.0,
+		PeakWatts:     500,
+		IdleFrac:      0.5,
+		DollarsPerKWh: 0.10,
+		Servers:       10000,
+		LifetimeYears: 3,
+	}
+}
+
+// PowerWatts returns one server's power draw at the given utilisation
+// under the linear power model P(u) = Pidle + (Ppeak - Pidle) * u.
+func (p Params) PowerWatts(util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	idle := p.IdleFrac * p.PeakWatts
+	return idle + (p.PeakWatts-idle)*util
+}
+
+// EnergyCost returns the lifetime electricity cost of one server at the
+// given average utilisation, including PUE overhead.
+func (p Params) EnergyCost(util float64) float64 {
+	kw := p.PowerWatts(util) / 1000 * p.PUE
+	hours := p.LifetimeYears * 365 * 24
+	return kw * hours * p.DollarsPerKWh
+}
+
+// TCO returns the lifetime total cost of one server at the given average
+// utilisation.
+func (p Params) TCO(util float64) float64 {
+	return p.ServerCost + p.EnergyCost(util)
+}
+
+// ClusterTCO returns the lifetime cost of the whole cluster.
+func (p Params) ClusterTCO(util float64) float64 {
+	return p.TCO(util) * float64(p.Servers)
+}
+
+// ThroughputPerTCOGain returns the relative improvement in throughput per
+// TCO dollar when average utilisation rises from baseUtil to newUtil with
+// throughput proportional to utilisation (EMU). This reproduces the §5.3
+// claims: raising 75% to 90% yields ~15%, raising 20% to 90% yields
+// several-fold gains.
+func (p Params) ThroughputPerTCOGain(baseUtil, newUtil float64) float64 {
+	if baseUtil <= 0 {
+		return 0
+	}
+	throughputRatio := newUtil / baseUtil
+	tcoRatio := p.TCO(newUtil) / p.TCO(baseUtil)
+	return throughputRatio/tcoRatio - 1
+}
+
+// EnergyEfficiencyFrac is the fraction of the gap between the actual power
+// curve and perfect proportionality that a realistic power-management
+// controller recovers (race-to-idle, sleep states); perfect recovery is
+// unattainable because latency-critical workloads cannot tolerate deep
+// sleep at moderate load (§5.3's comparison controller achieves ~3% at 75%
+// utilisation and under 7% at 20%).
+const EnergyEfficiencyFrac = 0.30
+
+// EnergyProportionalityGain returns the throughput/TCO improvement
+// achievable by an energy-proportionality controller alone at the same
+// utilisation — the comparison of §5.3.
+func (p Params) EnergyProportionalityGain(util float64) float64 {
+	base := p.TCO(util)
+	perfect := p.ServerCost + p.PeakWatts*util/1000*p.PUE*
+		p.LifetimeYears*365*24*p.DollarsPerKWh
+	saved := (base - perfect) * EnergyEfficiencyFrac
+	return base/(base-saved) - 1
+}
+
+// Comparison is the §5.3 analysis at one starting utilisation.
+type Comparison struct {
+	BaseUtil     float64
+	TargetUtil   float64
+	HeraclesGain float64 // throughput/TCO gain from colocation
+	EnergyGain   float64 // gain from energy proportionality alone
+}
+
+// Analyze reproduces the paper's two scenarios (75%→90% and 20%→90%).
+func Analyze(p Params) []Comparison {
+	out := make([]Comparison, 0, 2)
+	for _, base := range []float64{0.75, 0.20} {
+		out = append(out, Comparison{
+			BaseUtil:     base,
+			TargetUtil:   0.90,
+			HeraclesGain: p.ThroughputPerTCOGain(base, 0.90),
+			EnergyGain:   p.EnergyProportionalityGain(base),
+		})
+	}
+	return out
+}

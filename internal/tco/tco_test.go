@@ -1,0 +1,116 @@
+package tco
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerModel(t *testing.T) {
+	p := Barroso()
+	if got := p.PowerWatts(0); got != 250 {
+		t.Fatalf("idle power = %v", got)
+	}
+	if got := p.PowerWatts(1); got != 500 {
+		t.Fatalf("peak power = %v", got)
+	}
+	if got := p.PowerWatts(0.5); got != 375 {
+		t.Fatalf("mid power = %v", got)
+	}
+	// Clamped.
+	if p.PowerWatts(-1) != 250 || p.PowerWatts(2) != 500 {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestTCOComposition(t *testing.T) {
+	p := Barroso()
+	if p.TCO(0.5) != p.ServerCost+p.EnergyCost(0.5) {
+		t.Fatal("TCO != capex + energy")
+	}
+	if p.ClusterTCO(0.5) != p.TCO(0.5)*10000 {
+		t.Fatal("cluster TCO")
+	}
+	// TCO grows with utilisation (more energy), but sublinearly.
+	if p.TCO(0.9) <= p.TCO(0.2) {
+		t.Fatal("TCO should grow with utilisation")
+	}
+	if p.TCO(0.9)/p.TCO(0.2) > 1.5 {
+		t.Fatal("TCO growth should be modest (capex dominates)")
+	}
+}
+
+func TestHeraclesGainMatchesPaper(t *testing.T) {
+	p := Barroso()
+	// §5.3: raising a 75%-utilised cluster to 90% yields ~15%
+	// throughput/TCO.
+	gain := p.ThroughputPerTCOGain(0.75, 0.90)
+	if gain < 0.10 || gain > 0.20 {
+		t.Fatalf("75%%->90%% gain = %.1f%%, paper reports 15%%", 100*gain)
+	}
+	// §5.3: raising a 20%-utilised cluster yields a ~3x improvement
+	// (306% in the paper).
+	gain = p.ThroughputPerTCOGain(0.20, 0.90)
+	if gain < 2.0 || gain > 3.5 {
+		t.Fatalf("20%%->90%% gain = %.0f%%, paper reports 306%%", 100*gain)
+	}
+}
+
+func TestEnergyProportionalityGainSmall(t *testing.T) {
+	p := Barroso()
+	// §5.3: an energy-proportionality controller achieves roughly 3% at
+	// 75% utilisation and under 7-10% at 20%.
+	at75 := p.EnergyProportionalityGain(0.75)
+	if at75 < 0.005 || at75 > 0.06 {
+		t.Fatalf("energy gain at 75%% = %.1f%%, paper ~3%%", 100*at75)
+	}
+	at20 := p.EnergyProportionalityGain(0.20)
+	if at20 < 0.03 || at20 > 0.12 {
+		t.Fatalf("energy gain at 20%% = %.1f%%, paper <7%%", 100*at20)
+	}
+	if at20 <= at75 {
+		t.Fatal("energy proportionality helps more at lower utilisation")
+	}
+}
+
+func TestHeraclesBeatsEnergyProportionality(t *testing.T) {
+	// The paper's conclusion: as long as useful BE work exists, colocation
+	// beats power management at every starting utilisation.
+	for _, c := range Analyze(Barroso()) {
+		if c.HeraclesGain <= c.EnergyGain {
+			t.Fatalf("at %.0f%% util heracles %+.1f%% <= energy %+.1f%%",
+				100*c.BaseUtil, 100*c.HeraclesGain, 100*c.EnergyGain)
+		}
+	}
+}
+
+func TestAnalyzeScenarios(t *testing.T) {
+	cs := Analyze(Barroso())
+	if len(cs) != 2 {
+		t.Fatalf("scenarios = %d", len(cs))
+	}
+	if cs[0].BaseUtil != 0.75 || cs[1].BaseUtil != 0.20 {
+		t.Fatal("scenario utilisations")
+	}
+	for _, c := range cs {
+		if c.TargetUtil != 0.90 {
+			t.Fatal("target utilisation")
+		}
+	}
+}
+
+func TestZeroBaseUtil(t *testing.T) {
+	if got := Barroso().ThroughputPerTCOGain(0, 0.9); got != 0 {
+		t.Fatalf("zero base gain = %v", got)
+	}
+}
+
+func TestEnergyCostScalesWithPUE(t *testing.T) {
+	a := Barroso()
+	b := Barroso()
+	b.PUE = 1.0
+	ra := a.EnergyCost(0.5)
+	rb := b.EnergyCost(0.5)
+	if math.Abs(ra/rb-2.0) > 1e-9 {
+		t.Fatalf("PUE scaling: %v vs %v", ra, rb)
+	}
+}
