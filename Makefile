@@ -1,0 +1,35 @@
+# Heracles reproduction — build, verify and performance-trajectory targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench bench-smoke bench-baseline fmt-check ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# Full benchmark suite (prints every figure/table on the first iteration).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# One-iteration smoke used by CI: exercises every artefact generator once.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .
+
+# Emit BENCH_baseline.json (ns/op, allocs/op per figure) to track the
+# performance trajectory across PRs.
+bench-baseline:
+	$(GO) run ./cmd/benchbaseline -out BENCH_baseline.json
+
+ci: build vet fmt-check test bench-smoke

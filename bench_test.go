@@ -310,6 +310,9 @@ func BenchmarkAblationEngines(b *testing.B) {
 
 // --- Component micro-benchmarks -----------------------------------------
 
+// BenchmarkMachineStep measures one steady-state control epoch. The
+// telemetry ring (600 epochs) is filled before timing starts, so the
+// benchmark reports the true steady state: 0 allocs/op.
 func BenchmarkMachineStep(b *testing.B) {
 	l := lab()
 	m := machine.New(l.Cfg)
@@ -317,9 +320,36 @@ func BenchmarkMachineStep(b *testing.B) {
 	m.AddBE(l.BE("brain"), workload.PlaceDedicated)
 	m.SetLoad(0.5)
 	m.Partition(12)
+	for i := 0; i < 620; i++ {
+		m.Step()
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step()
+	}
+}
+
+// BenchmarkColocateSweep measures one full 10-point Colocate sweep with
+// the worker pool (workers=0, GOMAXPROCS) against the forced-sequential
+// reference (workers=1). On a multi-core host the parallel variant is
+// expected to approach a min(points, cores)-fold speedup with byte-
+// identical Series output (asserted by TestParallelColocateMatchesSequential).
+func BenchmarkColocateSweep(b *testing.B) {
+	l := lab()
+	opts := colocOpts()
+	l.Colocate("websearch", "brain", benchLoads(), opts) // warm calibration caches
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			o := opts
+			o.Workers = bench.workers
+			for i := 0; i < b.N; i++ {
+				l.Colocate("websearch", "brain", benchLoads(), o)
+			}
+		})
 	}
 }
 
@@ -343,9 +373,12 @@ func BenchmarkCacheSolver(b *testing.B) {
 		{AccessRate: 1e9, Components: workload.Websearch().CacheComponents, WayMask: cache.MaskOfWays(2, 18), LoadScale: 1},
 		{AccessRate: 2e9, Components: workload.Brain().CacheComponents, WayMask: cache.MaskOfWays(0, 2)},
 	}
+	var sc cache.Scratch
+	s.ResolveScratch(&sc, demands) // grow scratch to its high-water mark
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Resolve(demands)
+		s.ResolveScratch(&sc, demands)
 	}
 }
 

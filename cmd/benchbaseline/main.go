@@ -1,0 +1,142 @@
+// Command benchbaseline measures the cost of regenerating each artefact of
+// the paper's evaluation and writes the results as JSON, so CI and future
+// optimisation PRs can track the performance trajectory (ns/op, allocs/op
+// per figure) against a committed baseline.
+//
+// Usage:
+//
+//	benchbaseline [-out BENCH_baseline.json] [-quick]
+//
+// -quick restricts the run to the microbenchmarks and a reduced sweep,
+// which is what the CI smoke uses.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"heracles/internal/experiment"
+	"heracles/internal/machine"
+	"heracles/internal/workload"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// Baseline is the whole emitted file.
+type Baseline struct {
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Entries    []Entry   `json:"entries"`
+	CreatedAt  time.Time `json:"created_at"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_baseline.json", "output file")
+	quick := flag.Bool("quick", false, "microbenchmarks and a reduced sweep only")
+	flag.Parse()
+
+	lab := experiment.DefaultLab()
+	loads := []float64{0.2, 0.5, 0.8}
+	opts := experiment.RunOpts{
+		Duration:     4 * time.Minute,
+		Warmup:       time.Minute,
+		UseDRAMModel: true,
+	}
+	// Warm every calibration and the DRAM model outside the timers.
+	for _, lc := range []string{"websearch", "ml_cluster", "memkeyval"} {
+		lab.LC(lc)
+	}
+	lab.DRAMModel("websearch")
+	lab.BE("brain")
+
+	benches := []struct {
+		name  string
+		quick bool
+		fn    func(b *testing.B)
+	}{
+		{"MachineStep", true, func(b *testing.B) {
+			m := machine.New(lab.Cfg)
+			m.SetLC(lab.LC("websearch"))
+			m.AddBE(lab.BE("brain"), workload.PlaceDedicated)
+			m.SetLoad(0.5)
+			m.Partition(12)
+			for i := 0; i < 620; i++ {
+				m.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step()
+			}
+		}},
+		{"ColocateSweep/sequential", true, func(b *testing.B) {
+			o := opts
+			o.Workers = 1
+			for i := 0; i < b.N; i++ {
+				lab.Colocate("websearch", "brain", loads, o)
+			}
+		}},
+		{"ColocateSweep/parallel", true, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lab.Colocate("websearch", "brain", loads, opts)
+			}
+		}},
+		{"Figure1/websearch", false, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lab.Figure1("websearch", loads)
+			}
+		}},
+		{"Figure3/websearch", false, func(b *testing.B) {
+			fracs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+			for i := 0; i < b.N; i++ {
+				lab.Figure3("websearch", fracs, fracs)
+			}
+		}},
+	}
+
+	base := Baseline{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC(),
+	}
+	for _, bench := range benches {
+		if *quick && !bench.quick {
+			continue
+		}
+		res := testing.Benchmark(bench.fn)
+		e := Entry{
+			Name:        bench.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			N:           res.N,
+		}
+		base.Entries = append(base.Entries, e)
+		fmt.Printf("%-28s %14.0f ns/op %8d B/op %6d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

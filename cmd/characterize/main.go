@@ -21,9 +21,11 @@ func main() {
 	workloadFlag := flag.String("workload", "all", "LC workload to characterise (websearch, ml_cluster, memkeyval or all)")
 	fig3 := flag.Bool("fig3", false, "produce the Figure 3 cores x LLC surface instead of Figure 1")
 	nloads := flag.Int("loads", 19, "number of load points (19 reproduces the paper's 5%..95% grid)")
+	workers := flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	lab := experiment.DefaultLab()
+	lab.Workers = *workers
 	names := []string{"websearch", "ml_cluster", "memkeyval"}
 	if *workloadFlag != "all" {
 		names = []string{*workloadFlag}

@@ -23,6 +23,7 @@ func main() {
 	hours := flag.Float64("hours", 12, "trace duration in hours")
 	step := flag.Duration("step", time.Second, "trace step")
 	seed := flag.Uint64("seed", 42, "trace random seed")
+	workers := flag.Int("workers", 0, "concurrent leaves per epoch (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	lab := experiment.DefaultLab()
@@ -42,6 +43,7 @@ func main() {
 			SView:    lab.BE("streetview"),
 			Seed:     *seed,
 			Model:    lab.DRAMModel("websearch"),
+			Workers:  *workers,
 		}
 		res := cluster.Run(cfg, tr)
 		s := res.Summarize()

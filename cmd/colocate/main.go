@@ -22,16 +22,19 @@ func main() {
 	minutes := flag.Int("minutes", 12, "simulated minutes per load point")
 	useModel := flag.Bool("model", true, "use the offline DRAM bandwidth model (§4.2)")
 	nloads := flag.Int("loads", 10, "number of load points")
+	workers := flag.Int("workers", 0, "concurrent load points (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	lab := experiment.DefaultLab()
+	lab.Workers = *workers
 	loads := make([]float64, *nloads)
 	for i := range loads {
-		loads[i] = 0.05 + 0.90*float64(i)/float64(*nloads-1)
+		loads[i] = 0.05 + 0.90*float64(i)/float64(max(*nloads-1, 1))
 	}
 	opts := experiment.RunOpts{
 		Duration:     time.Duration(*minutes) * time.Minute,
 		UseDRAMModel: *useModel,
+		Workers:      *workers,
 	}
 
 	fmt.Println(lab.Baseline(*lcName, loads, opts))

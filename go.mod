@@ -1,0 +1,3 @@
+module heracles
+
+go 1.22

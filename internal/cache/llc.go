@@ -110,8 +110,33 @@ type region struct {
 	comps    []int // indices into comps
 }
 
-// Resolve computes the fixed point of occupancy and miss rates.
+// Scratch holds the solver's working state so repeated Resolve calls on a
+// hot path perform no heap allocations. A zero Scratch is ready to use;
+// buffers grow to the high-water mark on first use and are reused after.
+// The Share slice returned by ResolveScratch aliases the scratch and is
+// valid until the next call with the same Scratch.
+type Scratch struct {
+	comps   []compState
+	regions []region
+	next    []float64
+	active  []int
+	out     []Share
+}
+
+// Resolve computes the fixed point of occupancy and miss rates. It is the
+// allocating convenience form of ResolveScratch; hot paths should hold a
+// Scratch and call ResolveScratch instead.
 func (s Solver) Resolve(demands []Demand) []Share {
+	var sc Scratch
+	shares := s.ResolveScratch(&sc, demands)
+	out := make([]Share, len(shares))
+	copy(out, shares)
+	return out
+}
+
+// ResolveScratch computes the fixed point of occupancy and miss rates using
+// sc's buffers. The returned slice is owned by sc.
+func (s Solver) ResolveScratch(sc *Scratch, demands []Demand) []Share {
 	iters := s.Iterations
 	if iters <= 0 {
 		iters = 20
@@ -125,7 +150,7 @@ func (s Solver) Resolve(demands []Demand) []Share {
 		recency = 0.5
 	}
 
-	var comps []compState
+	comps := sc.comps[:0]
 	for di, d := range demands {
 		scale := d.LoadScale
 		if scale <= 0 {
@@ -148,49 +173,46 @@ func (s Solver) Resolve(demands []Demand) []Share {
 			})
 		}
 	}
+	sc.comps = comps
 
-	// Group ways into regions by sharer-set signature.
-	sig := make(map[uint64]*region)
-	var regions []*region
+	// Group ways into regions by sharer set. The handful of CAT partitions
+	// in play yields very few distinct sharer sets, so a linear scan over
+	// the regions found so far beats building a map.
+	regions := sc.regions[:0]
 	for w := 0; w < s.Ways; w++ {
 		bit := uint64(1) << uint(w)
-		var key uint64
-		for i := range comps {
-			if comps[i].mask&bit != 0 {
-				key |= 1 << uint(i%63)
-			}
-		}
-		// Build exact sharer list; the hash key above may collide for
-		// >63 components, so verify by membership below.
-		r, ok := sig[key]
-		if ok {
-			same := true
-			for _, ci := range r.comps {
-				if comps[ci].mask&bit == 0 {
-					same = false
-					break
-				}
-			}
-			if same {
+		matched := false
+		for ri := range regions {
+			r := &regions[ri]
+			if sameSharers(comps, r.comps, bit) {
 				r.capacity += s.WayMB
-				continue
+				matched = true
+				break
 			}
 		}
-		nr := &region{capacity: s.WayMB}
-		for i := range comps {
-			if comps[i].mask&bit != 0 {
-				nr.comps = append(nr.comps, i)
-			}
-		}
-		if len(nr.comps) == 0 {
+		if matched {
 			continue
 		}
-		sig[key] = nr
-		regions = append(regions, nr)
+		var rcomps []int
+		if n := len(regions); n < cap(regions) {
+			// Reclaim the member slice of a previously grown region slot.
+			rcomps = regions[:n+1][n].comps[:0]
+		}
+		for i := range comps {
+			if comps[i].mask&bit != 0 {
+				rcomps = append(rcomps, i)
+			}
+		}
+		if len(rcomps) == 0 {
+			continue
+		}
+		regions = append(regions, region{capacity: s.WayMB, comps: rcomps})
 	}
+	sc.regions = regions
 
 	// Initial guess: even split of each region.
-	for _, r := range regions {
+	for ri := range regions {
+		r := &regions[ri]
 		per := r.capacity / float64(len(r.comps))
 		for _, ci := range r.comps {
 			comps[ci].occ += per
@@ -203,7 +225,8 @@ func (s Solver) Resolve(demands []Demand) []Share {
 	}
 
 	const pressureFloor = 1e-9
-	next := make([]float64, len(comps))
+	sc.next = growFloats(sc.next, len(comps))
+	next := sc.next
 	for it := 0; it < iters; it++ {
 		for i := range comps {
 			c := &comps[i]
@@ -215,8 +238,8 @@ func (s Solver) Resolve(demands []Demand) []Share {
 		for i := range next {
 			next[i] = 0
 		}
-		for _, r := range regions {
-			waterFill(comps, r, next)
+		for ri := range regions {
+			sc.active = waterFill(comps, &regions[ri], next, sc.active)
 		}
 		for i := range comps {
 			c := &comps[i]
@@ -228,7 +251,13 @@ func (s Solver) Resolve(demands []Demand) []Share {
 		}
 	}
 
-	out := make([]Share, len(demands))
+	if cap(sc.out) < len(demands) {
+		sc.out = make([]Share, len(demands))
+	}
+	out := sc.out[:len(demands)]
+	for i := range out {
+		out[i] = Share{}
+	}
 	for i := range comps {
 		c := &comps[i]
 		h := c.comp.HitRatio(c.occ, c.footprint)
@@ -240,12 +269,38 @@ func (s Solver) Resolve(demands []Demand) []Share {
 	return out
 }
 
+// sameSharers reports whether the way selected by bit is shared by exactly
+// the components listed in members.
+func sameSharers(comps []compState, members []int, bit uint64) bool {
+	n := 0
+	for i := range comps {
+		if comps[i].mask&bit != 0 {
+			if n >= len(members) || members[n] != i {
+				return false
+			}
+			n++
+		}
+	}
+	return n == len(members)
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // waterFill divides a region's capacity among its components in proportion
 // to pressure, capping each component at its footprint and redistributing
-// the excess to the remaining components.
-func waterFill(comps []compState, r *region, next []float64) {
+// the excess to the remaining components. The returned slice is the scratch
+// buffer (possibly grown) handed back for reuse.
+func waterFill(comps []compState, r *region, next []float64, scratch []int) []int {
 	remaining := r.capacity
-	active := make([]int, len(r.comps))
+	if cap(scratch) < len(r.comps) {
+		scratch = make([]int, len(r.comps))
+	}
+	active := scratch[:len(r.comps)]
 	copy(active, r.comps)
 	// The allocation already granted in other regions counts against the
 	// footprint cap.
@@ -257,7 +312,8 @@ func waterFill(comps []compState, r *region, next []float64) {
 		if total <= 0 {
 			break
 		}
-		var nextActive []int
+		// Survivors of this round are compacted to the front of active.
+		keep := 0
 		allocated := 0.0
 		for _, ci := range active {
 			share := remaining * comps[ci].pressure / total
@@ -271,16 +327,18 @@ func waterFill(comps []compState, r *region, next []float64) {
 			} else {
 				next[ci] += share
 				allocated += share
-				nextActive = append(nextActive, ci)
+				active[keep] = ci
+				keep++
 			}
 		}
 		remaining -= allocated
-		if len(nextActive) == len(active) {
+		if keep == len(active) {
 			// Nobody hit a cap; the region is fully distributed.
 			break
 		}
-		active = nextActive
+		active = active[:keep]
 	}
+	return scratch
 }
 
 // MaskOfWays returns a contiguous way mask of n ways starting at way lo.

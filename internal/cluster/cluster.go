@@ -14,6 +14,7 @@ import (
 	"heracles/internal/hw"
 	"heracles/internal/lat"
 	"heracles/internal/machine"
+	"heracles/internal/parallel"
 	"heracles/internal/sim"
 	"heracles/internal/trace"
 	"heracles/internal/workload"
@@ -58,6 +59,13 @@ type Config struct {
 	// AdjustPeriod is the root controller's adjustment cadence
 	// (default 30 s).
 	AdjustPeriod time.Duration
+	// Workers bounds how many leaves step concurrently within an epoch:
+	// 0 selects parallel.DefaultWorkers, 1 forces the sequential
+	// reference run. Leaves are independent machines and the root's
+	// fan-out sampling draws from an RNG stream derived from
+	// (Seed, epoch) rather than shared generator state, so every worker
+	// count produces identical results.
+	Workers int
 }
 
 // EpochStat is the cluster state for one trace epoch.
@@ -103,7 +111,6 @@ func Run(cfg Config, tr trace.Trace) Result {
 	if cfg.AdjustPeriod == 0 {
 		cfg.AdjustPeriod = 30 * time.Second
 	}
-	rng := sim.NewRNG(cfg.Seed + 7)
 
 	leaves := make([]*leaf, cfg.Leaves)
 	for i := range leaves {
@@ -124,8 +131,9 @@ func Run(cfg Config, tr trace.Trace) Result {
 
 	// Root SLO: mean fan-out latency at 90% load with a small margin for
 	// trace noise above the nominal crest (the paper sets the target as
-	// µ/30s at 90% load).
-	slo := rootLatencyAt(cfg, 0.95, rng)
+	// µ/30s at 90% load). The calibration draws from its own derived RNG
+	// stream, disjoint from every epoch's sampling stream.
+	slo := rootLatencyAt(cfg, 0.95, sim.DeriveRNG(cfg.Seed, ^uint64(0)))
 
 	res := Result{SLO: slo, Warmup: cfg.Warmup}
 	epoch := leaves[0].m.Epoch()
@@ -134,33 +142,47 @@ func Run(cfg Config, tr trace.Trace) Result {
 	leafScale := cfg.LeafTargetFrac
 	var lastAdjust time.Duration
 	var rootEWMA float64
-	for t < end {
+	leafEMU := make([]float64, len(leaves))
+	leafFrac := make([]float64, len(leaves))
+	leafTail := make([]lat.EpochStats, len(leaves))
+	// One persistent pool for the whole trace: the epoch loop fans out
+	// tens of thousands of times and must not spawn goroutines each time.
+	pool := parallel.NewPool(cfg.Workers)
+	defer pool.Close()
+	for epochIdx := uint64(0); t < end; epochIdx++ {
 		load := tr.At(t)
-		var (
-			emu      float64
-			worst    float64
-			viol     int
-			leafTail = make([]lat.EpochStats, len(leaves))
-		)
-		for _, lf := range leaves {
+		// Leaves are independent servers: step them concurrently, each
+		// writing only its own slot, then reduce sequentially in leaf
+		// order so float accumulation is identical for any worker count.
+		pool.ForEach(len(leaves), func(i int) {
+			lf := leaves[i]
 			lf.m.SetLoad(load)
 			tel := lf.m.Step()
 			if lf.ctl != nil {
 				lf.ctl.Step(lf.m.Clock().Now())
 			}
-			emu += tel.EMU
-			frac := tel.TailLatency.Seconds() / cfg.LC.SLO.Seconds()
-			if frac > worst {
-				worst = frac
+			leafEMU[i] = tel.EMU
+			leafFrac[i] = tel.TailLatency.Seconds() / cfg.LC.SLO.Seconds()
+			leafTail[i] = tel.Lat
+		})
+		var (
+			emu   float64
+			worst float64
+			viol  int
+		)
+		for i := range leaves {
+			emu += leafEMU[i]
+			if leafFrac[i] > worst {
+				worst = leafFrac[i]
 			}
-			if frac > 1 {
+			if leafFrac[i] > 1 {
 				viol++
 			}
 		}
-		for i, lf := range leaves {
-			leafTail[i] = lf.m.Last().Lat
-		}
-		mean := rootMean(leafTail, cfg.RootSamples, rng)
+		// The root's fan-out sampling gets a fresh stream derived from
+		// (seed, epoch): no shared mutable RNG state, so the samples do
+		// not depend on execution order.
+		mean := rootMean(leafTail, cfg.RootSamples, sim.DeriveRNG(cfg.Seed, epochIdx))
 
 		res.Epochs = append(res.Epochs, EpochStat{
 			At:         t,

@@ -8,6 +8,7 @@ import (
 	"heracles/internal/core"
 	"heracles/internal/lat"
 	"heracles/internal/machine"
+	"heracles/internal/parallel"
 	"heracles/internal/workload"
 )
 
@@ -16,12 +17,20 @@ type RunOpts struct {
 	Duration time.Duration // total simulated time per load point (default 12 min)
 	Warmup   time.Duration // excluded from statistics (default 2 min)
 	Window   time.Duration // SLO reporting window (default 60 s, like the paper)
-	Engine   lat.Engine    // nil = analytic
+	// Engine overrides the per-point latency engine; nil = analytic. A
+	// non-nil engine is a single shared instance whose state carries
+	// across load points, so setting it forces the sweep sequential.
+	Engine lat.Engine
 	// UseDRAMModel attaches the offline DRAM bandwidth model (§4.2); when
 	// false the controller estimates LC bandwidth by counter subtraction.
 	UseDRAMModel bool
 	// Controller overrides the default controller config when non-nil.
 	Controller *core.Config
+	// Workers bounds the sweep's concurrency: 0 defers to the lab's
+	// setting (default GOMAXPROCS), 1 forces the sequential reference
+	// run. Load points are independent machines, so any worker count
+	// produces byte-identical Series output.
+	Workers int
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -35,6 +44,17 @@ func (o RunOpts) withDefaults() RunOpts {
 		o.Window = time.Minute
 	}
 	return o
+}
+
+// sweepWorkers resolves the worker count for one sweep under this lab.
+func (l *Lab) sweepWorkers(opts RunOpts) int {
+	if opts.Engine != nil {
+		return 1 // shared engine state must be touched in load order
+	}
+	if opts.Workers != 0 {
+		return opts.Workers
+	}
+	return l.workers()
 }
 
 // Point is one measured load point of a colocation experiment. Latency is
@@ -65,19 +85,18 @@ type Series struct {
 }
 
 // Baseline sweeps the LC workload alone across the given loads — the
-// "baseline" series of Figures 4-7.
+// "baseline" series of Figures 4-7. Load points are independent machines
+// and run concurrently; results land in load order.
 func (l *Lab) Baseline(lcName string, loads []float64, opts RunOpts) Series {
 	opts = opts.withDefaults()
-	s := Series{LC: lcName, BE: "baseline"}
 	wl := l.LC(lcName)
-	for _, load := range loads {
+	points := parallel.Map(l.sweepWorkers(opts), len(loads), func(i int) Point {
 		m := l.newMachine(opts.Engine)
 		m.SetLC(wl)
-		m.SetLoad(load)
-		p := runPoint(m, nil, wl, load, opts)
-		s.Points = append(s.Points, p)
-	}
-	return s
+		m.SetLoad(loads[i])
+		return runPoint(m, nil, wl, loads[i], opts)
+	})
+	return Series{LC: lcName, BE: "baseline", Points: points}
 }
 
 // Colocate sweeps the LC workload colocated with the BE task under
@@ -95,7 +114,6 @@ func (l *Lab) Colocate(lcName, beName string, loads []float64, opts RunOpts) Ser
 // experiments. A nil model selects counter subtraction.
 func (l *Lab) ColocateWithModel(lcName, beName string, loads []float64, opts RunOpts, model core.DRAMModel) Series {
 	opts = opts.withDefaults()
-	s := Series{LC: lcName, BE: beName}
 	wl := l.LC(lcName)
 	be := l.BE(beName)
 
@@ -104,22 +122,24 @@ func (l *Lab) ColocateWithModel(lcName, beName string, loads []float64, opts Run
 		cfg = *opts.Controller
 	}
 
-	for _, load := range loads {
+	points := parallel.Map(l.sweepWorkers(opts), len(loads), func(i int) Point {
 		m := l.newMachine(opts.Engine)
 		m.SetLC(wl)
 		m.AddBE(be, workload.PlaceDedicated)
-		m.SetLoad(load)
+		m.SetLoad(loads[i])
 		ctl := core.New(m, model, cfg)
-		p := runPoint(m, ctl, wl, load, opts)
-		s.Points = append(s.Points, p)
-	}
-	return s
+		return runPoint(m, ctl, wl, loads[i], opts)
+	})
+	return Series{LC: lcName, BE: beName, Points: points}
 }
 
 // runPoint advances one machine for the configured duration, driving the
 // controller if present, and aggregates the point statistics.
 func runPoint(m *machine.Machine, ctl *core.Controller, wl *workload.LC, load float64, opts RunOpts) Point {
 	epochs := int(opts.Duration / m.Epoch())
+	if epochs < 1 {
+		epochs = 1 // the n==0 fallback below then reports a real epoch
+	}
 	warmup := int(opts.Warmup / m.Epoch())
 	winLen := int(opts.Window / m.Epoch())
 	if winLen < 1 {
@@ -168,6 +188,24 @@ func runPoint(m *machine.Machine, ctl *core.Controller, wl *workload.LC, load fl
 		n++
 	}
 	last := m.Last()
+	if n == 0 {
+		// Warmup consumed the whole run; report the final epoch rather
+		// than dividing by zero.
+		p.AvgTail = last.TailLatency.Seconds() / wl.SLO.Seconds()
+		p.WorstTail = p.AvgTail
+		p.EMU = last.EMU
+		p.BEOnlyRate = last.BERateNorm
+		p.DRAMUtil = last.DRAMUtil
+		p.CPUUtil = last.CPUUtil
+		p.PowerFrac = last.PowerFracTDP
+		p.LCNetGBs = last.LCTxGBs
+		p.BENetGBs = last.BETxGBs
+		p.LinkUtil = last.LinkUtil
+		p.BECores = last.BECores
+		p.BEWays = last.BEWays
+		p.SLOViolation = p.WorstTail > 1.0
+		return p
+	}
 	fn := float64(n)
 	p.AvgTail = sumTail / fn
 	p.EMU = sums.EMU / fn

@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The parallel sweep engine must be invisible in the results: any worker
+// count produces byte-identical Series output because load points are
+// independent machines and carry no shared mutable state.
+
+func shortOpts(workers int) RunOpts {
+	return RunOpts{
+		Duration:     4 * time.Minute,
+		Warmup:       time.Minute,
+		UseDRAMModel: true,
+		Workers:      workers,
+	}
+}
+
+func TestParallelColocateMatchesSequential(t *testing.T) {
+	lab := sharedLab(t)
+	loads := []float64{0.2, 0.45, 0.7}
+	seq := lab.Colocate("websearch", "brain", loads, shortOpts(1))
+	par := lab.Colocate("websearch", "brain", loads, shortOpts(4))
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel Colocate diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if seq.String() != par.String() {
+		t.Fatal("rendered series differ between worker counts")
+	}
+}
+
+func TestParallelBaselineMatchesSequential(t *testing.T) {
+	lab := sharedLab(t)
+	loads := []float64{0.1, 0.5, 0.9}
+	opts := RunOpts{Duration: 3 * time.Minute, Warmup: time.Minute}
+	opts.Workers = 1
+	seq := lab.Baseline("websearch", loads, opts)
+	opts.Workers = 8
+	par := lab.Baseline("websearch", loads, opts)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel Baseline diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestParallelFigure3MatchesSequential(t *testing.T) {
+	lab := sharedLab(t)
+	fracs := []float64{0.3, 0.6, 1.0}
+	seqLab := &Lab{Cfg: lab.Cfg, Workers: 1}
+	// Reuse the shared lab's calibrations through fresh sweeps: both labs
+	// calibrate deterministically from the same hardware config.
+	seq := seqLab.Figure3("websearch", fracs, fracs)
+	parLab := &Lab{Cfg: lab.Cfg, Workers: 4}
+	par := parLab.Figure3("websearch", fracs, fracs)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel Figure3 diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestLabCalibratesOncePerWorkloadUnderConcurrency(t *testing.T) {
+	lab := NewLab(sharedLab(t).Cfg)
+	const n = 8
+	got := make([]any, n)
+	done := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			got[i] = lab.LC("memkeyval")
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent LC calibration produced distinct instances")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"heracles/internal/core"
+	"heracles/internal/parallel"
 )
 
 // DRAMTable is the offline model of LC DRAM bandwidth demand as a function
@@ -74,18 +75,13 @@ func bracketI(xs []int, x int) (int, int, float64) {
 // for the named LC workload on the lab's hardware, sweeping a coarse grid
 // of load, cores and ways. This is the §4.2 offline step: it must be
 // regenerated only when the workload structure changes significantly, and
-// the paper shows Heracles tolerates a somewhat outdated model.
+// the paper shows Heracles tolerates a somewhat outdated model. The grid
+// cells are independent single-machine probes, so they run in parallel.
 func (l *Lab) DRAMModel(lcName string) *DRAMTable {
-	l.mu.Lock()
-	if l.dramModels == nil {
-		l.dramModels = make(map[string]*DRAMTable)
-	}
-	if t, ok := l.dramModels[lcName]; ok {
-		l.mu.Unlock()
-		return t
-	}
-	l.mu.Unlock()
+	return l.dramModels.get(lcName, func() *DRAMTable { return l.profileDRAM(lcName) })
+}
 
+func (l *Lab) profileDRAM(lcName string) *DRAMTable {
 	wl := l.LC(lcName)
 	total := l.Cfg.TotalCores()
 	ways := l.Cfg.LLCWays
@@ -95,31 +91,29 @@ func (l *Lab) DRAMModel(lcName string) *DRAMTable {
 		Cores: gridInts(2, total, 6),
 		Ways:  gridInts(2, ways, 5),
 	}
+	nc, nw := len(t.Cores), len(t.Ways)
 	t.GBs = make([][][]float64, len(t.Loads))
-	for i, load := range t.Loads {
-		t.GBs[i] = make([][]float64, len(t.Cores))
-		for j, n := range t.Cores {
-			t.GBs[i][j] = make([]float64, len(t.Ways))
-			for k, w := range t.Ways {
-				m := l.newMachine(nil)
-				m.SetLC(wl)
-				m.PinLC(n)
-				if w < ways {
-					m.LC().Ways = w
-				}
-				m.SetLoad(load)
-				var bw float64
-				for s := 0; s < 5; s++ {
-					bw = m.Step().LCDRAMGBs
-				}
-				t.GBs[i][j][k] = bw
-			}
+	for i := range t.GBs {
+		t.GBs[i] = make([][]float64, nc)
+		for j := range t.GBs[i] {
+			t.GBs[i][j] = make([]float64, nw)
 		}
 	}
-
-	l.mu.Lock()
-	l.dramModels[lcName] = t
-	l.mu.Unlock()
+	parallel.ForEach(l.workers(), len(t.Loads)*nc*nw, func(cell int) {
+		i, j, k := cell/(nc*nw), cell/nw%nc, cell%nw
+		m := l.newMachine(nil)
+		m.SetLC(wl)
+		m.PinLC(t.Cores[j])
+		if w := t.Ways[k]; w < ways {
+			m.LC().Ways = w
+		}
+		m.SetLoad(t.Loads[i])
+		var bw float64
+		for s := 0; s < 5; s++ {
+			bw = m.Step().LCDRAMGBs
+		}
+		t.GBs[i][j][k] = bw
+	})
 	return t
 }
 

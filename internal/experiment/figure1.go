@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"heracles/internal/parallel"
 	"heracles/internal/workload"
 )
 
@@ -52,43 +53,52 @@ func (l *Lab) Figure1(lcName string, loads []float64) Fig1Table {
 	wl := l.LC(lcName)
 	table := Fig1Table{Workload: lcName, Loads: loads}
 
-	minCores := make([]int, len(loads))
-	for i, load := range loads {
-		minCores[i] = l.MinCoresForSLO(lcName, load)
-	}
+	// The SLO-sizing probes and every (antagonist, load) cell are
+	// independent machines; run both grids in parallel. Antagonist
+	// calibration is safe under the fan-out: the lab memoises each
+	// workload behind its own sync.Once.
+	workers := l.workers()
+	minCores := parallel.Map(workers, len(loads), func(i int) int {
+		return l.MinCoresForSLO(lcName, loads[i])
+	})
 
 	const warmup, measure = 6, 10
-	for _, name := range Fig1RowNames {
-		row := Fig1Row{Antagonist: name, Values: make([]float64, len(loads))}
-		for i, load := range loads {
-			m := l.newMachine(nil)
-			m.SetLC(wl)
-			m.SetLoad(load)
+	nRows, nLoads := len(Fig1RowNames), len(loads)
+	cells := parallel.Map(workers, nRows*nLoads, func(cell int) float64 {
+		name := Fig1RowNames[cell/nLoads]
+		i := cell % nLoads
+		m := l.newMachine(nil)
+		m.SetLC(wl)
+		m.SetLoad(loads[i])
 
-			switch name {
-			case "HyperThread":
-				m.AddBE(l.BE("spinloop"), workload.PlaceHTSibling)
-				m.PinLC(minCores[i])
-			case "Network":
-				m.AddBE(l.BE("iperf"), workload.PlaceDedicated)
-				m.PinLC(l.Cfg.TotalCores() - 1)
-			case "brain":
-				m.LC().OSShared = true
-				m.AddBE(l.BE("brain"), workload.PlaceOSShared)
-			case "DRAM":
-				m.AddBE(l.BE("stream-DRAM"), workload.PlaceDedicated)
-				m.PinLC(minCores[i])
-			case "CPU power":
-				m.AddBE(l.BE("cpu_pwr"), workload.PlaceDedicated)
-				m.PinLC(minCores[i])
-			default: // LLC (small) / LLC (med) / LLC (big)
-				m.AddBE(l.BE(name), workload.PlaceDedicated)
-				m.PinLC(minCores[i])
-			}
-
-			row.Values[i] = measureTail(m, wl.SLO, warmup, measure)
+		switch name {
+		case "HyperThread":
+			m.AddBE(l.BE("spinloop"), workload.PlaceHTSibling)
+			m.PinLC(minCores[i])
+		case "Network":
+			m.AddBE(l.BE("iperf"), workload.PlaceDedicated)
+			m.PinLC(l.Cfg.TotalCores() - 1)
+		case "brain":
+			m.LC().OSShared = true
+			m.AddBE(l.BE("brain"), workload.PlaceOSShared)
+		case "DRAM":
+			m.AddBE(l.BE("stream-DRAM"), workload.PlaceDedicated)
+			m.PinLC(minCores[i])
+		case "CPU power":
+			m.AddBE(l.BE("cpu_pwr"), workload.PlaceDedicated)
+			m.PinLC(minCores[i])
+		default: // LLC (small) / LLC (med) / LLC (big)
+			m.AddBE(l.BE(name), workload.PlaceDedicated)
+			m.PinLC(minCores[i])
 		}
-		table.Rows = append(table.Rows, row)
+
+		return measureTail(m, wl.SLO, warmup, measure)
+	})
+	for r, name := range Fig1RowNames {
+		table.Rows = append(table.Rows, Fig1Row{
+			Antagonist: name,
+			Values:     cells[r*nLoads : (r+1)*nLoads : (r+1)*nLoads],
+		})
 	}
 	return table
 }

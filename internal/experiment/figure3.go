@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"strings"
+
+	"heracles/internal/parallel"
 )
 
 // Fig3Surface is the Figure 3 characterisation: the maximum load (fraction
@@ -47,33 +49,37 @@ func (l *Lab) Figure3(lcName string, coreFracs, wayFracs []float64) Fig3Surface 
 		return tail <= wl.SLO.Seconds()
 	}
 
-	for i, cf := range coreFracs {
+	for i := range coreFracs {
 		surface.MaxLoad[i] = make([]float64, len(wayFracs))
-		n := int(cf*float64(total) + 0.5)
+	}
+	// Every (cores, ways) cell is an independent bisection over its own
+	// machines; sweep the whole plane in parallel.
+	nw := len(wayFracs)
+	parallel.ForEach(l.workers(), len(coreFracs)*nw, func(cell int) {
+		i, j := cell/nw, cell%nw
+		n := int(coreFracs[i]*float64(total) + 0.5)
 		if n < 1 {
 			n = 1
 		}
-		for j, wf := range wayFracs {
-			w := int(wf*float64(ways) + 0.5)
-			if w < 1 {
-				w = 1
-			}
-			if !meets(n, w, 0.02) {
-				surface.MaxLoad[i][j] = 0
-				continue
-			}
-			lo, hi := 0.02, 1.0
-			for it := 0; it < 12; it++ {
-				mid := (lo + hi) / 2
-				if meets(n, w, mid) {
-					lo = mid
-				} else {
-					hi = mid
-				}
-			}
-			surface.MaxLoad[i][j] = lo
+		w := int(wayFracs[j]*float64(ways) + 0.5)
+		if w < 1 {
+			w = 1
 		}
-	}
+		if !meets(n, w, 0.02) {
+			surface.MaxLoad[i][j] = 0
+			return
+		}
+		lo, hi := 0.02, 1.0
+		for it := 0; it < 12; it++ {
+			mid := (lo + hi) / 2
+			if meets(n, w, mid) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		surface.MaxLoad[i][j] = lo
+	})
 	return surface
 }
 

@@ -13,58 +13,90 @@ import (
 	"heracles/internal/hw"
 	"heracles/internal/lat"
 	"heracles/internal/machine"
+	"heracles/internal/parallel"
 	"heracles/internal/workload"
 )
 
 // Lab caches calibrated workloads for a hardware configuration so that the
-// many experiment runners share one calibration pass.
+// many experiment runners share one calibration pass. Each workload (and
+// each offline DRAM model) is calibrated at most once behind its own
+// sync.Once, so concurrent sweeps never recalibrate and never serialise on
+// an unrelated workload's calibration.
 type Lab struct {
 	Cfg hw.Config
 
-	mu         sync.Mutex
-	lcs        map[string]*workload.LC
-	bes        map[string]*workload.BE
-	dramModels map[string]*DRAMTable
+	// Workers bounds the concurrency of this lab's sweeps and grids:
+	// 0 selects parallel.DefaultWorkers (GOMAXPROCS), 1 forces the
+	// sequential reference execution the determinism tests compare
+	// against. RunOpts.Workers overrides it per run.
+	Workers int
+
+	lcs        memo[*workload.LC]
+	bes        memo[*workload.BE]
+	dramModels memo[*DRAMTable]
+}
+
+// memo is a per-key once-cache: the map lock is held only to find or
+// create an entry, and the expensive compute runs inside the entry's own
+// sync.Once, so different keys calibrate concurrently while the same key
+// calibrates exactly once.
+type memo[T any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[T]
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	v    T
+}
+
+func (mm *memo[T]) get(name string, compute func() T) T {
+	mm.mu.Lock()
+	if mm.m == nil {
+		mm.m = make(map[string]*memoEntry[T])
+	}
+	e, ok := mm.m[name]
+	if !ok {
+		e = &memoEntry[T]{}
+		mm.m[name] = e
+	}
+	mm.mu.Unlock()
+	e.once.Do(func() { e.v = compute() })
+	return e.v
 }
 
 // NewLab returns a lab for the given hardware.
 func NewLab(cfg hw.Config) *Lab {
-	return &Lab{
-		Cfg: cfg,
-		lcs: make(map[string]*workload.LC),
-		bes: make(map[string]*workload.BE),
-	}
+	return &Lab{Cfg: cfg}
 }
 
 // DefaultLab returns a lab on the paper's reference hardware.
 func DefaultLab() *Lab { return NewLab(hw.DefaultConfig()) }
 
+// workers resolves the lab-level worker count.
+func (l *Lab) workers() int {
+	if l.Workers != 0 {
+		return l.Workers
+	}
+	return parallel.DefaultWorkers()
+}
+
 // LC returns the calibrated latency-critical workload with the given name,
 // calibrating it on first use. It panics on unknown names (experiment
 // configuration is programmer error, not runtime input).
 func (l *Lab) LC(name string) *workload.LC {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if wl, ok := l.lcs[name]; ok {
-		return wl
-	}
 	spec, ok := workload.LCByName(name)
 	if !ok {
 		panic("experiment: unknown LC workload " + name)
 	}
-	wl := machine.CalibrateLC(l.Cfg, machine.SpecOf(spec))
-	l.lcs[name] = wl
-	return wl
+	return l.lcs.get(name, func() *workload.LC {
+		return machine.CalibrateLC(l.Cfg, machine.SpecOf(spec))
+	})
 }
 
 // BE returns the calibrated best-effort workload with the given name,
 // calibrating it on first use.
 func (l *Lab) BE(name string) *workload.BE {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if wl, ok := l.bes[name]; ok {
-		return wl
-	}
 	spec, ok := workload.BEByName(name)
 	if !ok {
 		if name == "filler" {
@@ -73,9 +105,9 @@ func (l *Lab) BE(name string) *workload.BE {
 			panic("experiment: unknown BE workload " + name)
 		}
 	}
-	wl := machine.CalibrateBE(l.Cfg, spec)
-	l.bes[name] = wl
-	return wl
+	return l.bes.get(name, func() *workload.BE {
+		return machine.CalibrateBE(l.Cfg, spec)
+	})
 }
 
 // newMachine builds a machine with the lab's hardware and an optional

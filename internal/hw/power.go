@@ -51,6 +51,13 @@ type SocketFreq struct {
 // lowering the frequency of best-effort cores shifts power budget to the
 // latency-critical cores (paper §4.1, power isolation).
 func (c Config) ResolveFrequencies(cores []CoreLoad) SocketFreq {
+	return c.ResolveFrequenciesInto(make([]float64, len(cores)), cores)
+}
+
+// ResolveFrequenciesInto is ResolveFrequencies writing the per-core
+// frequencies into freqs (which must have capacity for len(cores) entries)
+// so steady-state callers allocate nothing. The result aliases freqs.
+func (c Config) ResolveFrequenciesInto(freqs []float64, cores []CoreLoad) SocketFreq {
 	n := 0
 	// The turbo bin count tracks *effective* active cores: a core that is
 	// busy 10% of the time contributes 0.1, so lightly loaded chips run
@@ -67,7 +74,11 @@ func (c Config) ResolveFrequencies(cores []CoreLoad) SocketFreq {
 			effActive += a
 		}
 	}
-	out := SocketFreq{FreqGHz: make([]float64, len(cores))}
+	freqs = freqs[:len(cores)]
+	for i := range freqs {
+		freqs[i] = 0
+	}
+	out := SocketFreq{FreqGHz: freqs}
 	if n == 0 {
 		out.PowerWatts = c.IdleWatts
 		out.FreeGHz = c.TurboLimitGHz(1)

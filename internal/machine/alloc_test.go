@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"testing"
+	"time"
+
+	"heracles/internal/hw"
+	"heracles/internal/workload"
+)
+
+// TestStepSteadyStateAllocFree pins the property the artefact pipeline's
+// throughput depends on: once the telemetry ring has filled, Machine.Step
+// performs zero heap allocations per epoch.
+func TestStepSteadyStateAllocFree(t *testing.T) {
+	lcs, bes := calibrated(t)
+	m := New(hw.DefaultConfig())
+	m.SetLC(lcs["websearch"])
+	m.AddBE(bes["brain"], workload.PlaceDedicated)
+	m.SetLoad(0.5)
+	m.Partition(12)
+	// Prime scratch buffers and fill the history ring.
+	for i := 0; i < 620; i++ {
+		m.Step()
+	}
+	if avg := testing.AllocsPerRun(200, func() { m.Step() }); avg != 0 {
+		t.Fatalf("steady-state Step allocates %.1f objects per epoch, want 0", avg)
+	}
+}
+
+// TestStepAllocFreeAfterActuation verifies the controller's actuators
+// (repartitioning cores/ways, DVFS and HTB changes) do not re-introduce
+// steady-state allocations.
+func TestStepAllocFreeAfterActuation(t *testing.T) {
+	lcs, bes := calibrated(t)
+	m := New(hw.DefaultConfig())
+	m.SetLC(lcs["websearch"])
+	m.AddBE(bes["streetview"], workload.PlaceDedicated)
+	m.SetLoad(0.6)
+	for i := 0; i < 620; i++ {
+		m.Step()
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		m.SetBECores(8)
+		m.SetBEWays(4)
+		m.SetBEFreqCap(2.0)
+		m.SetBETxCeil(0.5)
+		m.Step()
+	}); avg != 0 {
+		t.Fatalf("Step with actuation allocates %.1f objects per epoch, want 0", avg)
+	}
+}
+
+// TestTelemetryRingWraps exercises the ring past its capacity and checks
+// the windowed controller poll still sees the newest epochs.
+func TestTelemetryRingWraps(t *testing.T) {
+	lcs, _ := calibrated(t)
+	m := New(hw.DefaultConfig())
+	m.SetLC(lcs["websearch"])
+	m.SetLoad(0.3)
+	for i := 0; i < 700; i++ { // past recentMax=600
+		m.Step()
+	}
+	if got := len(m.Recent(1000)); got != 600 {
+		t.Fatalf("ring holds %d epochs, want 600", got)
+	}
+	rec := m.Recent(3)
+	for i := 1; i < len(rec); i++ {
+		if rec[i].Time <= rec[i-1].Time {
+			t.Fatalf("ring order broken: %v then %v", rec[i-1].Time, rec[i].Time)
+		}
+	}
+	if rec[len(rec)-1].Time != m.Clock().Now() {
+		t.Fatalf("newest ring entry at %v, clock at %v", rec[len(rec)-1].Time, m.Clock().Now())
+	}
+	tail, ok := m.TailLatency(15 * time.Second)
+	if !ok || tail <= 0 {
+		t.Fatalf("windowed tail after wrap = %v, %v", tail, ok)
+	}
+	m.ResetStats()
+	if len(m.Recent(10)) != 0 {
+		t.Fatal("reset did not clear wrapped ring")
+	}
+	// Refill after reset reuses the ring slots.
+	m.Step()
+	if len(m.Recent(10)) != 1 {
+		t.Fatal("ring refill after reset broken")
+	}
+}

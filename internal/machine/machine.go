@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"time"
 
+	"heracles/internal/cache"
 	"heracles/internal/hw"
 	"heracles/internal/lat"
+	"heracles/internal/netlink"
 	"heracles/internal/sim"
 	"heracles/internal/workload"
 )
@@ -63,8 +65,69 @@ type Machine struct {
 
 	lastService float64 // previous epoch mean LC service time (seconds)
 	tel         Telemetry
-	recent      []Telemetry // ring of recent epochs for controller polling
-	recentMax   int
+	// recent is a ring of recent epochs for controller polling: entries
+	// occupy logical order oldest-first starting at head. Slots (and the
+	// slices inside them) are reused once the ring is full, which is what
+	// makes steady-state stepping allocation-free.
+	recent    []Telemetry
+	recentN   int // valid entries
+	head      int // physical index of the oldest entry
+	recentMax int
+
+	scratch stepScratch
+}
+
+// stepScratch holds every buffer Step needs so that steady-state stepping
+// performs no heap allocations. Buffers sized by topology are allocated in
+// New; buffers sized by task count grow on demand in ensureScratch.
+type stepScratch struct {
+	act       []float64     // per-core power activity
+	caps      []float64     // per-core DVFS caps
+	coreFreq  []float64     // resolved per-core frequency
+	lcCoreSet []bool        // cores owned by the LC task
+	isBE      []bool        // reused by Partition/PinLC/BECoreCount
+	loads     []hw.CoreLoad // one socket's frequency-resolution input
+	freqs     []float64     // one socket's frequency-resolution output
+	taken     []int         // per-socket core-picking cursor
+	beCores   []int         // Partition's interleaved BE core list
+	dedicated []*BETask     // Partition's dedicated-task list
+
+	missRate     []float64   // per task, all sockets
+	accRate      []float64   // per task
+	missBySocket [][]float64 // per socket, per task
+	dramInfl     []float64   // per socket
+	achievedBW   []float64   // per task
+	demandBW     []float64   // per task
+	memDemands   []float64   // one socket's DRAM demand vector
+	memAchieved  []float64   // one socket's DRAM result buffer
+
+	demands   []cache.Demand // one socket's cache demands
+	demandIdx []int          // task index per demand
+	refDemand [1]cache.Demand
+	cacheSc   cache.Scratch
+
+	netClasses  [2]netlink.Class
+	netAchieved [2]float64
+	netSc       netlink.Scratch
+}
+
+// ensureScratch sizes the task-count-dependent buffers for nTasks tasks.
+func (m *Machine) ensureScratch(nTasks int) {
+	sc := &m.scratch
+	if cap(sc.missRate) >= nTasks {
+		return
+	}
+	sc.missRate = make([]float64, nTasks)
+	sc.accRate = make([]float64, nTasks)
+	sc.achievedBW = make([]float64, nTasks)
+	sc.demandBW = make([]float64, nTasks)
+	sc.memDemands = make([]float64, nTasks)
+	sc.memAchieved = make([]float64, nTasks)
+	sc.demands = make([]cache.Demand, 0, nTasks)
+	sc.demandIdx = make([]int, 0, nTasks)
+	for s := range sc.missBySocket {
+		sc.missBySocket[s] = make([]float64, nTasks)
+	}
 }
 
 // Option configures a Machine.
@@ -88,6 +151,20 @@ func New(cfg hw.Config, opts ...Option) *Machine {
 		epoch:     time.Second,
 		recentMax: 600,
 	}
+	tc := cfg.TotalCores()
+	m.scratch = stepScratch{
+		act:          make([]float64, tc),
+		caps:         make([]float64, tc),
+		coreFreq:     make([]float64, tc),
+		lcCoreSet:    make([]bool, tc),
+		isBE:         make([]bool, tc),
+		loads:        make([]hw.CoreLoad, cfg.CoresPerSocket),
+		freqs:        make([]float64, cfg.CoresPerSocket),
+		taken:        make([]int, cfg.Sockets),
+		dramInfl:     make([]float64, cfg.Sockets),
+		missBySocket: make([][]float64, cfg.Sockets),
+	}
+	m.ensureScratch(2)
 	for _, o := range opts {
 		o(m)
 	}
@@ -160,8 +237,11 @@ func (m *Machine) Partition(nBE int) {
 		nBE = tc - 1
 	}
 	// Pick BE cores from the top of each socket, round-robin over sockets.
-	beCores := make([]int, 0, nBE)
-	taken := make([]int, m.cfg.Sockets)
+	beCores := m.scratch.beCores[:0]
+	taken := m.scratch.taken
+	for s := range taken {
+		taken[s] = 0
+	}
 	for len(beCores) < nBE {
 		for s := 0; s < m.cfg.Sockets && len(beCores) < nBE; s++ {
 			if taken[s] >= cps {
@@ -171,7 +251,11 @@ func (m *Machine) Partition(nBE int) {
 			beCores = append(beCores, s*cps+cps-taken[s])
 		}
 	}
-	isBE := make([]bool, tc)
+	m.scratch.beCores = beCores
+	isBE := m.scratch.isBE
+	for c := range isBE {
+		isBE[c] = false
+	}
 	for _, c := range beCores {
 		isBE[c] = true
 	}
@@ -183,12 +267,13 @@ func (m *Machine) Partition(nBE int) {
 			}
 		}
 	}
-	dedicated := make([]*BETask, 0, len(m.bes))
+	dedicated := m.scratch.dedicated[:0]
 	for _, be := range m.bes {
 		if be.Placement == workload.PlaceDedicated {
 			dedicated = append(dedicated, be)
 		}
 	}
+	m.scratch.dedicated = dedicated
 	if len(dedicated) == 0 {
 		return
 	}
@@ -216,7 +301,10 @@ func (m *Machine) PinLC(n int) {
 		n = tc
 	}
 	lcCores := make([]int, 0, n)
-	taken := make([]int, m.cfg.Sockets)
+	taken := m.scratch.taken
+	for s := range taken {
+		taken[s] = 0
+	}
 	for len(lcCores) < n {
 		for s := 0; s < m.cfg.Sockets && len(lcCores) < n; s++ {
 			if taken[s] >= cps {
@@ -226,7 +314,10 @@ func (m *Machine) PinLC(n int) {
 			taken[s]++
 		}
 	}
-	isLC := make([]bool, tc)
+	isLC := m.scratch.isBE // reused scratch; semantics here are "is LC"
+	for c := range isLC {
+		isLC[c] = false
+	}
 	for _, c := range lcCores {
 		isLC[c] = true
 	}
@@ -324,7 +415,7 @@ func (m *Machine) BEEnabled() bool {
 // ResetStats clears telemetry history and queue state between experiment
 // points.
 func (m *Machine) ResetStats() {
-	m.recent = m.recent[:0]
+	m.recentN, m.head = 0, 0
 	m.engine.Reset()
 	if m.lc != nil {
 		m.lastService = m.lc.WL.Spec.BaseService().Seconds()

@@ -49,18 +49,24 @@ const netOverloadCap = 1.0 // seconds
 // the power-ramp penalty reaches full strength.
 const rampFreqWindow = 0.4
 
-// Step resolves one epoch and returns its telemetry.
+// Step resolves one epoch and returns its telemetry. The slices inside the
+// returned Telemetry are owned by the machine's history ring and remain
+// valid for the ring's depth (600 epochs); copy them to retain longer.
 func (m *Machine) Step() Telemetry {
 	cfg := m.cfg
 	tc := cfg.TotalCores()
 	dt := m.epoch
+	sc := &m.scratch
 
-	tel := Telemetry{
+	// Claim the ring slot this epoch will occupy, reusing its slices.
+	slot := m.claimSlot()
+	*slot = Telemetry{
 		Time:           m.clock.Now() + dt,
-		SocketPowerW:   make([]float64, cfg.Sockets),
-		PerCoreDRAMGBs: make([]float64, tc),
-		DRAMSocketUtil: make([]float64, cfg.Sockets),
+		SocketPowerW:   zeroFloats(slot.SocketPowerW, cfg.Sockets),
+		PerCoreDRAMGBs: zeroFloats(slot.PerCoreDRAMGBs, tc),
+		DRAMSocketUtil: zeroFloats(slot.DRAMSocketUtil, cfg.Sockets),
 	}
+	tel := slot
 
 	// --- 1. LC offered load and concurrency estimate -------------------
 	var lambda float64
@@ -91,9 +97,12 @@ func (m *Machine) Step() Telemetry {
 	}
 
 	// --- 2. Per-core activity and DVFS caps -----------------------------
-	act := make([]float64, tc)
-	caps := make([]float64, tc)
-	lcCoreSet := make([]bool, tc)
+	act := zeroFloats(sc.act, tc)
+	caps := zeroFloats(sc.caps, tc)
+	lcCoreSet := sc.lcCoreSet
+	for c := range lcCoreSet {
+		lcCoreSet[c] = false
+	}
 	if m.lc != nil && lambda > 0 {
 		a := m.lc.WL.Spec.Activity * maxf(lcUtil, minLCActivity)
 		if m.lc.OSShared {
@@ -134,15 +143,15 @@ func (m *Machine) Step() Telemetry {
 	}
 
 	// --- 3. Frequency/power resolution per socket -----------------------
-	coreFreq := make([]float64, tc)
+	coreFreq := zeroFloats(sc.coreFreq, tc)
 	var totalPower float64
 	for s := 0; s < cfg.Sockets; s++ {
-		loads := make([]hw.CoreLoad, cfg.CoresPerSocket)
+		loads := sc.loads
 		for i := 0; i < cfg.CoresPerSocket; i++ {
 			c := s*cfg.CoresPerSocket + i
 			loads[i] = hw.CoreLoad{Activity: act[c], CapGHz: caps[c]}
 		}
-		res := cfg.ResolveFrequencies(loads)
+		res := cfg.ResolveFrequenciesInto(sc.freqs, loads)
 		for i := 0; i < cfg.CoresPerSocket; i++ {
 			coreFreq[s*cfg.CoresPerSocket+i] = res.FreqGHz[i]
 		}
@@ -192,9 +201,10 @@ func (m *Machine) Step() Telemetry {
 	// installation order.
 	solver := cache.Solver{WayMB: cfg.WayMB(), Ways: cfg.LLCWays}
 	nTasks := 1 + len(m.bes)
-	missRate := make([]float64, nTasks) // misses/s per task, all sockets
-	accRate := make([]float64, nTasks)  // accesses/s per task
-	missBySocket := make([][]float64, cfg.Sockets)
+	m.ensureScratch(nTasks)
+	missRate := zeroFloats(sc.missRate, nTasks) // misses/s per task, all sockets
+	accRate := zeroFloats(sc.accRate, nTasks)   // accesses/s per task
+	missBySocket := sc.missBySocket
 	var lcRefMiss, lcRefAcc float64
 
 	lcMask := cache.FullMask(cfg.LLCWays)
@@ -207,9 +217,9 @@ func (m *Machine) Step() Telemetry {
 	}
 
 	for s := 0; s < cfg.Sockets; s++ {
-		missBySocket[s] = make([]float64, nTasks)
-		demands := make([]cache.Demand, 0, nTasks)
-		idx := make([]int, 0, nTasks)
+		missBySocket[s] = zeroFloats(missBySocket[s], nTasks)
+		demands := sc.demands[:0]
+		idx := sc.demandIdx[:0]
 
 		if m.lc != nil && lambda > 0 {
 			share := socketShare(cfg, m.lc.Cores, m.lc.OSShared, s, k)
@@ -252,10 +262,11 @@ func (m *Machine) Step() Telemetry {
 			})
 			idx = append(idx, 1+bi)
 		}
+		sc.demands, sc.demandIdx = demands, idx
 		if len(demands) == 0 {
 			continue
 		}
-		shares := solver.Resolve(demands)
+		shares := solver.ResolveScratch(&sc.cacheSc, demands)
 		for i, sh := range shares {
 			missRate[idx[i]] += sh.MissRate
 			accRate[idx[i]] += demands[i].AccessRate
@@ -268,12 +279,13 @@ func (m *Machine) Step() Telemetry {
 		if m.lc != nil && lambda > 0 {
 			share := socketShare(cfg, m.lc.Cores, m.lc.OSShared, s, k)
 			if share > 0 {
-				ref := solver.Resolve([]cache.Demand{{
+				sc.refDemand[0] = cache.Demand{
 					AccessRate: lambda * m.lc.WL.Spec.AccessesPerReq * share,
 					Components: m.lc.WL.Spec.CacheComponents,
 					WayMask:    cache.FullMask(cfg.LLCWays),
 					LoadScale:  loadScale,
-				}})
+				}
+				ref := solver.ResolveScratch(&sc.cacheSc, sc.refDemand[:])
 				lcRefMiss += ref[0].MissRate
 				lcRefAcc += lambda * m.lc.WL.Spec.AccessesPerReq * share
 			}
@@ -281,16 +293,16 @@ func (m *Machine) Step() Telemetry {
 	}
 
 	// --- 5. DRAM bandwidth per socket ------------------------------------
-	dramInfl := make([]float64, cfg.Sockets)
-	achievedBW := make([]float64, nTasks)
-	demandBW := make([]float64, nTasks)
+	dramInfl := zeroFloats(sc.dramInfl, cfg.Sockets)
+	achievedBW := zeroFloats(sc.achievedBW, nTasks)
+	demandBW := zeroFloats(sc.demandBW, nTasks)
 	var lcInflNum, lcInflDen float64
 	for s := 0; s < cfg.Sockets; s++ {
-		demands := make([]float64, nTasks)
+		demands := zeroFloats(sc.memDemands, nTasks)
 		for t := 0; t < nTasks; t++ {
 			demands[t] = missBySocket[s][t] * cacheLineBytes / 1e9
 		}
-		res := mem.Resolve(cfg.DRAMGBs, demands)
+		res := mem.ResolveInto(sc.memAchieved, cfg.DRAMGBs, demands)
 		dramInfl[s] = res.Inflation
 		for t := 0; t < nTasks; t++ {
 			achievedBW[t] += res.AchievedGBs[t]
@@ -358,11 +370,9 @@ func (m *Machine) Step() Telemetry {
 		beNetDemand += be.WL.Spec.NetDemandGBs
 		beFlows += be.WL.Spec.NetFlows
 	}
-	classes := []netlink.Class{
-		{DemandGBs: lcNetDemand, Flows: lcFlows},
-		{DemandGBs: beNetDemand, Flows: beFlows, CeilGBs: m.beNetCeilGBs},
-	}
-	netRes := netlink.Resolve(link, classes)
+	sc.netClasses[0] = netlink.Class{DemandGBs: lcNetDemand, Flows: lcFlows}
+	sc.netClasses[1] = netlink.Class{DemandGBs: beNetDemand, Flows: beFlows, CeilGBs: m.beNetCeilGBs}
+	netRes := netlink.ResolveInto(sc.netAchieved[:], &sc.netSc, link, sc.netClasses[:])
 	tel.LCTxGBs = netRes.AchievedGBs[0]
 	tel.BETxGBs = netRes.AchievedGBs[1]
 	tel.LinkUtil = netRes.Utilisation
@@ -570,12 +580,37 @@ func (m *Machine) Step() Telemetry {
 	}
 
 	m.clock.Advance(dt)
-	m.tel = tel
-	m.recent = append(m.recent, tel)
-	if len(m.recent) > m.recentMax {
-		m.recent = m.recent[len(m.recent)-m.recentMax:]
+	m.tel = *tel
+	return *tel
+}
+
+// claimSlot returns the ring slot the next epoch should fill, advancing the
+// ring. Slot slices are reused in place once the ring has filled.
+func (m *Machine) claimSlot() *Telemetry {
+	if m.recentN < m.recentMax {
+		if m.recentN == len(m.recent) {
+			m.recent = append(m.recent, Telemetry{})
+		}
+		slot := &m.recent[m.recentN]
+		m.recentN++
+		return slot
 	}
-	return tel
+	slot := &m.recent[m.head]
+	m.head = (m.head + 1) % m.recentMax
+	return slot
+}
+
+// zeroFloats returns buf resized to n (growing only when capacity is
+// insufficient) with every element zeroed.
+func zeroFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // RunFor advances the machine by d, stepping epoch by epoch, and returns

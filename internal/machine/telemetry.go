@@ -57,12 +57,29 @@ type Telemetry struct {
 // Last returns the telemetry of the most recent epoch.
 func (m *Machine) Last() Telemetry { return m.tel }
 
-// Recent returns up to n most recent epoch telemetries, oldest first.
+// Recent returns up to n most recent epoch telemetries, oldest first. The
+// returned slice is freshly allocated but its inner slices alias the
+// history ring.
 func (m *Machine) Recent(n int) []Telemetry {
-	if n > len(m.recent) {
-		n = len(m.recent)
+	if n > m.recentN {
+		n = m.recentN
 	}
-	return m.recent[len(m.recent)-n:]
+	if n == 0 {
+		return nil
+	}
+	out := make([]Telemetry, n)
+	for j := 0; j < n; j++ {
+		out[j] = *m.telAt(m.recentN - n + j)
+	}
+	return out
+}
+
+// telAt returns epoch j of the history ring, j=0 oldest.
+func (m *Machine) telAt(j int) *Telemetry {
+	if m.recentN < m.recentMax {
+		return &m.recent[j]
+	}
+	return &m.recent[(m.head+j)%m.recentMax]
 }
 
 // TailLatency returns the LC tail latency averaged over the epochs within
@@ -71,14 +88,14 @@ func (m *Machine) Recent(n int) []Telemetry {
 // sufficient queries to calculate statistically meaningful tail
 // latencies"). The boolean is false if no epoch has completed yet.
 func (m *Machine) TailLatency(window time.Duration) (time.Duration, bool) {
-	if len(m.recent) == 0 {
+	if m.recentN == 0 {
 		return 0, false
 	}
 	cutoff := m.clock.Now() - window
 	var sum float64
 	var n int
-	for i := len(m.recent) - 1; i >= 0; i-- {
-		t := m.recent[i]
+	for j := m.recentN - 1; j >= 0; j-- {
+		t := m.telAt(j)
 		if t.Time <= cutoff {
 			break
 		}
@@ -86,8 +103,7 @@ func (m *Machine) TailLatency(window time.Duration) (time.Duration, bool) {
 		n++
 	}
 	if n == 0 {
-		t := m.recent[len(m.recent)-1]
-		return t.TailLatency, true
+		return m.telAt(m.recentN - 1).TailLatency, true
 	}
 	return time.Duration(sum / float64(n) * float64(time.Second)), true
 }
@@ -132,16 +148,23 @@ func (m *Machine) GuaranteedGHz() float64 {
 // BECoreCount returns the number of cores currently granted to dedicated
 // BE tasks.
 func (m *Machine) BECoreCount() int {
-	set := map[int]bool{}
+	seen := m.scratch.isBE
+	for c := range seen {
+		seen[c] = false
+	}
+	n := 0
 	for _, be := range m.bes {
 		if be.Placement != workload.PlaceDedicated {
 			continue
 		}
 		for _, c := range be.Cores {
-			set[c] = true
+			if c < len(seen) && !seen[c] {
+				seen[c] = true
+				n++
+			}
 		}
 	}
-	return len(set)
+	return n
 }
 
 // SetBECores grows or shrinks the dedicated BE core allocation to n,

@@ -37,7 +37,18 @@ type Result struct {
 // proportionally to demand (DRAM controllers are roughly fair across
 // streams) and the latency inflation grows with the overload ratio.
 func Resolve(peakGBs float64, demands []float64) Result {
-	res := Result{AchievedGBs: make([]float64, len(demands))}
+	return ResolveInto(make([]float64, len(demands)), peakGBs, demands)
+}
+
+// ResolveInto is Resolve writing the achieved bandwidths into dst (which
+// must have capacity for len(demands) entries) so steady-state callers
+// allocate nothing. The Result aliases dst.
+func ResolveInto(dst []float64, peakGBs float64, demands []float64) Result {
+	dst = dst[:len(demands)]
+	for i := range dst {
+		dst[i] = 0
+	}
+	res := Result{AchievedGBs: dst}
 	if peakGBs <= 0 {
 		return res
 	}

@@ -32,17 +32,39 @@ const (
 	StarvationPenalty = 60.0
 )
 
+// Scratch holds ResolveInto's working buffers so hot callers allocate
+// nothing. The zero value is ready to use.
+type Scratch struct {
+	limit  []float64
+	active []bool
+}
+
 // Resolve performs weighted max-min fair sharing (water filling) of the
 // link among the classes. Each class's weight is its flow count, mirroring
 // per-flow TCP fairness; a class never receives more than
 // min(demand, ceil).
 func Resolve(linkGBs float64, classes []Class) Result {
-	res := Result{AchievedGBs: make([]float64, len(classes))}
+	var sc Scratch
+	return ResolveInto(make([]float64, len(classes)), &sc, linkGBs, classes)
+}
+
+// ResolveInto is Resolve writing achieved bandwidths into dst (capacity >=
+// len(classes)) and working out of sc's buffers. The Result aliases dst.
+func ResolveInto(dst []float64, sc *Scratch, linkGBs float64, classes []Class) Result {
+	dst = dst[:len(classes)]
+	for i := range dst {
+		dst[i] = 0
+	}
+	res := Result{AchievedGBs: dst}
 	if linkGBs <= 0 {
 		return res
 	}
-	limit := make([]float64, len(classes))
-	active := make([]bool, len(classes))
+	if cap(sc.limit) < len(classes) {
+		sc.limit = make([]float64, len(classes))
+		sc.active = make([]bool, len(classes))
+	}
+	limit := sc.limit[:len(classes)]
+	active := sc.active[:len(classes)]
 	for i, c := range classes {
 		l := c.DemandGBs
 		if l < 0 {

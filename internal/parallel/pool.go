@@ -1,0 +1,157 @@
+// Package parallel provides the bounded, order-preserving fan-out/fan-in
+// primitive used by the experiment layer: load sweeps, characterisation
+// grids and cluster leaves are independent simulations, so they run
+// concurrently on up to GOMAXPROCS workers while results land at their
+// original index. Determinism is preserved by construction — each item
+// writes only its own slot and any randomness is derived per item from
+// (seed, index) rather than shared mutable RNG state — so a run with one
+// worker is byte-identical to a run with many.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the pool size used when a caller passes workers <= 0:
+// GOMAXPROCS, the number of truly concurrent simulation loops the runtime
+// will schedule.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers resolves a caller-supplied worker count: non-positive means
+// DefaultWorkers, and there is never a reason to run more workers than
+// items.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects DefaultWorkers) and returns when all calls have
+// finished. Items are claimed in index order from a shared counter, so a
+// single worker degenerates to the plain sequential loop. fn must confine
+// its writes to per-index state.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in index order: out[i] = fn(i) regardless of
+// completion order, so fan-out never reorders a sweep's points.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// Pool is a persistent worker pool for callers that fan out the same shape
+// of work many times in a row (the cluster simulator steps its leaves once
+// per trace epoch, tens of thousands of epochs per run). Workers are
+// spawned once and parked between rounds, so a round costs one descriptor
+// allocation instead of a fresh set of goroutines. Items are claimed from
+// an atomic counter; as with ForEach, fn must confine writes to per-index
+// state, and a one-worker pool degenerates to the sequential loop.
+type Pool struct {
+	workers int
+	rounds  chan *poolRound
+}
+
+type poolRound struct {
+	fn   func(int)
+	size int
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// NewPool starts a pool of the given size (<= 0 selects DefaultWorkers).
+// Callers must Close it to release the worker goroutines.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool{workers: workers, rounds: make(chan *poolRound, workers)}
+	if workers == 1 {
+		return p // sequential pool: no goroutines to park
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for r := range p.rounds {
+				for {
+					i := int(r.next.Add(1)) - 1
+					if i >= r.size {
+						break
+					}
+					r.fn(i)
+				}
+				r.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the pool's workers and
+// returns when all calls have finished.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	r := &poolRound{fn: fn, size: n}
+	r.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.rounds <- r
+	}
+	r.wg.Wait()
+}
+
+// Close releases the pool's workers. The pool must not be used after.
+func (p *Pool) Close() {
+	if p.workers > 1 {
+		close(p.rounds)
+	}
+}

@@ -91,3 +91,17 @@ func (r *RNG) LogNormal(mean, sigma float64) float64 {
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
+
+// DeriveRNG returns an independent generator for item index of the
+// simulation seeded with seed. Unlike Split, the derived stream depends
+// only on (seed, index) — never on how many values other items consumed —
+// so concurrent load points or cluster epochs draw identical samples
+// whether they run on one worker or many.
+func DeriveRNG(seed, index uint64) *RNG {
+	// Two rounds of the splitmix64 finaliser decorrelate nearby
+	// (seed, index) pairs before they become a generator state.
+	z := seed + 0x9e3779b97f4a7c15*(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return NewRNG(z ^ (z >> 31))
+}
