@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench bench-smoke bench-baseline fmt-check ci
+.PHONY: all build vet test test-race bench bench-smoke bench-baseline bench-check fmt-check ci
 
 all: build
 
@@ -19,6 +19,11 @@ fmt-check:
 test:
 	$(GO) test ./...
 
+# Race-detector pass over the short suite: the parallel sweeps, the
+# cluster/fleet fan-outs and the worker pools all run under -race.
+test-race:
+	$(GO) test -race -short ./...
+
 # Full benchmark suite (prints every figure/table on the first iteration).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -32,4 +37,11 @@ bench-smoke:
 bench-baseline:
 	$(GO) run ./cmd/benchbaseline -out BENCH_baseline.json
 
-ci: build vet fmt-check test bench-smoke
+# Compare a fresh quick run against the committed baseline; fails on
+# regressions beyond the tolerance band (see cmd/benchbaseline -check).
+# The wide ns/op band absorbs hardware differences from the reference
+# machine that produced the baseline; allocs are held tight everywhere.
+bench-check:
+	$(GO) run ./cmd/benchbaseline -quick -check BENCH_baseline.json -tol 1.5
+
+ci: build vet fmt-check test test-race bench-smoke bench-check

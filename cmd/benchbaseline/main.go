@@ -6,9 +6,19 @@
 // Usage:
 //
 //	benchbaseline [-out BENCH_baseline.json] [-quick]
+//	benchbaseline -check BENCH_baseline.json [-quick] [-tol 0.5] [-alloc-tol 0.25]
 //
 // -quick restricts the run to the microbenchmarks and a reduced sweep,
-// which is what the CI smoke uses.
+// which is what the CI smoke uses. -check compares a fresh run against a
+// committed baseline instead of writing: ns/op may regress by at most
+// -tol (fractional; CI passes a wide band because its hardware differs
+// from the reference machine), allocs/op by at most -alloc-tol plus a
+// small absolute slack (allocation counts are near-deterministic, so the
+// tight band catches accidental allocation regressions on any hardware).
+// Entries only in one of the two runs are reported but do not fail the
+// check. Exit status 1 on any regression. Passing an explicit -out along
+// with -check also writes the fresh measurements (one run serves both
+// the gate and the artifact); without it, -check never writes.
 package main
 
 import (
@@ -45,6 +55,9 @@ type Baseline struct {
 func main() {
 	out := flag.String("out", "BENCH_baseline.json", "output file")
 	quick := flag.Bool("quick", false, "microbenchmarks and a reduced sweep only")
+	check := flag.String("check", "", "compare against this baseline instead of writing")
+	tol := flag.Float64("tol", 0.5, "allowed fractional ns/op regression (0.5 = +50%)")
+	allocTol := flag.Float64("alloc-tol", 0.25, "allowed fractional allocs/op regression")
 	flag.Parse()
 
 	lab := experiment.DefaultLab()
@@ -128,15 +141,99 @@ func main() {
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
+	if *check != "" {
+		ok := checkAgainst(*check, base.Entries, *tol, *allocTol)
+		// An explicit -out alongside -check also writes the fresh run, so
+		// CI measures the quick set once instead of twice. The default
+		// output path is suppressed here: it would clobber the committed
+		// baseline the check just compared against.
+		outSet := false
+		flag.Visit(func(f *flag.Flag) { outSet = outSet || f.Name == "out" })
+		if outSet {
+			writeBaseline(*out, base)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	writeBaseline(*out, base)
+}
+
+// writeBaseline marshals and writes the baseline file, exiting on error.
+func writeBaseline(path string, base Baseline) {
 	data, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
+}
+
+// allocSlack is the absolute allocs/op headroom on top of the fractional
+// band, absorbing scheduling jitter in the parallel sweeps (goroutine
+// stacks, pool descriptors) without letting real regressions through.
+// Zero-alloc baselines get no slack at all: a benchmark that measured 0
+// allocs/op (steady-state machine stepping) is deterministic, and losing
+// that property is precisely the regression the gate exists to catch.
+const allocSlack = 64
+
+// checkAgainst compares the fresh entries to the committed baseline and
+// reports every regression beyond the tolerance band. It returns false
+// if any entry regressed.
+func checkAgainst(path string, entries []Entry, tol, allocTol float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+		return false
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchbaseline: %s: %v\n", path, err)
+		return false
+	}
+	ref := make(map[string]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		ref[e.Name] = e
+	}
+
+	ok := true
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		seen[e.Name] = true
+		b, found := ref[e.Name]
+		if !found {
+			fmt.Printf("%-28s NEW (not in %s)\n", e.Name, path)
+			continue
+		}
+		nsLimit := b.NsPerOp * (1 + tol)
+		allocLimit := int64(0)
+		if b.AllocsPerOp > 0 {
+			allocLimit = int64(float64(b.AllocsPerOp)*(1+allocTol)) + allocSlack
+		}
+		nsBad := e.NsPerOp > nsLimit
+		allocBad := e.AllocsPerOp > allocLimit
+		status := "ok"
+		if nsBad || allocBad {
+			status = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-28s %-10s %12.0f -> %12.0f ns/op (limit %12.0f)  %8d -> %8d allocs/op (limit %8d)\n",
+			e.Name, status, b.NsPerOp, e.NsPerOp, nsLimit, b.AllocsPerOp, e.AllocsPerOp, allocLimit)
+	}
+	for _, b := range base.Entries {
+		if !seen[b.Name] {
+			fmt.Printf("%-28s MISSING from this run (baseline-only entry)\n", b.Name)
+		}
+	}
+	if ok {
+		fmt.Printf("bench check passed against %s (ns/op +%.0f%%, allocs +%.0f%%+%d band)\n",
+			path, 100*tol, 100*allocTol, allocSlack)
+	}
+	return ok
 }

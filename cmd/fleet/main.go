@@ -1,0 +1,108 @@
+// Command fleet runs the fleet-scale scenario experiment: a mix of
+// hardware generations, each cluster riding its own composed load shape
+// (diurnal base, flash-crowd spike) with best-effort churn and a mid-run
+// latency-target change, evaluated baseline vs Heracles and priced with
+// the §5.3 TCO model.
+//
+// Usage:
+//
+//	fleet [-minutes 30] [-std 2] [-compact 1] [-leaves 8] [-seed 42] [-workers 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"heracles/internal/fleet"
+	"heracles/internal/hw"
+	"heracles/internal/scenario"
+	"heracles/internal/trace"
+)
+
+func main() {
+	minutes := flag.Float64("minutes", 30, "scenario duration in simulated minutes")
+	stdN := flag.Int("std", 2, "clusters of the reference dual-socket generation")
+	compactN := flag.Int("compact", 1, "clusters of the compact single-socket generation")
+	leaves := flag.Int("leaves", 8, "leaf servers per cluster")
+	seed := flag.Uint64("seed", 42, "fleet random seed")
+	workers := flag.Int("workers", 0, "concurrent cluster runs (0 = GOMAXPROCS, 1 = sequential)")
+	flag.Parse()
+
+	dur := time.Duration(*minutes * float64(time.Minute))
+	warmup := dur / 6
+
+	// The reference generation rides a diurnal curve with a flash crowd
+	// at two-thirds of the horizon, while brain departs for a nightly
+	// rebuild and returns. Brain lives on the even leaves (the §5.3
+	// half-and-half split), so the churn targets exactly those.
+	stdEvents := make([]scenario.Event, 0, *leaves+1)
+	for i := 0; i < *leaves; i += 2 {
+		stdEvents = append(stdEvents,
+			scenario.BEDepart(dur/4, i, "brain"),
+			scenario.BEArrive(dur/2, i, "brain"))
+	}
+	std := scenario.Scenario{
+		Name:     "diurnal+flashcrowd",
+		Duration: dur,
+		Load: scenario.Clamp(scenario.Sum(
+			scenario.Diurnal(trace.DiurnalConfig{
+				Duration: dur, Step: time.Second,
+				MinLoad: 0.20, MaxLoad: 0.60, Seed: *seed,
+			}),
+			// The crowd peaks above the controller's LoadDisable threshold
+			// (0.85), so Heracles parks every BE task for its duration —
+			// the §5.2 "load changes" response.
+			scenario.FlashCrowd{
+				Start: dur * 2 / 3,
+				Rise:  dur / 12, Hold: dur / 20, Fall: dur / 15,
+				Amp: 0.30,
+			},
+			// Clamp below the 95%-load point the root SLO is calibrated
+			// at: the cluster is provisioned for its crest.
+		), 0, 0.88),
+		Events: stdEvents,
+	}
+
+	// The compact generation sees stepped load-target changes (§5.2) and
+	// a mid-run SLO tightening; it starts from a conservative leaf target
+	// and lets the centralized root controller harvest slack.
+	compact := scenario.Scenario{
+		Name:     "steps+retarget",
+		Duration: dur,
+		Load: scenario.Steps{
+			{At: 0, Load: 0.30},
+			{At: dur / 3, Load: 0.45},
+			{At: dur * 3 / 4, Load: 0.35},
+		},
+		Events: []scenario.Event{
+			scenario.BEDepart(dur/3, scenario.AllLeaves, "streetview"),
+			// Tighten every leaf's latency target mid-run; with
+			// DynamicLeafTargets on, this re-anchors the root
+			// controller's working scale.
+			scenario.SLOScale(dur/2, scenario.AllLeaves, 0.60),
+			scenario.BEArrive(dur*2/3, scenario.AllLeaves, "streetview"),
+			scenario.LoadScale(dur*5/6, 1.1),
+		},
+	}
+
+	cfg := fleet.Config{
+		Seed:    *seed,
+		Workers: *workers,
+		Clusters: []fleet.ClusterSpec{
+			{
+				Name: "std", Count: *stdN,
+				HW: hw.DefaultConfig(), Leaves: *leaves,
+				Warmup: warmup, Scenario: std,
+			},
+			{
+				Name: "compact", Count: *compactN,
+				HW: hw.CompactConfig(), Leaves: *leaves,
+				LeafTargetFrac: 0.65, DynamicLeafTargets: true,
+				Warmup: warmup, Scenario: compact,
+			},
+		},
+	}
+	res := fleet.Run(cfg)
+	fmt.Print(res.String())
+}

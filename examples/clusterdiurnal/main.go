@@ -14,13 +14,20 @@ import (
 func main() {
 	lab := heracles.DefaultLab()
 
-	tr := heracles.DiurnalTrace(heracles.DiurnalConfig{
+	// The diurnal curve is a scenario load shape; the same scenario can
+	// carry timed events (BE churn, degradation) — see
+	// examples/fleetscenarios.
+	sc := heracles.Scenario{
+		Name:     "diurnal",
 		Duration: 3 * time.Hour,
-		Step:     time.Second,
-		MinLoad:  0.20,
-		MaxLoad:  0.80,
-		Seed:     7,
-	})
+		Load: heracles.DiurnalShape(heracles.DiurnalConfig{
+			Duration: 3 * time.Hour,
+			Step:     time.Second,
+			MinLoad:  0.20,
+			MaxLoad:  0.80,
+			Seed:     7,
+		}),
+	}
 
 	for _, mode := range []bool{false, true} {
 		cfg := heracles.ClusterConfig{
@@ -33,7 +40,7 @@ func main() {
 			Seed:     7,
 			Model:    lab.DRAMModel("websearch"),
 		}
-		res := heracles.RunCluster(cfg, tr)
+		res := heracles.RunClusterScenario(cfg, sc)
 		s := res.Summarize()
 		name := "baseline"
 		if mode {

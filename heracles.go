@@ -26,9 +26,11 @@ import (
 	"heracles/internal/cluster"
 	"heracles/internal/core"
 	"heracles/internal/experiment"
+	"heracles/internal/fleet"
 	"heracles/internal/hw"
 	"heracles/internal/lat"
 	"heracles/internal/machine"
+	"heracles/internal/scenario"
 	"heracles/internal/tco"
 	"heracles/internal/trace"
 	"heracles/internal/workload"
@@ -46,6 +48,10 @@ type (
 // DefaultHardware returns the dual-socket Haswell-class server of the
 // paper's testbed (§3.2).
 func DefaultHardware() HardwareConfig { return hw.DefaultConfig() }
+
+// CompactHardware returns the single-socket efficiency generation mixed
+// into heterogeneous fleet experiments.
+func CompactHardware() HardwareConfig { return hw.CompactConfig() }
 
 // Workload models.
 type (
@@ -188,11 +194,81 @@ type (
 var (
 	// RunCluster replays a load trace against the cluster.
 	RunCluster = cluster.Run
+	// RunClusterScenario drives the cluster through a declarative
+	// scenario (load shape + timed events).
+	RunClusterScenario = cluster.RunScenario
 	// DiurnalTrace synthesises the §5.3 12-hour load trace.
 	DiurnalTrace = trace.Diurnal
 	// ConstantTrace returns a flat load trace.
 	ConstantTrace = trace.Constant
 )
+
+// Scenario engine: declarative load shapes and timed events.
+type (
+	// Scenario composes a load shape with an event schedule.
+	Scenario = scenario.Scenario
+	// LoadShape is a composable load-vs-time function.
+	LoadShape = scenario.Shape
+	// ScenarioEvent is one timed action (BE churn, degradation,
+	// SLO/load-target change).
+	ScenarioEvent = scenario.Event
+	// FlatLoad is a constant load shape.
+	FlatLoad = scenario.Flat
+	// StepLoads is a piecewise-constant shape (§5.2 load changes).
+	StepLoads = scenario.Steps
+	// LoadLevel is one plateau of a StepLoads shape.
+	LoadLevel = scenario.Level
+	// RampLoad interpolates linearly between two loads.
+	RampLoad = scenario.Ramp
+	// FlashCrowdLoad is an additive trapezoid spike.
+	FlashCrowdLoad = scenario.FlashCrowd
+)
+
+// AllLeaves targets every leaf in a scenario event.
+const AllLeaves = scenario.AllLeaves
+
+var (
+	// ScenarioFromTrace wraps a bare trace as an event-free scenario.
+	ScenarioFromTrace = scenario.FromTrace
+	// ReplayShape wraps a trace as a load shape.
+	ReplayShape = scenario.Replay
+	// DiurnalShape synthesises a diurnal load shape.
+	DiurnalShape = scenario.Diurnal
+	// SumShapes adds shapes pointwise (overlay a flash crowd on a base).
+	SumShapes = scenario.Sum
+	// ScaleShape multiplies a shape by a constant.
+	ScaleShape = scenario.Scale
+	// ClampShape bounds a shape to [lo, hi].
+	ClampShape = scenario.Clamp
+	// BEArriveEvent schedules a best-effort task launch.
+	BEArriveEvent = scenario.BEArrive
+	// BEDepartEvent schedules a best-effort task departure.
+	BEDepartEvent = scenario.BEDepart
+	// DegradeEvent schedules a per-leaf service-time degradation.
+	DegradeEvent = scenario.Degrade
+	// SLOScaleEvent schedules a latency-target change.
+	SLOScaleEvent = scenario.SLOScale
+	// LoadScaleEvent schedules an offered-load multiplier change.
+	LoadScaleEvent = scenario.LoadScale
+)
+
+// Fleet simulation: many heterogeneous clusters, baseline vs Heracles.
+type (
+	// FleetConfig describes a fleet experiment.
+	FleetConfig = fleet.Config
+	// FleetClusterSpec is one homogeneous slice of the fleet.
+	FleetClusterSpec = fleet.ClusterSpec
+	// FleetResult is a full fleet run with TCO analysis.
+	FleetResult = fleet.Result
+	// FleetOutcome is one cluster's paired baseline/Heracles summary.
+	FleetOutcome = fleet.Outcome
+	// FleetAggregate reduces the fleet to §5.2/§5.3 quantities.
+	FleetAggregate = fleet.Aggregate
+)
+
+// RunFleet executes every cluster of the fleet, baseline and Heracles,
+// and aggregates utilisation, SLO compliance and TCO.
+var RunFleet = fleet.Run
 
 // TCO analysis (§5.3).
 type (

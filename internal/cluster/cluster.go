@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"heracles/internal/lat"
 	"heracles/internal/machine"
 	"heracles/internal/parallel"
+	"heracles/internal/scenario"
 	"heracles/internal/sim"
 	"heracles/internal/trace"
 	"heracles/internal/workload"
@@ -23,7 +25,7 @@ import (
 // Config describes a cluster experiment.
 type Config struct {
 	Leaves int // number of leaf servers (default 20)
-	// BEHalves: when true, brain runs on half of the leaves and
+	// Heracles: when true, brain runs on half of the leaves and
 	// streetview on the other half under Heracles control (§5.3); when
 	// false the cluster runs the baseline with no best-effort tasks.
 	Heracles bool
@@ -32,6 +34,10 @@ type Config struct {
 	LC    *workload.LC // calibrated websearch (or any LC workload)
 	Brain *workload.BE
 	SView *workload.BE
+	// Catalog resolves additional calibrated BE workloads referenced by
+	// scenario BE-arrival events; Brain and SView are always resolvable
+	// by their workload names without an entry here.
+	Catalog map[string]*workload.BE
 
 	// RootSamples is the number of per-epoch request samples used to
 	// estimate the root's fan-out latency.
@@ -93,11 +99,49 @@ type leaf struct {
 }
 
 // Run replays the load trace against the cluster and returns per-epoch
-// statistics. The root-level SLO is set as the µ/30s latency when serving
-// 90% load with no colocated tasks (§5.3).
+// statistics — the compatibility wrapper over RunScenario for callers
+// with a bare trace and no events.
 func Run(cfg Config, tr trace.Trace) Result {
+	return RunScenario(cfg, scenario.FromTrace("trace", tr))
+}
+
+// lookupBE resolves a BE-arrival event's workload name against the
+// config. Unknown names panic: scenario composition is programmer error,
+// not runtime input.
+func (cfg Config) lookupBE(name string) *workload.BE {
+	if be, ok := cfg.Catalog[name]; ok {
+		return be
+	}
+	if cfg.Brain != nil && cfg.Brain.Spec.Name == name {
+		return cfg.Brain
+	}
+	if cfg.SView != nil && cfg.SView.Spec.Name == name {
+		return cfg.SView
+	}
+	panic("cluster: scenario references unknown BE workload " + name)
+}
+
+// RunScenario drives the cluster through a declarative scenario: the
+// scenario's load shape replaces bespoke trace plumbing, and its timed
+// events (BE churn, leaf degradation, SLO/load-target changes) are
+// applied between epochs, in schedule order, before the leaves step. The
+// root-level SLO is set as the µ/30s latency when serving 90% load with
+// no colocated tasks (§5.3).
+func RunScenario(cfg Config, sc scenario.Scenario) Result {
+	if err := sc.Validate(); err != nil {
+		panic(err.Error())
+	}
 	if cfg.Leaves <= 0 {
 		cfg.Leaves = 20
+	}
+	// Like unknown BE workload names, an event aimed at a leaf that does
+	// not exist is scenario-composition error: fail loudly rather than
+	// silently skipping the injection.
+	for i, ev := range sc.Events {
+		if ev.Leaf != scenario.AllLeaves && (ev.Leaf < 0 || ev.Leaf >= cfg.Leaves) {
+			panic(fmt.Sprintf("cluster: scenario event %d (%v) targets leaf %d of a %d-leaf cluster",
+				i, ev.Kind, ev.Leaf, cfg.Leaves))
+		}
 	}
 	if cfg.RootSamples <= 0 {
 		cfg.RootSamples = 200
@@ -138,10 +182,12 @@ func Run(cfg Config, tr trace.Trace) Result {
 	res := Result{SLO: slo, Warmup: cfg.Warmup}
 	epoch := leaves[0].m.Epoch()
 	var t time.Duration
-	end := tr.Duration()
+	end := sc.Duration
 	leafScale := cfg.LeafTargetFrac
 	var lastAdjust time.Duration
 	var rootEWMA float64
+	loadScale := 1.0
+	cursor := sc.Cursor()
 	leafEMU := make([]float64, len(leaves))
 	leafFrac := make([]float64, len(leaves))
 	leafTail := make([]lat.EpochStats, len(leaves))
@@ -150,7 +196,23 @@ func Run(cfg Config, tr trace.Trace) Result {
 	pool := parallel.NewPool(cfg.Workers)
 	defer pool.Close()
 	for epochIdx := uint64(0); t < end; epochIdx++ {
-		load := tr.At(t)
+		// Apply due events sequentially before the leaves fan out, so the
+		// mutation order never depends on worker scheduling.
+		for _, ev := range cursor.Due(t) {
+			applyEvent(cfg, leaves, ev)
+			switch ev.Kind {
+			case scenario.EventLoadScale:
+				loadScale = ev.Factor
+			case scenario.EventSLOScale:
+				if ev.Leaf == scenario.AllLeaves {
+					leafScale = ev.Factor
+				}
+			}
+		}
+		load := sc.LoadAt(t) * loadScale
+		if load > 1 {
+			load = 1
+		}
 		// Leaves are independent servers: step them concurrently, each
 		// writing only its own slot, then reduce sequentially in leaf
 		// order so float accumulation is identical for any worker count.
@@ -226,6 +288,54 @@ func Run(cfg Config, tr trace.Trace) Result {
 		t += epoch
 	}
 	return res
+}
+
+// applyEvent applies one scenario event to the targeted leaves. BE churn
+// applies only to Heracles-managed leaves: the baseline configuration
+// models no colocation, so arrivals have nowhere to run.
+func applyEvent(cfg Config, leaves []*leaf, ev scenario.Event) {
+	for i, lf := range leaves {
+		if ev.Leaf != scenario.AllLeaves && ev.Leaf != i {
+			continue
+		}
+		switch ev.Kind {
+		case scenario.EventBEArrive:
+			if lf.ctl == nil {
+				continue
+			}
+			wl := cfg.lookupBE(ev.Workload)
+			// The arrival inherits the controller's current enablement so
+			// a task landing mid-emergency or mid-cooldown stays parked
+			// until the controller re-enables BE execution. The machine
+			// state covers the window before the controller's first
+			// enable, when the construction-time BE tasks are running.
+			enabled := lf.ctl.BEEnabled() || lf.m.BEEnabled()
+			task := lf.m.AddBE(wl, workload.PlaceDedicated)
+			task.Enabled = enabled
+			lf.m.Partition(lf.m.BECoreCount())
+		case scenario.EventBEDepart:
+			if lf.ctl == nil {
+				continue
+			}
+			// Collect first: RemoveBE splices the live task list.
+			var departing []*machine.BETask
+			for _, be := range lf.m.BEs() {
+				if be.WL.Spec.Name == ev.Workload {
+					departing = append(departing, be)
+				}
+			}
+			for _, be := range departing {
+				lf.m.RemoveBE(be)
+			}
+			if len(departing) > 0 {
+				lf.m.Partition(lf.m.BECoreCount())
+			}
+		case scenario.EventLeafDegrade:
+			lf.m.SetDegrade(ev.Factor)
+		case scenario.EventSLOScale:
+			lf.m.SetSLOScale(ev.Factor)
+		}
+	}
 }
 
 // rootMean estimates the mean fan-out latency: each request's latency is

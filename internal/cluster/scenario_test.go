@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"heracles/internal/scenario"
+)
+
+// meanEMUBetween averages per-epoch EMU over [from, to).
+func meanEMUBetween(res Result, from, to time.Duration) float64 {
+	var sum float64
+	var n int
+	for _, e := range res.Epochs {
+		if e.At < from || e.At >= to {
+			continue
+		}
+		sum += e.EMU
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func TestScenarioBEChurn(t *testing.T) {
+	// §5.2-style churn: every BE task departs mid-run, then brain returns
+	// everywhere. EMU must collapse toward the bare load during the gap
+	// and recover after the arrivals.
+	cfg := baseConfig(t)
+	cfg.Heracles = true
+	sc := scenario.Scenario{
+		Name:     "churn",
+		Duration: 14 * time.Minute,
+		Load:     scenario.Flat(0.4),
+		Events: []scenario.Event{
+			scenario.BEDepart(6*time.Minute, scenario.AllLeaves, "brain"),
+			scenario.BEDepart(6*time.Minute, scenario.AllLeaves, "streetview"),
+			scenario.BEArrive(10*time.Minute, scenario.AllLeaves, "brain"),
+		},
+	}
+	res := RunScenario(cfg, sc)
+
+	before := meanEMUBetween(res, 4*time.Minute, 6*time.Minute)
+	gap := meanEMUBetween(res, 7*time.Minute, 10*time.Minute)
+	after := meanEMUBetween(res, 12*time.Minute, 14*time.Minute)
+	if before < 0.5 {
+		t.Fatalf("pre-churn EMU = %.3f, want colocation benefit", before)
+	}
+	if gap > 0.48 {
+		t.Fatalf("EMU during BE gap = %.3f, want ~bare load 0.4", gap)
+	}
+	if after < gap+0.05 {
+		t.Fatalf("EMU after re-arrival = %.3f, want recovery above gap %.3f", after, gap)
+	}
+}
+
+func TestScenarioLeafDegradeRaisesRootLatency(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Heracles = false
+	sc := scenario.Scenario{
+		Name:     "degrade",
+		Duration: 8 * time.Minute,
+		Load:     scenario.Flat(0.4),
+		Events: []scenario.Event{
+			scenario.Degrade(4*time.Minute, scenario.AllLeaves, 1.5),
+		},
+	}
+	res := RunScenario(cfg, sc)
+	var before, after time.Duration
+	var nb, na int
+	for _, e := range res.Epochs {
+		if e.At >= 2*time.Minute && e.At < 4*time.Minute {
+			before += e.RootMean
+			nb++
+		}
+		if e.At >= 6*time.Minute {
+			after += e.RootMean
+			na++
+		}
+	}
+	before /= time.Duration(nb)
+	after /= time.Duration(na)
+	if after <= before {
+		t.Fatalf("degraded leaves did not slow the root: %v -> %v", before, after)
+	}
+}
+
+func TestScenarioSingleLeafDegradeDominatesFanout(t *testing.T) {
+	// Fan-out tail at scale: one slow leaf out of four should still drag
+	// the root mean up, since every request waits for its slowest leaf.
+	cfg := baseConfig(t)
+	cfg.Heracles = false
+	healthy := RunScenario(cfg, scenario.Scenario{
+		Name: "healthy", Duration: 4 * time.Minute, Load: scenario.Flat(0.4),
+	})
+	oneSlow := RunScenario(cfg, scenario.Scenario{
+		Name: "one-slow", Duration: 4 * time.Minute, Load: scenario.Flat(0.4),
+		Events: []scenario.Event{scenario.Degrade(0, 2, 2.0)},
+	})
+	lh := healthy.Epochs[len(healthy.Epochs)-1].RootMean
+	ls := oneSlow.Epochs[len(oneSlow.Epochs)-1].RootMean
+	if ls <= lh {
+		t.Fatalf("one degraded leaf invisible at the root: %v vs %v", ls, lh)
+	}
+}
+
+func TestScenarioLoadScaleChangesOfferedLoad(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Heracles = false
+	sc := scenario.Scenario{
+		Name:     "load-target",
+		Duration: 4 * time.Minute,
+		Load:     scenario.Flat(0.6),
+		Events: []scenario.Event{
+			scenario.LoadScale(2*time.Minute, 0.5),
+		},
+	}
+	res := RunScenario(cfg, sc)
+	for _, e := range res.Epochs {
+		want := 0.6
+		if e.At >= 2*time.Minute {
+			want = 0.3
+		}
+		if e.Load != want {
+			t.Fatalf("load at %v = %v, want %v", e.At, e.Load, want)
+		}
+	}
+}
+
+func TestScenarioSLOScaleSteersController(t *testing.T) {
+	// Mid-run latency-target changes (§5.2 "load changes" family): a
+	// Heracles cluster whose leaf targets tighten sharply mid-run must
+	// surrender BE throughput relative to an unchanged run.
+	cfg := baseConfig(t)
+	cfg.Heracles = true
+	base := scenario.Scenario{
+		Name: "steady", Duration: 12 * time.Minute, Load: scenario.Flat(0.4),
+	}
+	tightened := base
+	tightened.Name = "tighten"
+	tightened.Events = []scenario.Event{
+		scenario.SLOScale(6*time.Minute, scenario.AllLeaves, 0.35),
+	}
+	steady := RunScenario(cfg, base)
+	tight := RunScenario(cfg, tightened)
+	sEMU := meanEMUBetween(steady, 9*time.Minute, 12*time.Minute)
+	tEMU := meanEMUBetween(tight, 9*time.Minute, 12*time.Minute)
+	if tEMU >= sEMU {
+		t.Fatalf("tightened SLO did not reduce BE harvest: %.3f vs %.3f", tEMU, sEMU)
+	}
+}
+
+func TestScenarioUnknownBEPanics(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Heracles = true
+	sc := scenario.Scenario{
+		Name: "bad", Duration: 2 * time.Minute, Load: scenario.Flat(0.3),
+		Events: []scenario.Event{scenario.BEArrive(time.Minute, scenario.AllLeaves, "nope")},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown BE workload did not panic")
+		}
+	}()
+	RunScenario(cfg, sc)
+}
+
+func TestScenarioInvalidPanics(t *testing.T) {
+	cfg := baseConfig(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid scenario did not panic")
+		}
+	}()
+	RunScenario(cfg, scenario.Scenario{Name: "no-load", Duration: time.Minute})
+}

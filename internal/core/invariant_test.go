@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"heracles/internal/sim"
+)
+
+// checkedEnv wraps fakeEnv with invariant assertions on every actuation,
+// so randomized telemetry streams can hammer the controller while the
+// safety properties of Algorithms 1-4 are checked at each call site:
+//
+//   - BE allocations never grow during a latency emergency, and never
+//     beyond the initial grant without real slack;
+//   - core, way and HTB actuations stay within hardware bounds;
+//   - the power loop follows its twin conditions exactly.
+type checkedEnv struct {
+	*fakeEnv
+	t   *testing.T
+	cfg Config
+
+	minGHz, maxGHz float64
+
+	// topPolled is set when the top-level loop reads tail latency this
+	// step (its window equals PollInterval, the subcontrollers use 2x the
+	// core poll), so the driver can assert the emergency response.
+	topPolled bool
+}
+
+func (c *checkedEnv) envSlack() float64 {
+	return (c.slo.Seconds() - c.tail.Seconds()) / c.slo.Seconds()
+}
+
+func (c *checkedEnv) TailLatency(window time.Duration) (time.Duration, bool) {
+	if window == c.cfg.PollInterval {
+		c.topPolled = true
+	}
+	return c.fakeEnv.TailLatency(window)
+}
+
+func (c *checkedEnv) SetBECores(n int) {
+	c.t.Helper()
+	if n < 0 || n > c.maxBECores {
+		c.t.Errorf("SetBECores(%d) outside [0, %d]", n, c.maxBECores)
+	}
+	if n > c.beCores {
+		slack := c.envSlack()
+		if slack < 0 {
+			c.t.Errorf("BE cores grew %d->%d during a latency emergency (slack %.3f)",
+				c.beCores, n, slack)
+		}
+		if c.beCores >= 1 && slack <= c.cfg.SlackGrow-1e-12 {
+			c.t.Errorf("BE cores grew %d->%d without slack (%.3f <= %.2f)",
+				c.beCores, n, slack, c.cfg.SlackGrow)
+		}
+		if c.beCores == 0 && c.load > c.cfg.LoadDisable {
+			c.t.Errorf("BE enabled at load %.2f > %.2f", c.load, c.cfg.LoadDisable)
+		}
+	}
+	c.fakeEnv.SetBECores(n)
+}
+
+func (c *checkedEnv) SetBEWays(n int) {
+	c.t.Helper()
+	if n < 0 || n > c.totalWays-1 {
+		c.t.Errorf("SetBEWays(%d) outside [0, %d]", n, c.totalWays-1)
+	}
+	if c.beEnabled && c.beWays >= 1 && n > c.beWays {
+		if slack := c.envSlack(); slack <= c.cfg.SlackGrow-1e-12 {
+			c.t.Errorf("BE ways grew %d->%d without slack (%.3f <= %.2f)",
+				c.beWays, n, slack, c.cfg.SlackGrow)
+		}
+	}
+	c.fakeEnv.SetBEWays(n)
+}
+
+func (c *checkedEnv) SetBETxCeil(g float64) {
+	c.t.Helper()
+	if g <= 0 {
+		c.t.Errorf("SetBETxCeil(%v) not positive", g)
+	}
+	if g > c.link {
+		c.t.Errorf("SetBETxCeil(%v) beyond the %v GB/s link", g, c.link)
+	}
+	c.fakeEnv.SetBETxCeil(g)
+}
+
+// LowerBEFreq/RaiseBEFreq mimic the machine's 100 MHz stepping within
+// [MinGHz, MaxTurboGHz] (0 = uncapped) and assert the Algorithm 3
+// conditions under which the controller may call them.
+func (c *checkedEnv) LowerBEFreq() {
+	c.t.Helper()
+	if !(c.powerFrac > c.cfg.PowerLimit && c.lcFreq < c.guaranteed) {
+		c.t.Errorf("LowerBEFreq without both power (%.2f) and frequency (%.2f/%.2f) pressure",
+			c.powerFrac, c.lcFreq, c.guaranteed)
+	}
+	cur := c.freqCap
+	if cur == 0 {
+		cur = c.maxGHz
+	}
+	next := cur - 0.1
+	if next < c.minGHz {
+		next = c.minGHz
+	}
+	c.freqCap = next
+	if c.freqCap < c.minGHz-1e-9 || c.freqCap > c.maxGHz+1e-9 {
+		c.t.Errorf("BE freq cap %v outside [%v, %v]", c.freqCap, c.minGHz, c.maxGHz)
+	}
+	c.lowered++
+}
+
+func (c *checkedEnv) RaiseBEFreq() {
+	c.t.Helper()
+	if !(c.powerFrac <= c.cfg.PowerLimit && c.lcFreq >= c.guaranteed) {
+		c.t.Errorf("RaiseBEFreq under pressure (power %.2f, lcFreq %.2f/%.2f)",
+			c.powerFrac, c.lcFreq, c.guaranteed)
+	}
+	if c.freqCap == 0 {
+		c.raised++
+		return
+	}
+	next := c.freqCap + 0.1
+	if next >= c.maxGHz {
+		next = 0 // cap removed
+	}
+	c.freqCap = next
+	c.raised++
+}
+
+// randomTelemetry advances the fake environment one second: a load random
+// walk, latency coupled to load and BE pressure with occasional injected
+// emergencies, and DRAM/power/network counters consistent with the
+// current allocation.
+func randomTelemetry(f *fakeEnv, rng *sim.RNG) {
+	f.load += rng.Norm(0, 0.03)
+	if f.load < 0.05 {
+		f.load = 0.05
+	}
+	if f.load > 0.95 {
+		f.load = 0.95
+	}
+	frac := 0.25 + 0.55*f.load + 0.015*float64(f.beCores)
+	frac *= 0.9 + 0.2*rng.Float64()
+	if rng.Float64() < 0.02 {
+		frac = 1.05 + 0.5*rng.Float64() // latency emergency
+	}
+	f.tail = time.Duration(frac * float64(f.slo))
+
+	f.beDRAM = float64(f.beCores) * (1.2 + 0.8*rng.Float64())
+	f.dramTotal = 15 + 40*f.load + f.beDRAM
+	if f.dramTotal > f.dramPeak {
+		f.dramTotal = f.dramPeak
+	}
+	f.maxSocketFrac = f.dramTotal / f.dramPeak * (1 + 0.4*rng.Float64())
+	if f.maxSocketFrac > 1 {
+		f.maxSocketFrac = 1
+	}
+	f.powerFrac = 0.45 + 0.45*f.load + 0.015*float64(f.beCores) + 0.05*rng.Float64()
+	if f.powerFrac > 1 {
+		f.powerFrac = 1
+	}
+	f.lcFreq = 3.4 - 1.8*f.powerFrac + rng.Norm(0, 0.05)
+	if f.lcFreq < 1.2 {
+		f.lcFreq = 1.2
+	}
+	if f.lcFreq > 3.6 {
+		f.lcFreq = 3.6
+	}
+	f.beRate = float64(f.beCores) * (0.02 + 0.01*rng.Float64())
+	f.lcTx = 0.3 * f.load * f.link
+}
+
+// TestControllerInvariantsUnderRandomTelemetry drives the controller
+// through many independent randomized telemetry streams, asserting the
+// state machine's safety properties at every actuation (see checkedEnv).
+func TestControllerInvariantsUnderRandomTelemetry(t *testing.T) {
+	const (
+		seeds   = 25
+		seconds = 1200
+	)
+	cfg := DefaultConfig()
+	for seed := uint64(0); seed < seeds; seed++ {
+		rng := sim.NewRNG(seed<<32 + 0x5eed)
+		env := &checkedEnv{
+			fakeEnv: newFakeEnv(),
+			t:       t, cfg: cfg,
+			minGHz: 1.2, maxGHz: 3.6,
+		}
+		ctl := New(env, nil, cfg)
+		sawEmergencyPoll := false
+		for sec := 0; sec < seconds; sec++ {
+			randomTelemetry(env.fakeEnv, rng)
+			env.topPolled = false
+			ctl.Step(time.Duration(sec) * time.Second)
+			if env.topPolled && env.tail > env.slo {
+				sawEmergencyPoll = true
+				if env.beEnabled {
+					t.Fatalf("seed %d, t=%ds: BE still enabled after the top loop observed tail %v > SLO %v",
+						seed, sec, env.tail, env.slo)
+				}
+			}
+			if t.Failed() {
+				t.Fatalf("seed %d, t=%ds: invariant violated (see errors above)", seed, sec)
+			}
+		}
+		if !sawEmergencyPoll && seed == 0 {
+			t.Error("random stream never presented an emergency to a top-level poll; weaken the injection odds")
+		}
+	}
+}
+
+// TestDisabledBEEventuallyReenabled is the liveness half: after an
+// emergency parks every BE task, restored slack plus an expired cooldown
+// must bring them back.
+func TestDisabledBEEventuallyReenabled(t *testing.T) {
+	cfg := DefaultConfig()
+	f := newFakeEnv()
+	ctl := New(f, nil, cfg)
+	now := time.Duration(0)
+	step := func(d time.Duration, upto time.Duration) {
+		for end := now + upto; now < end; now += d {
+			ctl.Step(now)
+		}
+	}
+
+	// Healthy start: ample slack at moderate load enables BE.
+	f.tail, f.load = 20*time.Millisecond, 0.4
+	step(time.Second, 40*time.Second)
+	if !f.beEnabled || f.beCores == 0 {
+		t.Fatalf("BE not enabled under good conditions (enabled=%v cores=%d)", f.beEnabled, f.beCores)
+	}
+
+	// Emergency: the next top poll must disable and hold a cooldown.
+	f.tail = time.Duration(1.2 * float64(f.slo))
+	step(time.Second, 16*time.Second)
+	if f.beEnabled {
+		t.Fatal("BE still enabled after an SLO violation")
+	}
+	violatedAt := now
+
+	// Slack returns immediately, but the cooldown keeps BE parked...
+	f.tail = 20 * time.Millisecond
+	step(time.Second, cfg.Cooldown-30*time.Second)
+	if f.beEnabled {
+		t.Fatalf("BE re-enabled %v after the violation, inside the %v cooldown", now-violatedAt, cfg.Cooldown)
+	}
+
+	// ...and once it expires, BE execution resumes.
+	step(time.Second, 31*time.Second+2*cfg.PollInterval)
+	if !f.beEnabled {
+		t.Fatalf("BE never re-enabled: %v after the violation with full slack", now-violatedAt)
+	}
+	if f.beCores < 1 || f.beWays < 1 {
+		t.Fatalf("re-enable granted no resources: cores=%d ways=%d", f.beCores, f.beWays)
+	}
+}

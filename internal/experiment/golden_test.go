@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// update regenerates the golden files instead of comparing:
+//
+//	go test ./internal/experiment -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files with current results")
+
+// goldenTolerance is the relative drift allowed before a golden
+// comparison fails. The simulation is deterministic, so any drift at all
+// means behaviour changed; the tolerance only absorbs float formatting.
+const goldenTolerance = 1e-9
+
+// goldenArtifacts is the committed small-grid snapshot of the figure
+// generators: behavioural drift in a refactor fails these tests until the
+// author regenerates the files with -update, making the drift a reviewed
+// diff instead of a silent change.
+type goldenArtifacts struct {
+	Figure1  Fig1Table   `json:"figure1"`
+	Figure3  Fig3Surface `json:"figure3"`
+	Baseline Series      `json:"baseline"`
+	Colocate Series      `json:"colocate"`
+}
+
+func computeGolden(t *testing.T) goldenArtifacts {
+	t.Helper()
+	lab := sharedLab(t)
+	loads := []float64{0.2, 0.5, 0.8}
+	fracs := []float64{0.4, 0.7, 1.0}
+	opts := RunOpts{
+		Duration:     4 * time.Minute,
+		Warmup:       time.Minute,
+		UseDRAMModel: true,
+		Workers:      1, // the sequential reference run is the artefact
+	}
+	return goldenArtifacts{
+		Figure1:  lab.Figure1("websearch", loads),
+		Figure3:  lab.Figure3("websearch", fracs, fracs),
+		Baseline: lab.Baseline("websearch", loads, opts),
+		Colocate: lab.Colocate("websearch", "brain", loads, opts),
+	}
+}
+
+func TestGoldenFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration is not a -short test")
+	}
+	path := filepath.Join("testdata", "golden_small.json")
+	got := computeGolden(t)
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(data))
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create it): %v", err)
+	}
+	var gotV, wantV any
+	if err := json.Unmarshal(data, &gotV); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(want, &wantV); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	diffJSON(t, "golden", wantV, gotV)
+	if t.Failed() {
+		t.Log("behavioural drift against the golden figures; if intentional, regenerate with: go test ./internal/experiment -run TestGolden -update")
+	}
+}
+
+// diffJSON compares two decoded JSON trees, reporting every path whose
+// numeric values drift beyond the tolerance or whose structure changed.
+func diffJSON(t *testing.T, path string, want, got any) {
+	t.Helper()
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			t.Errorf("%s: type changed: %T -> %T", path, want, got)
+			return
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				t.Errorf("%s.%s: missing in current output", path, k)
+				continue
+			}
+			diffJSON(t, path+"."+k, wv, gv)
+		}
+		for k := range g {
+			if _, ok := w[k]; !ok {
+				t.Errorf("%s.%s: new field not in golden file", path, k)
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			t.Errorf("%s: type changed: %T -> %T", path, want, got)
+			return
+		}
+		if len(w) != len(g) {
+			t.Errorf("%s: length %d -> %d", path, len(w), len(g))
+			return
+		}
+		for i := range w {
+			diffJSON(t, path+"["+strconv.Itoa(i)+"]", w[i], g[i])
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok {
+			t.Errorf("%s: type changed: %T -> %T", path, want, got)
+			return
+		}
+		if !closeEnough(w, g) {
+			t.Errorf("%s: %v -> %v", path, w, g)
+		}
+	default:
+		if want != got {
+			t.Errorf("%s: %v -> %v", path, want, got)
+		}
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= goldenTolerance*scale
+}

@@ -1,0 +1,268 @@
+// Package fleet scales the §5.3 evaluation from one cluster to a fleet:
+// N clusters of heterogeneous hardware generations and workload mixes,
+// each driven through its own declarative scenario, each run twice —
+// baseline (no colocation) and under Heracles — so the fleet-wide
+// utilisation lift converts into the TCO claim the paper makes at
+// datacenter scale. Cluster instances are independent simulations: they
+// fan out over a worker pool with per-instance RNG streams derived from
+// (Seed, instance), so fleet results are bit-identical for any worker
+// count.
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"heracles/internal/cluster"
+	"heracles/internal/experiment"
+	"heracles/internal/hw"
+	"heracles/internal/parallel"
+	"heracles/internal/scenario"
+	"heracles/internal/sim"
+	"heracles/internal/tco"
+	"heracles/internal/workload"
+)
+
+// ClusterSpec describes one homogeneous slice of the fleet: Count
+// identical clusters of the given hardware running the given LC workload
+// through the given scenario.
+type ClusterSpec struct {
+	Name  string
+	Count int // replicas of this spec (default 1)
+
+	HW     hw.Config
+	LC     string // LC workload name (default "websearch")
+	Leaves int    // leaf servers per cluster (default 8)
+
+	Scenario scenario.Scenario
+
+	// Per-cluster knobs, forwarded to cluster.Config.
+	LeafTargetFrac     float64
+	RootSamples        int
+	Warmup             time.Duration
+	DynamicLeafTargets bool
+}
+
+// Config describes a fleet experiment.
+type Config struct {
+	Clusters []ClusterSpec
+	Seed     uint64
+	// Workers bounds how many cluster runs execute concurrently: 0
+	// selects parallel.DefaultWorkers, 1 forces the sequential reference
+	// run. Cluster instances are independent and leaf stepping inside
+	// each run is sequential, so every worker count is bit-identical.
+	Workers int
+	// TCO carries the cost-model inputs; the zero value selects the
+	// paper's Barroso parameters.
+	TCO tco.Params
+}
+
+// Outcome is one cluster instance's paired baseline/Heracles result.
+type Outcome struct {
+	Name     string // spec name, or spec name + replica index when Count > 1
+	Spec     int    // index into Config.Clusters
+	Replica  int
+	Baseline cluster.Summary
+	Heracles cluster.Summary
+}
+
+// Aggregate reduces the fleet to the quantities §5.2-§5.3 report,
+// averaged across cluster instances (violations are summed).
+type Aggregate struct {
+	MeanEMU      float64
+	MinEMU       float64 // minimum across instances of the per-run minimum
+	MeanRootFrac float64
+	MaxRootFrac  float64 // worst 30-epoch window anywhere in the fleet
+	Violations   int
+}
+
+// Result is a full fleet run.
+type Result struct {
+	Clusters []Outcome
+	Baseline Aggregate
+	Heracles Aggregate
+
+	// TCO analysis: the fleet-wide EMU lift priced with the cost model.
+	TCO         tco.Params
+	BaselineTCO float64 // lifetime cluster TCO at the baseline utilisation
+	HeraclesTCO float64 // lifetime cluster TCO at the Heracles utilisation
+	// Gain is the relative throughput/TCO improvement from raising the
+	// fleet's utilisation from baseline to Heracles levels.
+	Gain float64
+}
+
+// instance is one expanded (spec, replica) pair.
+type instance struct {
+	spec    int
+	replica int
+}
+
+// Run executes every cluster instance of the fleet, baseline and
+// Heracles, and aggregates the results. Workload calibration and the
+// offline DRAM model are shared across instances with identical hardware
+// (one Lab per distinct hw.Config, memoised behind sync.Once), so mixed
+// fleets calibrate each generation exactly once.
+func Run(cfg Config) Result {
+	if len(cfg.Clusters) == 0 {
+		panic("fleet: no cluster specs")
+	}
+	if cfg.TCO.Servers == 0 {
+		cfg.TCO = tco.Barroso()
+	}
+
+	// One lab per distinct hardware config: hw.Config is comparable, so
+	// replicas and same-generation specs share a calibration.
+	labs := make(map[hw.Config]*experiment.Lab)
+	for _, spec := range cfg.Clusters {
+		if _, ok := labs[spec.HW]; !ok {
+			labs[spec.HW] = experiment.NewLab(spec.HW)
+		}
+	}
+
+	var instances []instance
+	for si, spec := range cfg.Clusters {
+		n := spec.Count
+		if n <= 0 {
+			n = 1
+		}
+		if err := spec.Scenario.Validate(); err != nil {
+			panic(fmt.Sprintf("fleet: spec %q: %v", spec.Name, err))
+		}
+		for r := 0; r < n; r++ {
+			instances = append(instances, instance{spec: si, replica: r})
+		}
+	}
+
+	// Every instance runs twice (baseline, Heracles); all 2N runs are
+	// independent, so they share one flat fan-out. Unit 2i is instance
+	// i's baseline, unit 2i+1 its Heracles run.
+	summaries := parallel.Map(cfg.Workers, 2*len(instances), func(u int) cluster.Summary {
+		inst := instances[u/2]
+		spec := cfg.Clusters[inst.spec]
+		lab := labs[spec.HW]
+		lcName := spec.LC
+		if lcName == "" {
+			lcName = "websearch"
+		}
+		leaves := spec.Leaves
+		if leaves <= 0 {
+			leaves = 8
+		}
+		ccfg := cluster.Config{
+			Leaves:             leaves,
+			Heracles:           u%2 == 1,
+			HW:                 spec.HW,
+			LC:                 lab.LC(lcName),
+			Brain:              lab.BE("brain"),
+			SView:              lab.BE("streetview"),
+			Catalog:            catalogFor(lab, spec.Scenario),
+			RootSamples:        spec.RootSamples,
+			LeafTargetFrac:     spec.LeafTargetFrac,
+			Warmup:             spec.Warmup,
+			DynamicLeafTargets: spec.DynamicLeafTargets,
+			Model:              lab.DRAMModel(lcName),
+			// Both runs of an instance share one derived seed, so the
+			// baseline/Heracles comparison is paired; leaf stepping inside
+			// the run stays sequential — fleet-level fan-out is the
+			// parallelism.
+			Seed:    sim.DeriveRNG(cfg.Seed, uint64(u/2)).Uint64(),
+			Workers: 1,
+		}
+		return cluster.RunScenario(ccfg, spec.Scenario).Summarize()
+	})
+
+	res := Result{TCO: cfg.TCO}
+	for i, inst := range instances {
+		spec := cfg.Clusters[inst.spec]
+		name := spec.Name
+		if n := spec.Count; n > 1 {
+			name = fmt.Sprintf("%s/%d", spec.Name, inst.replica)
+		}
+		res.Clusters = append(res.Clusters, Outcome{
+			Name:     name,
+			Spec:     inst.spec,
+			Replica:  inst.replica,
+			Baseline: summaries[2*i],
+			Heracles: summaries[2*i+1],
+		})
+	}
+	res.Baseline = aggregate(res.Clusters, false)
+	res.Heracles = aggregate(res.Clusters, true)
+
+	res.BaselineTCO = cfg.TCO.ClusterTCO(res.Baseline.MeanEMU)
+	res.HeraclesTCO = cfg.TCO.ClusterTCO(res.Heracles.MeanEMU)
+	res.Gain = cfg.TCO.ThroughputPerTCOGain(res.Baseline.MeanEMU, res.Heracles.MeanEMU)
+	return res
+}
+
+// catalogFor calibrates every BE workload the scenario's arrival events
+// reference, so mid-run churn can launch tasks beyond brain/streetview.
+// Departure events match installed tasks by name and never consult the
+// catalog, so they need no calibration here.
+func catalogFor(lab *experiment.Lab, sc scenario.Scenario) map[string]*workload.BE {
+	var cat map[string]*workload.BE
+	for _, ev := range sc.Events {
+		if ev.Kind != scenario.EventBEArrive {
+			continue
+		}
+		if ev.Workload == "brain" || ev.Workload == "streetview" {
+			continue
+		}
+		if cat == nil {
+			cat = make(map[string]*workload.BE)
+		}
+		if _, ok := cat[ev.Workload]; !ok {
+			cat[ev.Workload] = lab.BE(ev.Workload)
+		}
+	}
+	return cat
+}
+
+// aggregate reduces outcomes in instance order (float accumulation is
+// identical for any worker count).
+func aggregate(outs []Outcome, heracles bool) Aggregate {
+	a := Aggregate{MinEMU: 1e9}
+	for _, o := range outs {
+		s := o.Baseline
+		if heracles {
+			s = o.Heracles
+		}
+		a.MeanEMU += s.MeanEMU
+		if s.MinEMU < a.MinEMU {
+			a.MinEMU = s.MinEMU
+		}
+		a.MeanRootFrac += s.MeanRootFrac
+		if s.MaxRootFrac > a.MaxRootFrac {
+			a.MaxRootFrac = s.MaxRootFrac
+		}
+		a.Violations += s.Violations
+	}
+	n := float64(len(outs))
+	if n > 0 {
+		a.MeanEMU /= n
+		a.MeanRootFrac /= n
+	}
+	return a
+}
+
+// String renders the fleet result as the table cmd/fleet prints.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %9s %9s %10s %10s %6s\n",
+		"cluster", "baseEMU", "heraEMU", "baseWorst", "heraWorst", "viol")
+	for _, o := range r.Clusters {
+		fmt.Fprintf(&b, "%-18s %8.1f%% %8.1f%% %9.1f%% %9.1f%% %3d/%d\n",
+			o.Name, 100*o.Baseline.MeanEMU, 100*o.Heracles.MeanEMU,
+			100*o.Baseline.MaxRootFrac, 100*o.Heracles.MaxRootFrac,
+			o.Baseline.Violations, o.Heracles.Violations)
+	}
+	fmt.Fprintf(&b, "%-18s %8.1f%% %8.1f%% %9.1f%% %9.1f%% %3d/%d\n",
+		"fleet", 100*r.Baseline.MeanEMU, 100*r.Heracles.MeanEMU,
+		100*r.Baseline.MaxRootFrac, 100*r.Heracles.MaxRootFrac,
+		r.Baseline.Violations, r.Heracles.Violations)
+	fmt.Fprintf(&b, "\nTCO (%d servers, $%.0f each): baseline $%.1fM -> heracles $%.1fM at %+.0f%% throughput/TCO\n",
+		r.TCO.Servers, r.TCO.ServerCost,
+		r.BaselineTCO/1e6, r.HeraclesTCO/1e6, 100*r.Gain)
+	return b.String()
+}

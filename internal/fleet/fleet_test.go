@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"heracles/internal/hw"
+	"heracles/internal/scenario"
+	"heracles/internal/tco"
+)
+
+// testFleet mirrors the cmd/fleet shape at test scale: two hardware
+// generations, a flash-crowd spike on one and BE churn on the other.
+func testFleet() Config {
+	std := scenario.Scenario{
+		Name:     "diurnal-spike",
+		Duration: 6 * time.Minute,
+		Load: scenario.Clamp(scenario.Sum(
+			scenario.Ramp{From: 0.25, To: 0.5, Start: 0, End: 6 * time.Minute},
+			scenario.FlashCrowd{Start: 3 * time.Minute, Rise: 20 * time.Second,
+				Hold: 40 * time.Second, Fall: 20 * time.Second, Amp: 0.3},
+		), 0, 1),
+	}
+	compact := scenario.Scenario{
+		Name:     "churn",
+		Duration: 6 * time.Minute,
+		Load:     scenario.Steps{{At: 0, Load: 0.3}, {At: 3 * time.Minute, Load: 0.45}},
+		Events: []scenario.Event{
+			scenario.BEDepart(2*time.Minute, scenario.AllLeaves, "streetview"),
+			scenario.BEArrive(4*time.Minute, scenario.AllLeaves, "streetview"),
+		},
+	}
+	return Config{
+		Seed: 11,
+		Clusters: []ClusterSpec{
+			{
+				Name: "std", HW: hw.DefaultConfig(), Leaves: 3,
+				RootSamples: 40, Warmup: 90 * time.Second, Scenario: std,
+			},
+			{
+				// The compact generation runs structurally closer to its
+				// root SLO (fewer cores flatten the latency/load curve), so
+				// it starts from a conservative leaf target and lets the
+				// §5.3 centralized controller harvest slack dynamically.
+				Name: "compact", HW: hw.CompactConfig(), Leaves: 2,
+				LeafTargetFrac: 0.65, DynamicLeafTargets: true,
+				RootSamples: 40, Warmup: 90 * time.Second, Scenario: compact,
+			},
+		},
+	}
+}
+
+func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The acceptance invariant: a mixed-hardware fleet with a flash-crowd
+	// spike and BE churn is bit-identical for any worker count.
+	cfg := testFleet()
+	cfg.Workers = 1
+	seq := Run(cfg)
+	cfg.Workers = 4
+	par := Run(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fleet run diverged across worker counts:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestFleetHeraclesLiftsUtilisation(t *testing.T) {
+	res := Run(testFleet())
+	if len(res.Clusters) != 2 {
+		t.Fatalf("cluster outcomes = %d", len(res.Clusters))
+	}
+	if res.Heracles.MeanEMU <= res.Baseline.MeanEMU+0.1 {
+		t.Fatalf("fleet EMU lift too small: %.3f -> %.3f",
+			res.Baseline.MeanEMU, res.Heracles.MeanEMU)
+	}
+	if res.Heracles.Violations != 0 {
+		t.Fatalf("heracles fleet violations = %d", res.Heracles.Violations)
+	}
+	if res.Gain <= 0 {
+		t.Fatalf("throughput/TCO gain = %v", res.Gain)
+	}
+	if res.HeraclesTCO <= res.BaselineTCO {
+		t.Fatalf("TCO should rise with utilisation (more energy): %v vs %v",
+			res.HeraclesTCO, res.BaselineTCO)
+	}
+	// Zero-value TCO params selected the Barroso defaults.
+	if res.TCO != tco.Barroso() {
+		t.Fatalf("TCO params = %+v", res.TCO)
+	}
+	out := res.String()
+	for _, want := range []string{"std", "compact", "fleet", "throughput/TCO"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered result missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFleetSeedMatters(t *testing.T) {
+	cfg := testFleet()
+	a := Run(cfg)
+	cfg.Seed++
+	b := Run(cfg)
+	if reflect.DeepEqual(a.Clusters, b.Clusters) {
+		t.Fatal("fleet results ignore the seed")
+	}
+}
+
+func TestFleetReplicasAndDefaults(t *testing.T) {
+	cfg := testFleet()
+	cfg.Clusters = cfg.Clusters[:1]
+	cfg.Clusters[0].Count = 2
+	res := Run(cfg)
+	if len(res.Clusters) != 2 {
+		t.Fatalf("replica expansion produced %d outcomes", len(res.Clusters))
+	}
+	if res.Clusters[0].Name != "std/0" || res.Clusters[1].Name != "std/1" {
+		t.Fatalf("replica names = %q, %q", res.Clusters[0].Name, res.Clusters[1].Name)
+	}
+	// Replicas draw distinct seeds: their sampled root latencies differ.
+	if reflect.DeepEqual(res.Clusters[0].Baseline, res.Clusters[1].Baseline) {
+		t.Fatal("replicas share an RNG stream")
+	}
+}
+
+func TestFleetRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty fleet did not panic")
+		}
+	}()
+	Run(Config{})
+}

@@ -66,6 +66,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// CompactConfig returns a single-socket efficiency server — the second
+// hardware generation mixed into fleet experiments: fewer, slower cores,
+// a smaller LLC and a tighter power budget than the reference dual-socket
+// machine, as found in the older rows of a heterogeneous fleet.
+func CompactConfig() Config {
+	return Config{
+		Sockets:        1,
+		CoresPerSocket: 16,
+		ThreadsPerCore: 2,
+		NominalGHz:     2.0,
+		MinGHz:         1.0,
+		MaxTurboGHz:    3.1,
+		TurboBinGHz:    0.05,
+		LLCMB:          32, // 2 MB per core * 16 cores
+		LLCWays:        16,
+		DRAMGBs:        50,
+		TDPWatts:       105,
+		IdleWatts:      28,
+		CoreDynWatts:   4.4,
+		FreqExponent:   2.5,
+		LinkGbps:       10,
+	}
+}
+
 // Validate reports whether the configuration is self-consistent.
 func (c Config) Validate() error {
 	switch {

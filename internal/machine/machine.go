@@ -62,6 +62,7 @@ type Machine struct {
 
 	beNetCeilGBs float64 // HTB ceiling over all BE traffic; 0 = uncapped
 	sloScale     float64 // controller-visible SLO scale; 0 or 1 = unscaled
+	degrade      float64 // LC service-time degradation factor; 0 or 1 = none
 
 	lastService float64 // previous epoch mean LC service time (seconds)
 	tel         Telemetry
@@ -200,6 +201,19 @@ func (m *Machine) AddBE(wl *workload.BE, placement workload.PlacementKind) *BETa
 
 // BEs returns the installed BE tasks.
 func (m *Machine) BEs() []*BETask { return m.bes }
+
+// RemoveBE detaches one BE task. The departed task's cores stay
+// unassigned until the next Partition/SetBECores call; callers that want
+// them redistributed immediately should follow up with
+// Partition(BECoreCount()).
+func (m *Machine) RemoveBE(be *BETask) {
+	for i, b := range m.bes {
+		if b == be {
+			m.bes = append(m.bes[:i], m.bes[i+1:]...)
+			return
+		}
+	}
+}
 
 // RemoveBEs detaches all BE tasks and restores all cores and ways to LC.
 func (m *Machine) RemoveBEs() {
@@ -358,6 +372,25 @@ func (m *Machine) PartitionWays(beWays int) {
 	for _, be := range m.bes {
 		be.Ways = beWays
 	}
+}
+
+// SetDegrade installs a service-time degradation factor for the LC task:
+// every request's compute and memory time is multiplied by f, modelling a
+// slow leaf (thermal throttling, a failing disk behind the shard, an
+// overloaded neighbour VM). f <= 1 restores full speed.
+func (m *Machine) SetDegrade(f float64) {
+	if f <= 1 {
+		f = 0
+	}
+	m.degrade = f
+}
+
+// Degrade returns the current LC degradation factor (1 when none).
+func (m *Machine) Degrade() float64 {
+	if m.degrade == 0 {
+		return 1
+	}
+	return m.degrade
 }
 
 // SetBENetCeil sets the HTB ceiling for aggregate BE egress traffic.

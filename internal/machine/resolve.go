@@ -414,6 +414,13 @@ func (m *Machine) Step() Telemetry {
 		}
 		memT := spec.MemTime.Seconds() * memScale * lcDramInfl
 
+		// Per-leaf degradation (scenario events): a slow server does every
+		// unit of request work more slowly, so both components inflate.
+		if m.degrade > 1 {
+			cpu *= m.degrade
+			memT *= m.degrade
+		}
+
 		netT := 0.0
 		if spec.BytesPerReq > 0 {
 			netT = spec.BytesPerReq / 1e9 / link * lcNetInfl
