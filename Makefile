@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-baseline bench-check fmt-check ci
+.PHONY: all build vet test test-race bench bench-smoke bench-baseline bench-check fmt-check docs-check ci
 
 all: build
 
@@ -18,6 +18,12 @@ fmt-check:
 
 test:
 	$(GO) test ./...
+
+# Documentation gate: intra-repo markdown links resolve, every internal/
+# package carries a package comment, and docs/API.md covers every
+# registered control-plane route.
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 # Race-detector pass over the short suite: the parallel sweeps, the
 # cluster/fleet fan-outs and the worker pools all run under -race.
@@ -44,4 +50,4 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/benchbaseline -quick -check BENCH_baseline.json -tol 1.5
 
-ci: build vet fmt-check test test-race bench-smoke bench-check
+ci: build vet fmt-check docs-check test test-race bench-smoke bench-check

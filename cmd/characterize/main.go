@@ -5,8 +5,7 @@
 //
 // Usage:
 //
-//	characterize [-workload websearch|ml_cluster|memkeyval|all] [-fig3]
-//	             [-loads n]
+//	characterize [-workload all] [-fig3] [-loads 19] [-workers 0]
 package main
 
 import (
@@ -18,7 +17,7 @@ import (
 )
 
 func main() {
-	workloadFlag := flag.String("workload", "all", "LC workload to characterise (websearch, ml_cluster, memkeyval or all)")
+	workloadFlag := flag.String("workload", "all", "latency-critical workload name (websearch, ml_cluster, memkeyval or all)")
 	fig3 := flag.Bool("fig3", false, "produce the Figure 3 cores x LLC surface instead of Figure 1")
 	nloads := flag.Int("loads", 19, "number of load points (19 reproduces the paper's 5%..95% grid)")
 	workers := flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS, 1 = sequential)")
@@ -47,11 +46,4 @@ func main() {
 		fmt.Println(table)
 	}
 	_ = os.Stdout
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cluster [-leaves 20] [-hours 12] [-step 1s] [-seed 42]
+//	cluster [-leaves 20] [-hours 12] [-step 1s] [-seed 42] [-workers 0]
 package main
 
 import (
@@ -22,7 +22,7 @@ func main() {
 	leaves := flag.Int("leaves", 20, "number of leaf servers")
 	hours := flag.Float64("hours", 12, "trace duration in hours")
 	step := flag.Duration("step", time.Second, "trace step")
-	seed := flag.Uint64("seed", 42, "trace random seed")
+	seed := flag.Uint64("seed", 42, "random seed (drives the trace and root fan-out sampling)")
 	workers := flag.Int("workers", 0, "concurrent leaves per epoch (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	colocate [-lc websearch] [-be brain|all] [-minutes 12] [-model]
+//	colocate [-lc websearch] [-be all] [-minutes 12] [-model] [-loads 10]
+//	         [-workers 0]
 package main
 
 import (
@@ -17,8 +18,8 @@ import (
 )
 
 func main() {
-	lcName := flag.String("lc", "websearch", "latency-critical workload")
-	beName := flag.String("be", "all", "best-effort task (or all)")
+	lcName := flag.String("lc", "websearch", "latency-critical workload name")
+	beName := flag.String("be", "all", "best-effort workload name (or all)")
 	minutes := flag.Int("minutes", 12, "simulated minutes per load point")
 	useModel := flag.Bool("model", true, "use the offline DRAM bandwidth model (§4.2)")
 	nloads := flag.Int("loads", 10, "number of load points")

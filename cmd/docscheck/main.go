@@ -1,0 +1,161 @@
+// Command docscheck is the documentation gate run by `make docs-check`
+// and the CI docs job. It fails (exit 1) when:
+//
+//   - an intra-repository markdown link points at a file that does not
+//     exist,
+//   - an internal/ package has no package comment (the architecture
+//     story `go doc` tells), or
+//   - a control-plane route registered in internal/serve is not
+//     documented in docs/API.md.
+//
+// Usage:
+//
+//	docscheck [-root .]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"heracles/internal/serve"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var problems []string
+	problems = append(problems, checkMarkdownLinks(*root)...)
+	problems = append(problems, checkPackageComments(*root)...)
+	problems = append(problems, checkRouteDocs(*root)...)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck: "+p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: markdown links, package comments and API route docs all OK")
+}
+
+// linkRE matches [text](target) markdown links; targets with nested
+// parentheses are out of scope.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies every relative link in every tracked
+// markdown file resolves to an existing file or directory.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := strings.Trim(m[1], "<>")
+			if target == "" ||
+				strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: broken link %q (%s)", path, m[1], resolved))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("walking %s: %v", root, err))
+	}
+	return problems
+}
+
+// checkPackageComments requires a package comment in every internal/
+// package (any non-test file may carry it; by convention it lives in
+// doc.go).
+func checkPackageComments(root string) []string {
+	var problems []string
+	base := filepath.Join(root, "internal")
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return []string{fmt.Sprintf("reading %s: %v", base, err)}
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(base, e.Name())
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil || len(files) == 0 {
+			continue
+		}
+		found := false
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: %v", f, err))
+				continue
+			}
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems,
+				fmt.Sprintf("internal/%s: no package comment (add a doc.go)", e.Name()))
+		}
+	}
+	return problems
+}
+
+// checkRouteDocs requires docs/API.md to name every registered
+// control-plane route as the literal "METHOD /path" string.
+func checkRouteDocs(root string) []string {
+	apiPath := filepath.Join(root, "docs", "API.md")
+	data, err := os.ReadFile(apiPath)
+	if err != nil {
+		return []string{fmt.Sprintf("reading %s: %v", apiPath, err)}
+	}
+	text := string(data)
+	var problems []string
+	for _, r := range serve.Routes() {
+		if !strings.Contains(text, r) {
+			problems = append(problems,
+				fmt.Sprintf("docs/API.md: registered route %q is undocumented", r))
+		}
+	}
+	return problems
+}

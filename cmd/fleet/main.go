@@ -25,7 +25,7 @@ func main() {
 	stdN := flag.Int("std", 2, "clusters of the reference dual-socket generation")
 	compactN := flag.Int("compact", 1, "clusters of the compact single-socket generation")
 	leaves := flag.Int("leaves", 8, "leaf servers per cluster")
-	seed := flag.Uint64("seed", 42, "fleet random seed")
+	seed := flag.Uint64("seed", 42, "random seed (derives per-cluster streams)")
 	workers := flag.Int("workers", 0, "concurrent cluster runs (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 

@@ -1,19 +1,39 @@
-// Command heraclesd runs the Heracles controller as a long-lived daemon
-// against the simulated server, logging every controller decision and
-// mirroring each actuation into a filesystem tree with the real kernel
-// interface formats (resctrl schemata, cgroup cpusets, cpufreq caps, HTB
-// ceilings) so the decision stream can be inspected or replayed.
+// Command heraclesd runs the Heracles controller as a long-lived daemon.
+//
+// With -addr it serves the control plane: an HTTP API to create, inspect,
+// reconfigure and delete live simulated machine instances, an SSE
+// telemetry stream per instance, and a Prometheus /metrics endpoint (see
+// docs/API.md). The workload flags become the spec of one bootstrapped
+// instance, so the daemon starts with a machine already running; -noboot
+// starts with an empty pool instead.
+//
+// Without -addr it runs headless: one instance advances as fast as the
+// simulation resolves, logging every controller decision and printing a
+// per-simulated-minute summary, then exits when -minutes elapse. With
+// -minutes 0 the daemon runs until interrupted in either mode.
+//
+// In both modes -fsroot mirrors each epoch's actuations into a
+// filesystem tree with the real kernel interface formats (resctrl
+// schemata, cgroup cpusets, cpufreq caps, HTB ceilings) so the decision
+// stream can be inspected or replayed.
 //
 // Usage:
 //
-//	heraclesd [-lc websearch] [-be brain] [-load 0.4] [-minutes 10]
-//	          [-fsroot /tmp/heracles-fs] [-trace]
+//	heraclesd [-addr :8080] [-lc websearch] [-be brain] [-load 0.4]
+//	          [-minutes 10] [-speed 0] [-fsroot /tmp/heracles-fs]
+//	          [-trace] [-noboot]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"heracles/internal/actuate"
@@ -22,57 +42,126 @@ import (
 	"heracles/internal/hw"
 	"heracles/internal/isolation"
 	"heracles/internal/machine"
-	"heracles/internal/workload"
+	"heracles/internal/serve"
 )
 
 func main() {
-	lcName := flag.String("lc", "websearch", "latency-critical workload")
-	beName := flag.String("be", "brain", "best-effort workload")
-	load := flag.Float64("load", 0.4, "LC load fraction")
-	minutes := flag.Int("minutes", 10, "simulated minutes to run")
+	addr := flag.String("addr", "", "HTTP listen address for the control-plane API (empty = headless run)")
+	lcName := flag.String("lc", "websearch", "latency-critical workload name")
+	beName := flag.String("be", "brain", "best-effort workload name (empty = none)")
+	load := flag.Float64("load", 0.4, "LC load fraction of peak QPS")
+	minutes := flag.Int("minutes", 10, "simulated minutes to run (0 = run until interrupted)")
+	speed := flag.Float64("speed", 0, "simulated seconds per wall-clock second (0 = auto: as fast as possible headless, real time with -addr; -1 = as fast as possible)")
 	fsroot := flag.String("fsroot", "", "mirror actuations into kernel-format files under this directory")
 	traceFlag := flag.Bool("trace", true, "log controller decisions")
+	noboot := flag.Bool("noboot", false, "with -addr, start with an empty instance pool instead of bootstrapping one from the flags")
 	flag.Parse()
 
+	serving := *addr != ""
 	lab := experiment.DefaultLab()
-	m := machine.New(lab.Cfg)
-	m.SetLC(lab.LC(*lcName))
-	m.AddBE(lab.BE(*beName), workload.PlaceDedicated)
-	m.SetLoad(*load)
+
+	// -speed 0 is "auto": a headless run free-runs like the offline
+	// experiments, a served daemon advances in real time.
+	instSpeed := *speed
+	if instSpeed == 0 {
+		if serving {
+			instSpeed = 1
+		} else {
+			instSpeed = serve.SpeedMax
+		}
+	}
+
+	srv := serve.New(serve.Config{Lab: lab, DefaultSpeed: instSpeed})
+	defer srv.Close()
 
 	var fs *actuate.FSActuator
 	if *fsroot != "" {
 		fs = actuate.NewFS(*fsroot, actuate.DefaultLayout())
 	}
 
-	ctl := core.New(m, lab.DRAMModel(*lcName), core.DefaultConfig())
+	maxEpochs := *minutes * 60
+	runDone := make(chan struct{})
+	// The hook runs in the instance's driver goroutine while main reads
+	// the count on interrupt, so it must be atomic.
+	var epochs atomic.Int64
+	spec := serve.InstanceSpec{
+		Name:      "boot",
+		LC:        *lcName,
+		Load:      *load,
+		Speed:     instSpeed,
+		MaxEpochs: maxEpochs,
+		EpochHook: func(m *machine.Machine, t machine.Telemetry) {
+			if fs != nil {
+				mirror(fs, m, lab.Cfg, t)
+			}
+			n := epochs.Add(1)
+			if !serving && n%60 == 0 {
+				fmt.Printf("t=%-6v tail=%6.1f%%SLO EMU=%5.1f%% beCores=%-2d beWays=%-2d dram=%4.1f%% power=%4.1f%%TDP\n",
+					m.Clock().Now(), 100*t.TailLatency.Seconds()/m.SLO().Seconds(),
+					100*t.EMU, t.BECores, t.BEWays, 100*t.DRAMUtil, 100*t.PowerFracTDP)
+			}
+			if maxEpochs > 0 && n == int64(maxEpochs) {
+				close(runDone)
+			}
+		},
+	}
+	if *beName != "" {
+		spec.BEs = []serve.BEAttachment{{Workload: *beName}}
+	}
 	if *traceFlag {
-		ctl.OnEvent(func(e core.Event) {
+		spec.Trace = func(e core.Event) {
 			log.Printf("[%8v] %-5s %-18s %s", e.At, e.Loop, e.Action, e.Detail)
-		})
+		}
 	}
 
-	epochs := *minutes * 60
-	for i := 0; i < epochs; i++ {
-		t := m.Step()
-		ctl.Step(m.Clock().Now())
-		if fs != nil {
-			mirror(fs, m, lab.Cfg, t)
+	if !serving || !*noboot {
+		inst, err := srv.CreateInstance(spec)
+		if err != nil {
+			log.Fatalf("heraclesd: bootstrap instance: %v", err)
 		}
-		if i%60 == 59 {
-			fmt.Printf("t=%-6v tail=%6.1f%%SLO EMU=%5.1f%% beCores=%-2d beWays=%-2d dram=%4.1f%% power=%4.1f%%TDP\n",
-				m.Clock().Now(), 100*t.TailLatency.Seconds()/m.SLO().Seconds(),
-				100*t.EMU, t.BECores, t.BEWays, 100*t.DRAMUtil, 100*t.PowerFracTDP)
+		if serving {
+			log.Printf("heraclesd: bootstrapped instance %s (%s + %s at %.0f%% load)",
+				inst.ID(), *lcName, *beName, 100**load)
+		}
+	}
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
+
+	if serving {
+		httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+		errc := make(chan error, 1)
+		go func() { errc <- httpSrv.ListenAndServe() }()
+		log.Printf("heraclesd: control plane listening on %s (API under /api/v1, SSE per instance, Prometheus /metrics)", *addr)
+		select {
+		case err := <-errc:
+			log.Fatalf("heraclesd: %v", err)
+		case sig := <-interrupt:
+			log.Printf("heraclesd: %v, shutting down", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(ctx)
+		}
+	} else {
+		if maxEpochs > 0 {
+			select {
+			case <-runDone:
+			case sig := <-interrupt:
+				log.Printf("heraclesd: %v, stopping after %d epochs", sig, epochs.Load())
+			}
+		} else {
+			sig := <-interrupt
+			log.Printf("heraclesd: %v, stopping after %d epochs", sig, epochs.Load())
 		}
 	}
 	if fs != nil {
 		fmt.Printf("kernel-format actuation mirror written under %s\n", *fsroot)
 	}
-	_ = time.Second
 }
 
 // mirror reflects the machine's current isolation state into the
-// filesystem actuator using the exact kernel formats.
+// filesystem actuator using the exact kernel formats. It runs in the
+// instance's driver goroutine, between epochs.
 func mirror(fs *actuate.FSActuator, m *machine.Machine, cfg hw.Config, t machine.Telemetry) {
 	tc := cfg.TotalCores()
 	beCores := isolation.NewCPUSet()

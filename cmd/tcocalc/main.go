@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tcocalc [-servers 10000] [-cost 2000] [-pue 2.0] [-watts 500]
+//	        [-kwh 0.10]
 package main
 
 import (
@@ -19,7 +20,7 @@ func main() {
 	cost := flag.Float64("cost", 2000, "capital cost per server ($)")
 	pue := flag.Float64("pue", 2.0, "power usage effectiveness")
 	watts := flag.Float64("watts", 500, "per-server peak power (W)")
-	price := flag.Float64("kwh", 0.10, "electricity price ($/kWh)")
+	price := flag.Float64("kwh", 0.10, "electricity price in $/kWh")
 	flag.Parse()
 
 	p := tco.Barroso()

@@ -6,7 +6,9 @@
 // LLC, DRAM controllers, RAPL/DVFS power, HTB-shaped NIC), calibrated
 // models of the paper's three latency-critical and six best-effort
 // workloads, baseline policies, a fan-out cluster simulator, a TCO model,
-// and experiment harnesses for every figure and table.
+// experiment harnesses for every figure and table, and a control plane
+// that serves live controller-managed machines over HTTP (REST + SSE +
+// Prometheus; see ServeConfig and cmd/heraclesd).
 //
 // # Quick start
 //
@@ -31,6 +33,7 @@ import (
 	"heracles/internal/lat"
 	"heracles/internal/machine"
 	"heracles/internal/scenario"
+	"heracles/internal/serve"
 	"heracles/internal/tco"
 	"heracles/internal/trace"
 	"heracles/internal/workload"
@@ -283,6 +286,39 @@ var (
 	BarrosoTCO = tco.Barroso
 	// AnalyzeTCO reproduces the §5.3 scenarios.
 	AnalyzeTCO = tco.Analyze
+)
+
+// Control plane: live machine instances served over HTTP (REST + SSE +
+// Prometheus). cmd/heraclesd is the thin daemon over this layer; see
+// docs/API.md for the wire surface.
+type (
+	// ServeConfig configures a control-plane server.
+	ServeConfig = serve.Config
+	// ServeServer owns the instance pool and the HTTP API over it.
+	ServeServer = serve.Server
+	// ServeInstance is one live simulated machine with its controller.
+	ServeInstance = serve.Instance
+	// ServeInstanceSpec configures a new live instance.
+	ServeInstanceSpec = serve.InstanceSpec
+	// ServeBEAttachment names a best-effort task on an instance.
+	ServeBEAttachment = serve.BEAttachment
+	// ServeStatus is a point-in-time instance snapshot.
+	ServeStatus = serve.Status
+	// ServeEpochUpdate is the per-epoch telemetry summary streamed over
+	// SSE.
+	ServeEpochUpdate = serve.EpochUpdate
+	// ServeScenarioSpec is the JSON encoding of a declarative scenario.
+	ServeScenarioSpec = serve.ScenarioSpec
+)
+
+// ServeSpeedMax requests free-running simulation for an instance.
+const ServeSpeedMax = serve.SpeedMax
+
+var (
+	// NewServer builds a control-plane server and its route table.
+	NewServer = serve.New
+	// ServeRoutes lists every registered API endpoint.
+	ServeRoutes = serve.Routes
 )
 
 // Filesystem actuation (kernel interface formats).

@@ -1,13 +1,3 @@
-// Package actuate applies Heracles' isolation decisions to a target. Two
-// backends exist: the simulated machine (which implements the controller's
-// Env interface directly), and FSActuator, which writes the exact file
-// formats the Linux kernel interfaces expect — cgroup cpuset lists,
-// resctrl schemata, cpufreq scaling_max_freq, and an HTB class dump — under
-// a configurable root directory.
-//
-// On a real server the root would be "/" (so paths resolve to
-// /sys/fs/resctrl, /sys/fs/cgroup, ...); in tests and demos any directory
-// works, and the written trees can be inspected or replayed.
 package actuate
 
 import (

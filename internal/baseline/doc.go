@@ -1,0 +1,17 @@
+// Package baseline implements the comparison policies Heracles is
+// evaluated against:
+//
+//   - OS-only isolation (CFS shares, no pinning, no CAT/DVFS/HTB) — the
+//     "brain" rows of Figure 1, realised through the machine model's
+//     OS-shared placement.
+//   - Static partitioning — a fixed, load-oblivious split of cores and
+//     cache, representing the "any static policy would be either too
+//     conservative or overly optimistic" argument of §3.3.
+//   - Energy proportionality — the power-management-only alternative of
+//     the §5.3 TCO comparison (implemented analytically in
+//     internal/tco).
+//
+// The experiment, cluster and fleet layers run these policies on the
+// same machines and scenarios as the controller, so every Heracles
+// number in the evaluation has its counterfactual.
+package baseline

@@ -1,0 +1,21 @@
+// Package cache models a way-partitioned last-level cache: per-workload
+// miss-ratio curves built from working-set components, and a fixed-point
+// occupancy solver that divides cache capacity among the tasks allowed
+// to allocate into each way.
+//
+// Occupancy is driven by recency pressure — how often a component's
+// lines are touched — with a discount for hits (a line that hits is
+// renewed in place, while a miss inserts a new line). Capacity a
+// component cannot use (its footprint is smaller than its share) is
+// redistributed to the other sharers by water-filling. This captures the
+// behaviours the paper's characterisation (§3.3) depends on: streaming
+// antagonists with large footprints evict the small-but-hot working sets
+// of latency-critical workloads, antagonists sized below their partition
+// stay contained, and CAT way-partitioning confines each task's
+// insertions to its own ways.
+//
+// The solver's outputs (per-task hit ratios and miss bandwidth) feed the
+// machine model's service-time inflation and DRAM demand; ResolveScratch
+// is the allocation-free variant the steady-state stepping hot path
+// uses.
+package cache

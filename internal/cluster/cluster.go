@@ -1,9 +1,3 @@
-// Package cluster models the websearch minicluster of §5.3: a root that
-// fans every user request out to all leaf servers and combines their
-// replies, with an instance of Heracles running on every leaf. The
-// cluster SLO is the mean latency at the root over 30-second windows
-// (µ/30s); each leaf runs a uniform 99%-ile latency target chosen so the
-// root satisfies the SLO.
 package cluster
 
 import (

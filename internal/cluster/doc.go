@@ -1,0 +1,17 @@
+// Package cluster models the websearch minicluster of §5.3: a root that
+// fans every user request out to all leaf servers and combines their
+// replies, with an instance of Heracles running on every leaf. The
+// cluster SLO is the mean latency at the root over 30-second windows
+// (µ/30s); each leaf runs a uniform 99%-ile latency target chosen so the
+// root satisfies the SLO.
+//
+// RunScenario is the interpreter for declarative scenarios: timed events
+// are applied between epochs in schedule order, and leaves — independent
+// machines — step concurrently on a persistent worker pool, with the
+// root's fan-out sampling drawn from per-epoch derived RNG streams so
+// every worker count produces bit-identical results. The optional
+// DynamicLeafTargets mode implements the centralized root controller the
+// paper sketches, converting root-level slack into per-leaf latency
+// targets. internal/fleet runs many of these clusters; Run is the
+// compatibility wrapper for callers with a bare load trace.
+package cluster

@@ -1,21 +1,7 @@
-// Package core implements the Heracles controller — the paper's primary
-// contribution (§4): a real-time feedback controller that coordinates four
-// hardware and software isolation mechanisms so that a latency-critical
-// (LC) workload meets its SLO while best-effort (BE) tasks consume every
-// spare resource.
-//
-// The controller is organised exactly as Figure 2 of the paper: a
-// top-level controller (Algorithm 1) polls tail latency and load and
-// enables/disables/limits BE growth; three subcontrollers — core & memory
-// (Algorithm 2), power (Algorithm 3) and network (Algorithm 4) — each keep
-// one shared resource away from saturation.
-//
-// The controller is written against the Env interface so it can drive
-// either the simulated machine (internal/machine) or filesystem actuators
-// (internal/actuate) on real hardware.
 package core
 
 import (
+	"sync"
 	"time"
 )
 
@@ -181,8 +167,13 @@ type Controller struct {
 	// Scheduling.
 	nextTop, nextCore, nextPower, nextNet time.Duration
 
-	events []Event
-	trace  func(Event)
+	// Decision trace. The mutex makes subscription safe for concurrent
+	// consumers: the control plane attaches handlers and snapshots the
+	// event log from HTTP goroutines while Step runs in the instance's
+	// driver goroutine.
+	traceMu sync.Mutex
+	events  []Event
+	traces  []func(Event)
 }
 
 // New returns a controller bound to env. model may be nil, in which case
@@ -193,11 +184,26 @@ func New(env Env, model DRAMModel, cfg Config) *Controller {
 	return c
 }
 
-// OnEvent installs a decision-trace callback.
-func (c *Controller) OnEvent(fn func(Event)) { c.trace = fn }
+// OnEvent installs a decision-trace callback. Handlers accumulate: every
+// installed callback sees every subsequent event, so multiple consumers
+// (a log writer, an SSE hub, a metrics counter) can subscribe to the same
+// controller. OnEvent may be called concurrently with Step; the handler
+// itself is invoked from the goroutine driving Step.
+func (c *Controller) OnEvent(fn func(Event)) {
+	c.traceMu.Lock()
+	c.traces = append(c.traces, fn)
+	c.traceMu.Unlock()
+}
 
-// Events returns the recorded decision trace.
-func (c *Controller) Events() []Event { return c.events }
+// Events returns a snapshot copy of the recorded decision trace. It is
+// safe to call while another goroutine drives Step.
+func (c *Controller) Events() []Event {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
 
 // Slack returns the most recent latency slack (SLO - latency)/SLO.
 func (c *Controller) Slack() float64 { return c.slack }
@@ -210,11 +216,17 @@ func (c *Controller) BEEnabled() bool { return c.enabled }
 
 func (c *Controller) emit(at time.Duration, loop, action, detail string) {
 	e := Event{At: at, Loop: loop, Action: action, Detail: detail}
+	c.traceMu.Lock()
 	if len(c.events) < 4096 {
 		c.events = append(c.events, e)
 	}
-	if c.trace != nil {
-		c.trace(e)
+	// Snapshot the handler list head under the lock; handlers are only
+	// ever appended, so iterating the snapshot outside the lock is safe
+	// and keeps handler code free to call back into the controller.
+	traces := c.traces
+	c.traceMu.Unlock()
+	for _, fn := range traces {
+		fn(e)
 	}
 }
 

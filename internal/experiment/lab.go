@@ -1,9 +1,3 @@
-// Package experiment implements one runner per figure and table of the
-// paper's evaluation (§3.3 and §5): the interference characterisation
-// grid (Figure 1), the cores×LLC performance surface (Figure 3), the
-// Heracles colocation sweeps (Figures 4-7), the offline DRAM bandwidth
-// model profiler (§4.2), and shared infrastructure — workload calibration
-// caching and table rendering.
 package experiment
 
 import (

@@ -1,12 +1,3 @@
-// Package fleet scales the §5.3 evaluation from one cluster to a fleet:
-// N clusters of heterogeneous hardware generations and workload mixes,
-// each driven through its own declarative scenario, each run twice —
-// baseline (no colocation) and under Heracles — so the fleet-wide
-// utilisation lift converts into the TCO claim the paper makes at
-// datacenter scale. Cluster instances are independent simulations: they
-// fan out over a worker pool with per-instance RNG streams derived from
-// (Seed, instance), so fleet results are bit-identical for any worker
-// count.
 package fleet
 
 import (

@@ -1,12 +1,3 @@
-// Package hw describes the modelled server hardware and implements its
-// frequency/power behaviour: the turbo-bin table, the per-core dynamic
-// power model, and the chip-level frequency resolution under a TDP budget
-// with per-core DVFS caps.
-//
-// The default configuration mirrors the machines in the paper's evaluation
-// (§3.2): dual-socket Haswell-class Xeons with a high core count, a nominal
-// frequency of 2.3 GHz, 2.5 MB of LLC per core, way-partitionable LLC
-// (Cache Allocation Technology), RAPL power monitoring and per-core DVFS.
 package hw
 
 import (

@@ -1,0 +1,17 @@
+// Package hw describes the modelled server hardware and implements its
+// frequency/power behaviour: the turbo-bin table, the per-core dynamic
+// power model, and the chip-level frequency resolution under a TDP budget
+// with per-core DVFS caps.
+//
+// The default configuration mirrors the machines in the paper's
+// evaluation (§3.2): dual-socket Haswell-class Xeons with a high core
+// count, a nominal frequency of 2.3 GHz, 2.5 MB of LLC per core,
+// way-partitionable LLC (Cache Allocation Technology), RAPL power
+// monitoring and per-core DVFS. CompactConfig is a single-socket
+// efficiency generation mixed into heterogeneous fleet experiments.
+//
+// In the layering, hw is the bottom: internal/machine composes this
+// package with the cache, mem and netlink resource models into one
+// resolvable server, and everything above (controller, experiments,
+// cluster, fleet, control plane) sees hardware only through a Config.
+package hw

@@ -1,8 +1,3 @@
-// Package isolation defines the typed isolation settings Heracles
-// programs — CPU sets, CAT way masks, DVFS frequency caps, and HTB rates —
-// together with parsers and formatters for the exact kernel interfaces
-// (cgroup cpuset lists, resctrl schemata hex masks, cpufreq kHz values,
-// tc rate strings).
 package isolation
 
 import (

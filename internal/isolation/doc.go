@@ -1,0 +1,12 @@
+// Package isolation defines the typed isolation settings Heracles
+// programs — CPU sets, CAT way masks, DVFS frequency caps, and HTB
+// rates — together with parsers and formatters for the exact kernel
+// interfaces (cgroup cpuset lists, resctrl schemata hex masks, cpufreq
+// kHz values, tc rate strings).
+//
+// These types are the shared vocabulary between the controller's
+// decisions and the two actuation backends: the simulated machine
+// consumes them directly, and internal/actuate serialises them into the
+// file formats a real kernel would read, so a decision stream recorded
+// against the simulator can be replayed against /sys paths unchanged.
+package isolation

@@ -1,17 +1,3 @@
-// Package lat computes the tail latency of a latency-critical workload
-// from its contention-inflated service parameters. Two interchangeable
-// engines are provided:
-//
-//   - Analytic: a closed-form M/G/k approximation (Erlang-C waiting
-//     probability, exponential conditional-wait tail, Allen-Cunneen
-//     variability correction). Fast and deterministic; the default for
-//     large parameter sweeps.
-//   - DES: a discrete-event simulation of a FCFS G/G/k queue with Poisson
-//     arrivals and lognormal service times, measuring empirical quantiles.
-//
-// Both produce the sharp tail-latency inflection near saturation that the
-// paper's control decomposition (§4.2) relies on; the test suite
-// cross-validates them against each other.
 package lat
 
 import (

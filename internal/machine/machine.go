@@ -1,10 +1,3 @@
-// Package machine assembles the modelled server: hardware (cores,
-// hyperthreads, way-partitioned LLC, DRAM controllers, power/turbo, NIC),
-// one latency-critical task, and any number of best-effort tasks. Each
-// call to Step resolves one control epoch — frequencies under the power
-// budget, cache occupancy, DRAM bandwidth shares, network shares, the LC
-// workload's inflated service parameters and resulting tail latency, and
-// every telemetry counter the Heracles controller reads.
 package machine
 
 import (

@@ -1,12 +1,3 @@
-// Package mem models per-socket DRAM bandwidth: proportional sharing when
-// demand exceeds the controllers' peak streaming bandwidth, and the
-// queueing-delay inflation that memory accesses suffer as the channels
-// approach saturation.
-//
-// The paper (§2) notes there is no commercially available DRAM bandwidth
-// isolation mechanism, which is why Heracles falls back to scaling down
-// best-effort cores when the socket's measured bandwidth crosses its limit.
-// This model provides the measured-bandwidth counters that decision needs.
 package mem
 
 import "heracles/internal/queue"

@@ -1,0 +1,13 @@
+// Package netlink models the server's NIC egress path: TCP-fair sharing
+// by flow count (so many best-effort "mice" flows overwhelm a
+// latency-critical service's flows, §3.2 of the paper), hierarchical
+// token bucket (HTB) ceilings for traffic classes, and the
+// transmit-queueing latency inflation the latency-critical workload
+// observes near saturation.
+//
+// The machine model resolves the link once per epoch; the controller's
+// network subcontroller (Algorithm 4) reads the achieved bandwidths and
+// programs the BE ceiling through the same interface the real system
+// would drive with tc. ResolveInto is the allocation-free variant used
+// by the stepping hot path.
+package netlink

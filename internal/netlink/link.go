@@ -1,8 +1,3 @@
-// Package netlink models the server's NIC egress path: TCP-fair sharing by
-// flow count (so many best-effort "mice" flows overwhelm a latency-critical
-// service's flows, §3.2 of the paper), hierarchical token bucket (HTB)
-// ceilings for traffic classes, and the transmit-queueing latency inflation
-// the latency-critical workload observes near saturation.
 package netlink
 
 import "heracles/internal/queue"

@@ -1,11 +1,3 @@
-// Package parallel provides the bounded, order-preserving fan-out/fan-in
-// primitive used by the experiment layer: load sweeps, characterisation
-// grids and cluster leaves are independent simulations, so they run
-// concurrently on up to GOMAXPROCS workers while results land at their
-// original index. Determinism is preserved by construction — each item
-// writes only its own slot and any randomness is derived per item from
-// (seed, index) rather than shared mutable RNG state — so a run with one
-// worker is byte-identical to a run with many.
 package parallel
 
 import (

@@ -1,0 +1,12 @@
+// Package queue implements the queueing-theory primitives the analytic
+// latency engine is built on: Erlang-C waiting probability for M/M/k
+// systems, wait-time tail quantiles, and an M/G/k variability correction.
+//
+// These formulas are what produce the sharp tail-latency inflection near
+// saturation that Heracles' design insight (§4.2 of the paper) relies
+// on: "interference is problematic only when a shared resource becomes
+// saturated ... tail latency degrades extremely rapidly" past that
+// point. internal/lat wraps them into a full epoch evaluator;
+// internal/cluster reuses the fan-out mathematics for its root
+// latency-combining.
+package queue

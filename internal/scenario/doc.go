@@ -1,0 +1,14 @@
+// Package scenario is the declarative experiment-description layer: a
+// Scenario composes a load Shape (step, ramp, flash-crowd spike,
+// diurnal, trace replay, and arithmetic combinations of those) with a
+// schedule of timed Events (best-effort task arrival and departure
+// churn, per-leaf service degradation, mid-run SLO or load-target
+// changes — the §5.2 "load changes" experiments).
+//
+// Scenario values are plain data that can be composed, validated and
+// replayed bit-identically for any worker count; this package only
+// describes them. Three interpreters execute them: the cluster simulator
+// (every leaf of a fan-out tree), the fleet runner (one scenario per
+// cluster spec), and the control plane's live instances (installed over
+// the HTTP API via the JSON codec in internal/serve).
+package scenario

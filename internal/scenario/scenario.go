@@ -1,12 +1,3 @@
-// Package scenario is the declarative experiment-description layer: a
-// Scenario composes a load Shape (step, ramp, flash-crowd spike, diurnal,
-// trace replay, and arithmetic combinations of those) with a schedule of
-// timed Events (best-effort task arrival and departure churn, per-leaf
-// service degradation, mid-run SLO or load-target changes — the §5.2
-// "load changes" experiments). The cluster and fleet simulators interpret
-// scenarios; this package only describes them, so scenario values are
-// plain data that can be composed, validated and replayed bit-identically
-// for any worker count.
 package scenario
 
 import (

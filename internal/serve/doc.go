@@ -1,0 +1,31 @@
+// Package serve is the Heracles control plane: a long-lived service that
+// owns a pool of live simulated machines — each with its own Heracles
+// controller, advanced by a dedicated driver goroutine on a real-time,
+// accelerated or free-running tick — and exposes them over HTTP.
+//
+// The surface has three parts:
+//
+//   - REST endpoints (/api/v1/instances...) to create, list, inspect and
+//     delete machine instances, change load targets and SLOs mid-flight,
+//     attach and remove best-effort tasks, inject service degradation,
+//     and drive an instance by a declarative scenario (the same
+//     load-shape + timed-event language the cluster and fleet simulators
+//     interpret, carried as JSON).
+//   - A Server-Sent-Events stream per instance delivering per-epoch
+//     telemetry, controller decisions and lifecycle transitions.
+//   - A Prometheus-format /metrics endpoint aggregating EMU, tail
+//     latency and SLO slack, resource allocations and controller
+//     actuation counts across every live instance.
+//
+// Determinism is preserved by construction: each instance's machine and
+// controller are touched only by its driver goroutine, and every API
+// mutation is a closure enqueued through Instance.Do and applied between
+// epochs. The tick loop feeds the exact Machine.Step path the offline
+// experiments use, so a served instance replays bit-identically to a
+// batch run with the same spec and command sequence, for any number of
+// concurrent instances and clients.
+//
+// cmd/heraclesd is the thin daemon over this package; the route table in
+// server.go is the single source of truth for the HTTP surface and is
+// cross-checked against docs/API.md by cmd/docscheck.
+package serve

@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	Event string
+	ID    string
+	Data  []byte
+}
+
+// sseReader incrementally parses an SSE byte stream.
+type sseReader struct {
+	sc *bufio.Scanner
+}
+
+func newSSEReader(r io.Reader) *sseReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	return &sseReader{sc: sc}
+}
+
+// Next returns the next event, skipping comments.
+func (r *sseReader) Next() (sseEvent, error) {
+	var ev sseEvent
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		switch {
+		case line == "":
+			if ev.Event != "" || len(ev.Data) > 0 {
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"): // comment
+		case strings.HasPrefix(line, "event: "):
+			ev.Event = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			ev.ID = line[len("id: "):]
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = append(ev.Data, line[len("data: "):]...)
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return ev, err
+	}
+	return ev, io.EOF
+}
+
+func jsonBody(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func doReq(t *testing.T, client *http.Client, method, url string, body io.Reader, wantCode int) []byte {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: status %d, want %d; body: %s", method, url, resp.StatusCode, wantCode, out)
+	}
+	return out
+}
+
+// TestE2ELifecycleSSEAndMetrics is the acceptance flow: create an
+// instance over HTTP, stream at least ten SSE epochs, change the SLO via
+// PUT mid-flight, observe the changed SLO in the stream, scrape non-empty
+// Prometheus /metrics, then delete the instance.
+func TestE2ELifecycleSSEAndMetrics(t *testing.T) {
+	s := New(Config{Lab: testLab})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Health before anything exists.
+	if body := doReq(t, client, "GET", ts.URL+"/healthz", nil, 200); !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("healthz: %s", body)
+	}
+
+	// Create an instance: websearch + brain at 40%% load, ~2000 simulated
+	// seconds per wall second so ten epochs arrive in milliseconds.
+	spec := InstanceSpec{
+		Name: "edge-leaf",
+		LC:   "websearch",
+		BEs:  []BEAttachment{{Workload: "brain"}},
+		Load: 0.4,
+
+		Speed: 2000,
+	}
+	body := doReq(t, client, "POST", ts.URL+"/api/v1/instances", jsonBody(t, spec), 201)
+	var created Status
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatalf("create response: %v; body %s", err, body)
+	}
+	if created.ID == "" || created.LC != "websearch" || created.State != StateRunning {
+		t.Fatalf("created status = %+v", created)
+	}
+	id := created.ID
+	baseSLO := created.Last.SLOMs
+	if baseSLO <= 0 {
+		t.Fatalf("created instance has no SLO: %+v", created.Last)
+	}
+
+	// List and inspect.
+	body = doReq(t, client, "GET", ts.URL+"/api/v1/instances", nil, 200)
+	if !bytes.Contains(body, []byte(id)) {
+		t.Fatalf("instance list missing %s: %s", id, body)
+	}
+	doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+id, nil, 200)
+	doReq(t, client, "GET", ts.URL+"/api/v1/instances/nosuch", nil, 404)
+
+	// Attach the SSE stream.
+	resp, err := client.Get(ts.URL + "/api/v1/instances/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	sse := newSSEReader(resp.Body)
+
+	// Stream at least ten epoch events at the original SLO.
+	var epochs int
+	var lastUpdate EpochUpdate
+	for epochs < 10 {
+		ev, err := sse.Next()
+		if err != nil {
+			t.Fatalf("stream ended after %d epochs: %v", epochs, err)
+		}
+		if ev.Event != "epoch" {
+			continue
+		}
+		if err := json.Unmarshal(ev.Data, &lastUpdate); err != nil {
+			t.Fatalf("epoch payload: %v; %s", err, ev.Data)
+		}
+		if lastUpdate.Instance != id {
+			t.Fatalf("epoch for wrong instance: %+v", lastUpdate)
+		}
+		epochs++
+	}
+	if lastUpdate.SLOMs != baseSLO {
+		t.Fatalf("pre-change SLO drifted: %v vs %v", lastUpdate.SLOMs, baseSLO)
+	}
+
+	// Tighten the SLO mid-flight and watch the change reach telemetry.
+	body = doReq(t, client, "PUT", ts.URL+"/api/v1/instances/"+id+"/slo",
+		jsonBody(t, map[string]float64{"scale": 0.5}), 200)
+	var sloResp map[string]float64
+	if err := json.Unmarshal(body, &sloResp); err != nil {
+		t.Fatal(err)
+	}
+	wantSLO := sloResp["slo_ms"]
+	if wantSLO >= baseSLO || wantSLO <= 0 {
+		t.Fatalf("PUT slo returned slo_ms %v (base %v)", wantSLO, baseSLO)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ev, err := sse.Next()
+		if err != nil {
+			t.Fatalf("stream ended waiting for SLO change: %v", err)
+		}
+		if ev.Event != "epoch" {
+			continue
+		}
+		var up EpochUpdate
+		if err := json.Unmarshal(ev.Data, &up); err != nil {
+			t.Fatal(err)
+		}
+		if up.SLOMs == wantSLO {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SLO change never appeared in stream: last %v, want %v", up.SLOMs, wantSLO)
+		}
+	}
+
+	// Change the load target too; watch it land.
+	doReq(t, client, "PUT", ts.URL+"/api/v1/instances/"+id+"/load",
+		jsonBody(t, map[string]float64{"load": 0.7}), 200)
+	for {
+		ev, err := sse.Next()
+		if err != nil {
+			t.Fatalf("stream ended waiting for load change: %v", err)
+		}
+		if ev.Event != "epoch" {
+			continue
+		}
+		var up EpochUpdate
+		if err := json.Unmarshal(ev.Data, &up); err != nil {
+			t.Fatal(err)
+		}
+		if up.Load == 0.7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("load change never appeared in stream")
+		}
+	}
+
+	// Scrape Prometheus metrics: non-empty, carries our instance.
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != 200 || len(mbody) == 0 {
+		t.Fatalf("metrics: status %d, %d bytes", mresp.StatusCode, len(mbody))
+	}
+	for _, want := range []string{
+		"heracles_instances 1",
+		fmt.Sprintf("heracles_instance_emu{instance=%q}", id),
+		fmt.Sprintf("heracles_instance_slo_slack{instance=%q}", id),
+		fmt.Sprintf("heracles_instance_epochs_total{instance=%q}", id),
+		"heracles_fleet_emu_mean",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Attach + detach a second BE task.
+	doReq(t, client, "POST", ts.URL+"/api/v1/instances/"+id+"/bes",
+		jsonBody(t, BEAttachment{Workload: "streetview"}), 201)
+	doReq(t, client, "DELETE", ts.URL+"/api/v1/instances/"+id+"/bes/streetview", nil, 200)
+	doReq(t, client, "DELETE", ts.URL+"/api/v1/instances/"+id+"/bes/streetview", nil, 404)
+
+	// Degradation injection.
+	doReq(t, client, "PUT", ts.URL+"/api/v1/instances/"+id+"/degrade",
+		jsonBody(t, map[string]float64{"factor": 1.3}), 200)
+	doReq(t, client, "PUT", ts.URL+"/api/v1/instances/"+id+"/degrade",
+		jsonBody(t, map[string]float64{"factor": 1}), 200)
+
+	// Install a declarative scenario over the API.
+	doReq(t, client, "POST", ts.URL+"/api/v1/instances/"+id+"/scenario",
+		jsonBody(t, ScenarioSpec{
+			Name:      "steps",
+			DurationS: 30,
+			Load: &ShapeSpec{Kind: "steps", Levels: []LevelSpec{
+				{AtS: 0, Load: 0.3}, {AtS: 15, Load: 0.6},
+			}},
+			Events: []EventSpec{{AtS: 10, Kind: "slo-scale", Factor: 0.9}},
+		}), 202)
+
+	// Delete; the instance disappears from the pool and /metrics.
+	doReq(t, client, "DELETE", ts.URL+"/api/v1/instances/"+id, nil, 200)
+	doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+id, nil, 404)
+	mbody = doReq(t, client, "GET", ts.URL+"/metrics", nil, 200)
+	if !strings.Contains(string(mbody), "heracles_instances 0") {
+		t.Fatalf("metrics after delete: %s", mbody)
+	}
+}
+
+// TestE2EBadRequests covers input validation across endpoints.
+func TestE2EBadRequests(t *testing.T) {
+	s := New(Config{Lab: testLab, MaxInstances: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Malformed body, unknown fields, unknown workloads.
+	doReq(t, client, "POST", ts.URL+"/api/v1/instances", strings.NewReader("{nope"), 400)
+	doReq(t, client, "POST", ts.URL+"/api/v1/instances", strings.NewReader(`{"bogus_field":1}`), 400)
+	doReq(t, client, "POST", ts.URL+"/api/v1/instances", jsonBody(t, InstanceSpec{LC: "nosuch"}), 400)
+	doReq(t, client, "POST", ts.URL+"/api/v1/instances", jsonBody(t, InstanceSpec{Load: 2}), 400)
+
+	// Instance cap.
+	body := doReq(t, client, "POST", ts.URL+"/api/v1/instances",
+		jsonBody(t, InstanceSpec{Speed: 2000}), 201)
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	doReq(t, client, "POST", ts.URL+"/api/v1/instances", jsonBody(t, InstanceSpec{}), 503)
+
+	// Mutations with bad payloads.
+	base := ts.URL + "/api/v1/instances/" + st.ID
+	doReq(t, client, "PUT", base+"/load", jsonBody(t, map[string]float64{"load": -1}), 400)
+	doReq(t, client, "PUT", base+"/slo", jsonBody(t, map[string]float64{"scale": 0}), 400)
+	doReq(t, client, "PUT", base+"/degrade", jsonBody(t, map[string]float64{"factor": -2}), 400)
+	doReq(t, client, "POST", base+"/bes", jsonBody(t, BEAttachment{Workload: "nosuch"}), 400)
+	doReq(t, client, "POST", base+"/scenario", jsonBody(t, ScenarioSpec{DurationS: -1}), 400)
+
+	// Unknown instance for every instance-scoped route.
+	doReq(t, client, "PUT", ts.URL+"/api/v1/instances/zz/load", jsonBody(t, map[string]float64{"load": 0.5}), 404)
+	doReq(t, client, "DELETE", ts.URL+"/api/v1/instances/zz", nil, 404)
+	doReq(t, client, "GET", ts.URL+"/api/v1/instances/zz/stream", nil, 404)
+}
+
+// TestE2EConcurrentClients hammers one live instance from many goroutines
+// — status reads, load writes, metric scrapes, SSE subscribe/close churn —
+// while the simulation advances. Run under -race this is the control
+// plane's data-race certification.
+func TestE2EConcurrentClients(t *testing.T) {
+	s := New(Config{Lab: testLab})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	body := doReq(t, client, "POST", ts.URL+"/api/v1/instances",
+		jsonBody(t, InstanceSpec{BEs: []BEAttachment{{Workload: "brain"}}, Load: 0.4, Speed: 2000}), 201)
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	base := ts.URL + "/api/v1/instances/" + st.ID
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	worker := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					fn()
+				}
+			}
+		}()
+	}
+
+	for k := 0; k < 4; k++ {
+		worker(func() {
+			resp, err := client.Get(base)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		})
+	}
+	loads := []float64{0.2, 0.5, 0.8}
+	for k := 0; k < 2; k++ {
+		k := k
+		worker(func() {
+			req, _ := http.NewRequest("PUT", base+"/load",
+				jsonBody(t, map[string]float64{"load": loads[k%len(loads)]}))
+			resp, err := client.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		})
+	}
+	for k := 0; k < 2; k++ {
+		worker(func() {
+			resp, err := client.Get(ts.URL + "/metrics")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		})
+	}
+	for k := 0; k < 2; k++ {
+		worker(func() {
+			resp, err := client.Get(base + "/stream")
+			if err != nil {
+				return
+			}
+			sse := newSSEReader(resp.Body)
+			for j := 0; j < 3; j++ {
+				if _, err := sse.Next(); err != nil {
+					break
+				}
+			}
+			resp.Body.Close()
+		})
+	}
+	worker(func() {
+		req, _ := http.NewRequest("POST", base+"/bes", jsonBody(t, BEAttachment{Workload: "streetview"}))
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		req, _ = http.NewRequest("DELETE", base+"/bes/streetview", nil)
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The instance survived and kept stepping.
+	final := doReq(t, client, "GET", base, nil, 200)
+	var fs Status
+	if err := json.Unmarshal(final, &fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Epoch == 0 || fs.State != StateRunning {
+		t.Fatalf("instance after hammering: %+v", fs)
+	}
+	doReq(t, client, "DELETE", base, nil, 200)
+}
+
+// TestE2EScenarioDrivesTelemetry installs a scenario at creation and
+// checks the load shape actually drives the machine.
+func TestE2EScenarioDrivesTelemetry(t *testing.T) {
+	s := New(Config{Lab: testLab})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	spec := InstanceSpec{
+		Load:  0.1,
+		Speed: SpeedMax,
+
+		MaxEpochs: 130,
+		Scenario: &ScenarioSpec{
+			Name:      "ramp",
+			DurationS: 120,
+			Load:      &ShapeSpec{Kind: "ramp", From: 0.2, To: 0.8, StartS: 0, EndS: 100},
+		},
+	}
+	body := doReq(t, client, "POST", ts.URL+"/api/v1/instances", jsonBody(t, spec), 201)
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+id, nil, 200)
+		st = Status{} // omitempty fields must not survive across polls
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scenario instance never finished: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// After the ramp the offered load sits at the ramp's To value.
+	if st.Last.Load < 0.75 || st.Last.Load > 0.85 {
+		t.Fatalf("final load %v, want ~0.8 from ramp", st.Last.Load)
+	}
+	if st.Scenario != "" {
+		t.Fatalf("scenario still active after completion: %+v", st)
+	}
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Message is one telemetry or control-plane event ready for delivery: the
+// SSE event name, a monotonically increasing id (the epoch counter for
+// epoch events), and the pre-marshalled JSON payload. Payloads are
+// marshalled once by the publisher and shared read-only by every
+// subscriber.
+type Message struct {
+	Event string // "epoch", "controller" or "lifecycle"
+	ID    uint64
+	Data  []byte
+}
+
+// Hub fans an instance's event stream out to any number of subscribers.
+// Publishing never blocks the simulation loop: a subscriber whose buffer
+// is full loses the message and the hub counts the drop, so one slow SSE
+// client cannot stall the machine's tick or other clients.
+type Hub struct {
+	mu      sync.Mutex
+	subs    map[*Subscriber]struct{}
+	closed  bool
+	dropped atomic.Int64
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscriber is one attached consumer. Messages arrive on Ch; the channel
+// is closed when the subscriber is closed or the hub shuts down.
+type Subscriber struct {
+	hub  *Hub
+	ch   chan Message
+	once sync.Once
+}
+
+// Subscribe attaches a consumer with the given buffer capacity (minimum
+// 1). On a closed hub the returned subscriber's channel is already
+// closed, so stream handlers attached to a stopping instance terminate
+// immediately instead of blocking.
+func (h *Hub) Subscribe(buf int) *Subscriber {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Subscriber{hub: h, ch: make(chan Message, buf)}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(s.ch)
+		return s
+	}
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	return s
+}
+
+// Ch returns the subscriber's delivery channel.
+func (s *Subscriber) Ch() <-chan Message { return s.ch }
+
+// Close detaches the subscriber and closes its channel. Safe to call more
+// than once and safe to race with hub shutdown.
+func (s *Subscriber) Close() {
+	s.hub.mu.Lock()
+	if _, ok := s.hub.subs[s]; ok {
+		delete(s.hub.subs, s)
+		s.once.Do(func() { close(s.ch) })
+	}
+	s.hub.mu.Unlock()
+}
+
+// Publish delivers msg to every subscriber that has buffer space and
+// counts a drop for each that does not. It never blocks.
+func (h *Hub) Publish(msg Message) {
+	h.mu.Lock()
+	for s := range h.subs {
+		select {
+		case s.ch <- msg:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// HasSubscribers reports whether any consumer is attached, letting the
+// publisher skip JSON marshalling on unobserved instances.
+func (h *Hub) HasSubscribers() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs) > 0
+}
+
+// Dropped returns the number of messages lost to full subscriber buffers.
+func (h *Hub) Dropped() int64 { return h.dropped.Load() }
+
+// Close shuts the hub down: every subscriber channel is closed and later
+// Subscribe calls return already-closed subscribers.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		s.once.Do(func() { close(s.ch) })
+	}
+	h.mu.Unlock()
+}

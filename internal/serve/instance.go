@@ -1,0 +1,650 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"heracles/internal/core"
+	"heracles/internal/experiment"
+	"heracles/internal/machine"
+	"heracles/internal/scenario"
+	"heracles/internal/workload"
+)
+
+// ErrStopped is returned by mutation calls against an instance whose
+// driver goroutine has exited (deleted instance or server shutdown).
+var ErrStopped = errors.New("serve: instance stopped")
+
+// Instance states reported in Status.State.
+const (
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// SpeedMax requests free-running simulation: the driver advances epochs
+// as fast as the machine model resolves them, with no wall-clock pacing.
+const SpeedMax = -1
+
+// BEAttachment names one best-effort task to run on an instance.
+type BEAttachment struct {
+	Workload string `json:"workload"`
+	// Placement is "dedicated" (default), "ht-sibling" or "os-shared".
+	Placement string `json:"placement,omitempty"`
+}
+
+// InstanceSpec configures a new live instance. The zero value of each
+// field selects the documented default, so a minimal create request is
+// just `{}`.
+type InstanceSpec struct {
+	Name string `json:"name,omitempty"` // display name; ids are assigned
+	// LC is the latency-critical workload name (default "websearch").
+	LC string `json:"lc,omitempty"`
+	// BEs are the best-effort tasks installed at creation.
+	BEs []BEAttachment `json:"bes,omitempty"`
+	// Load is the initial offered LC load as a fraction of peak QPS.
+	Load float64 `json:"load,omitempty"`
+	// SLOScale tightens (< 1) or relaxes the controller-visible latency
+	// target; 0 leaves the workload SLO unscaled.
+	SLOScale float64 `json:"slo_scale,omitempty"`
+	// Speed is the tick rate in simulated seconds per wall-clock second:
+	// 1 is real time, 60 compresses a minute into a second, SpeedMax (-1)
+	// free-runs. 0 selects the server default.
+	Speed float64 `json:"speed,omitempty"`
+	// MaxEpochs stops the simulation after that many epochs (the
+	// instance stays inspectable until deleted); 0 runs until deleted.
+	MaxEpochs int `json:"max_epochs,omitempty"`
+	// Compact places the instance on the single-socket efficiency
+	// hardware generation instead of the reference dual-socket server.
+	Compact bool `json:"compact,omitempty"`
+	// Scenario, when set, drives the instance declaratively from epoch 0.
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
+
+	// EpochHook, when set, runs in the driver goroutine after every
+	// resolved epoch — the embedding daemon uses it to mirror actuations
+	// into kernel-format files. Not part of the JSON API.
+	EpochHook func(m *machine.Machine, tel machine.Telemetry) `json:"-"`
+	// Trace, when set, receives every controller decision synchronously
+	// (in addition to the SSE hub). Not part of the JSON API.
+	Trace func(core.Event) `json:"-"`
+}
+
+// EpochUpdate is the per-epoch telemetry summary published on the event
+// stream and embedded in Status.Last. Latencies travel in milliseconds,
+// utilisations as fractions of 1.
+type EpochUpdate struct {
+	Instance     string  `json:"instance"`
+	Epoch        uint64  `json:"epoch"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	Load         float64 `json:"load"`
+	TailMs       float64 `json:"tail_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	SLOMs        float64 `json:"slo_ms"`
+	Slack        float64 `json:"slack"`
+	EMU          float64 `json:"emu"`
+	BEEnabled    bool    `json:"be_enabled"`
+	BECores      int     `json:"be_cores"`
+	BEWays       int     `json:"be_ways"`
+	BEFreqCapGHz float64 `json:"be_freq_cap_ghz,omitempty"`
+	DRAMUtil     float64 `json:"dram_util"`
+	PowerFracTDP float64 `json:"power_frac_tdp"`
+	LinkUtil     float64 `json:"link_util"`
+}
+
+// ControllerUpdate is one controller decision published on the event
+// stream.
+type ControllerUpdate struct {
+	Instance  string  `json:"instance"`
+	AtSeconds float64 `json:"at_seconds"`
+	Loop      string  `json:"loop"`
+	Action    string  `json:"action"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// LifecycleUpdate marks an instance state transition on the event stream:
+// "scenario" (installed), "scenario-done", "done" (MaxEpochs reached) or
+// "deleted".
+type LifecycleUpdate struct {
+	Instance string `json:"instance"`
+	State    string `json:"state"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// ActionCount aggregates the controller decisions of one (loop, action)
+// pair.
+type ActionCount struct {
+	Loop   string `json:"loop"`
+	Action string `json:"action"`
+	Count  int64  `json:"count"`
+}
+
+// Status is a point-in-time snapshot of one instance, safe to read while
+// the simulation advances.
+type Status struct {
+	ID            string        `json:"id"`
+	Name          string        `json:"name,omitempty"`
+	LC            string        `json:"lc"`
+	BEs           []string      `json:"bes"`
+	Compact       bool          `json:"compact,omitempty"`
+	State         string        `json:"state"`
+	Speed         float64       `json:"speed"`
+	Scenario      string        `json:"scenario,omitempty"`
+	Epoch         uint64        `json:"epoch"`
+	MaxEpochs     int           `json:"max_epochs,omitempty"`
+	Last          EpochUpdate   `json:"last"`
+	Actions       []ActionCount `json:"actions,omitempty"`
+	DroppedEvents int64         `json:"dropped_events"`
+}
+
+type actionKey struct{ loop, action string }
+
+type command struct {
+	fn   func() error
+	errc chan error
+}
+
+// runState is the active declarative scenario, owned by the driver
+// goroutine.
+type runState struct {
+	sc        scenario.Scenario
+	cursor    *scenario.Cursor
+	t0        time.Duration // sim time when the scenario was installed
+	loadScale float64
+}
+
+// Instance is one live simulated machine with its Heracles controller,
+// advanced by a dedicated driver goroutine on a real-time or accelerated
+// tick. All machine and controller mutation happens in that goroutine —
+// HTTP handlers enqueue closures through Do — so the simulation follows
+// the exact same single-threaded Machine.Step path as the offline
+// experiments and stays bit-identical for any number of concurrent
+// instances and API clients.
+type Instance struct {
+	id   string
+	name string
+	lab  *experiment.Lab
+
+	m   *machine.Machine
+	ctl *core.Controller
+	hub *Hub
+
+	speed     float64
+	interval  time.Duration // wall time per epoch; 0 = free-run
+	maxEpochs uint64
+	epochHook func(*machine.Machine, machine.Telemetry)
+
+	cmds     chan command
+	stopc    chan struct{}
+	donec    chan struct{}
+	stopOnce sync.Once
+
+	// Driver-goroutine-only state.
+	epoch       uint64
+	run         *runState
+	doneRunning bool
+
+	mu      sync.Mutex
+	status  Status
+	actions map[actionKey]int64
+}
+
+// newInstance builds and starts an instance. The caller has validated the
+// spec (workload names, placement names, numeric ranges) and resolved the
+// lab for the requested hardware generation; speed is the resolved tick
+// rate (SpeedMax for free-running).
+func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float64) (*Instance, error) {
+	lcName := spec.LC
+	if lcName == "" {
+		lcName = "websearch"
+	}
+	i := &Instance{
+		id:        id,
+		name:      spec.Name,
+		lab:       lab,
+		hub:       NewHub(),
+		speed:     speed,
+		maxEpochs: uint64(max(spec.MaxEpochs, 0)),
+		epochHook: spec.EpochHook,
+		cmds:      make(chan command),
+		stopc:     make(chan struct{}),
+		donec:     make(chan struct{}),
+		actions:   make(map[actionKey]int64),
+	}
+
+	i.m = machine.New(lab.Cfg)
+	i.m.SetLC(lab.LC(lcName))
+	bes := make([]string, 0, len(spec.BEs))
+	for _, att := range spec.BEs {
+		pk, err := placementByName(att.Placement)
+		if err != nil {
+			return nil, err
+		}
+		i.m.AddBE(lab.BE(att.Workload), pk)
+		bes = append(bes, att.Workload)
+	}
+	i.m.SetLoad(spec.Load)
+	if spec.SLOScale > 0 {
+		i.m.SetSLOScale(spec.SLOScale)
+	}
+
+	i.ctl = core.New(i.m, lab.DRAMModel(lcName), core.DefaultConfig())
+	i.ctl.OnEvent(i.onControllerEvent)
+	if spec.Trace != nil {
+		i.ctl.OnEvent(spec.Trace)
+	}
+
+	if speed > 0 {
+		i.interval = time.Duration(float64(i.m.Epoch()) / speed)
+		if i.interval < 100*time.Microsecond {
+			i.interval = 100 * time.Microsecond
+		}
+	}
+
+	i.status = Status{
+		ID:        id,
+		Name:      spec.Name,
+		LC:        lcName,
+		BEs:       bes,
+		Compact:   spec.Compact,
+		State:     StateRunning,
+		Speed:     speed,
+		MaxEpochs: spec.MaxEpochs,
+		Last:      EpochUpdate{Instance: id, SLOMs: 1e3 * i.m.SLO().Seconds(), Load: spec.Load},
+	}
+
+	if spec.Scenario != nil {
+		sc, err := spec.Scenario.Build()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		i.warmScenarioWorkloads(sc)
+		i.installScenario(sc)
+	}
+
+	go i.loop()
+	return i, nil
+}
+
+// placementByName parses a BE placement name.
+func placementByName(name string) (workload.PlacementKind, error) {
+	switch name {
+	case "", workload.PlaceDedicated.String():
+		return workload.PlaceDedicated, nil
+	case workload.PlaceHTSibling.String():
+		return workload.PlaceHTSibling, nil
+	case workload.PlaceOSShared.String():
+		return workload.PlaceOSShared, nil
+	}
+	return 0, fmt.Errorf("unknown placement %q (want dedicated, ht-sibling or os-shared)", name)
+}
+
+// ID returns the registry-assigned instance id.
+func (i *Instance) ID() string { return i.id }
+
+// Subscribe attaches an event-stream consumer with the given buffer.
+func (i *Instance) Subscribe(buf int) *Subscriber { return i.hub.Subscribe(buf) }
+
+// Status returns a point-in-time snapshot.
+func (i *Instance) Status() Status {
+	i.mu.Lock()
+	s := i.status
+	s.BEs = append([]string(nil), i.status.BEs...)
+	s.Actions = sortedActions(i.actions)
+	i.mu.Unlock()
+	s.DroppedEvents = i.hub.Dropped()
+	return s
+}
+
+func sortedActions(m map[actionKey]int64) []ActionCount {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]ActionCount, 0, len(m))
+	for k, n := range m {
+		out = append(out, ActionCount{Loop: k.loop, Action: k.action, Count: n})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Loop != out[b].Loop {
+			return out[a].Loop < out[b].Loop
+		}
+		return out[a].Action < out[b].Action
+	})
+	return out
+}
+
+// Stop terminates the driver goroutine, closes the event hub and waits
+// for the loop to exit. Safe to call more than once.
+func (i *Instance) Stop() {
+	i.stopOnce.Do(func() { close(i.stopc) })
+	<-i.donec
+}
+
+// Do runs fn in the driver goroutine, between epochs, and returns its
+// error. This is the only mutation path: it serialises API writes with
+// the simulation so telemetry seen before and after the call is causally
+// consistent. Returns ErrStopped if the instance has been stopped.
+func (i *Instance) Do(fn func() error) error {
+	c := command{fn: fn, errc: make(chan error, 1)}
+	select {
+	case i.cmds <- c:
+	case <-i.donec:
+		return ErrStopped
+	}
+	select {
+	case err := <-c.errc:
+		return err
+	case <-i.donec:
+		return ErrStopped
+	}
+}
+
+// SetLoad changes the offered LC load target mid-flight.
+func (i *Instance) SetLoad(load float64) error {
+	return i.Do(func() error {
+		i.m.SetLoad(load)
+		return nil
+	})
+}
+
+// SetSLOScale changes the controller-visible latency target mid-flight
+// and returns the new effective SLO.
+func (i *Instance) SetSLOScale(scale float64) (time.Duration, error) {
+	var slo time.Duration
+	err := i.Do(func() error {
+		i.m.SetSLOScale(scale)
+		slo = i.m.SLO()
+		return nil
+	})
+	return slo, err
+}
+
+// SetDegrade injects (factor > 1) or clears (factor <= 1) LC service-time
+// degradation.
+func (i *Instance) SetDegrade(factor float64) error {
+	return i.Do(func() error {
+		i.m.SetDegrade(factor)
+		return nil
+	})
+}
+
+// AttachBE adds a best-effort task mid-flight, mirroring a scenario
+// be-arrive event: the task inherits the controller's current enablement
+// and dedicated cores are re-partitioned. The workload is resolved (and,
+// on first use, calibrated) in the caller's goroutine so a cold
+// calibration never stalls the tick loop.
+func (i *Instance) AttachBE(att BEAttachment) error {
+	pk, err := placementByName(att.Placement)
+	if err != nil {
+		return err
+	}
+	wl := i.lab.BE(att.Workload)
+	return i.Do(func() error {
+		enabled := i.ctl.BEEnabled() || i.m.BEEnabled()
+		task := i.m.AddBE(wl, pk)
+		task.Enabled = enabled
+		i.m.Partition(i.m.BECoreCount())
+		i.refreshBEs()
+		return nil
+	})
+}
+
+// DetachBE removes every BE task running the named workload and returns
+// how many were removed.
+func (i *Instance) DetachBE(name string) (int, error) {
+	var n int
+	err := i.Do(func() error {
+		n = i.removeBEByName(name)
+		return nil
+	})
+	return n, err
+}
+
+// InstallScenario starts driving the instance by the scenario from the
+// next epoch, replacing any active scenario. BE workloads referenced by
+// arrival events are resolved (calibrating on first use) in the caller's
+// goroutine, so a be-arrive firing mid-run never stalls the tick loop.
+func (i *Instance) InstallScenario(sc scenario.Scenario) error {
+	i.warmScenarioWorkloads(sc)
+	return i.Do(func() error {
+		i.installScenario(sc)
+		return nil
+	})
+}
+
+// warmScenarioWorkloads pre-calibrates every BE workload the scenario's
+// arrival events reference.
+func (i *Instance) warmScenarioWorkloads(sc scenario.Scenario) {
+	for _, ev := range sc.Events {
+		if ev.Kind == scenario.EventBEArrive {
+			i.lab.BE(ev.Workload)
+		}
+	}
+}
+
+// installScenario runs in the driver goroutine (or during construction,
+// before the loop starts).
+func (i *Instance) installScenario(sc scenario.Scenario) {
+	i.run = &runState{sc: sc, cursor: sc.Cursor(), t0: i.m.Clock().Now(), loadScale: 1}
+	i.mu.Lock()
+	i.status.Scenario = sc.Name
+	i.mu.Unlock()
+	i.publishLifecycle("scenario", sc.Name)
+}
+
+// removeBEByName runs in the driver goroutine.
+func (i *Instance) removeBEByName(name string) int {
+	var departing []*machine.BETask
+	for _, be := range i.m.BEs() {
+		if be.WL.Spec.Name == name {
+			departing = append(departing, be)
+		}
+	}
+	for _, be := range departing {
+		i.m.RemoveBE(be)
+	}
+	if len(departing) > 0 {
+		i.m.Partition(i.m.BECoreCount())
+		i.refreshBEs()
+	}
+	return len(departing)
+}
+
+// refreshBEs rebuilds the status BE name list; driver goroutine only.
+func (i *Instance) refreshBEs() {
+	names := make([]string, 0, len(i.m.BEs()))
+	for _, be := range i.m.BEs() {
+		names = append(names, be.WL.Spec.Name)
+	}
+	i.mu.Lock()
+	i.status.BEs = names
+	i.mu.Unlock()
+}
+
+// onControllerEvent counts the decision and publishes it to subscribers.
+// It runs inside ctl.Step, in the driver goroutine.
+func (i *Instance) onControllerEvent(e core.Event) {
+	i.mu.Lock()
+	i.actions[actionKey{e.Loop, e.Action}]++
+	i.mu.Unlock()
+	if !i.hub.HasSubscribers() {
+		return
+	}
+	data, err := json.Marshal(ControllerUpdate{
+		Instance:  i.id,
+		AtSeconds: e.At.Seconds(),
+		Loop:      e.Loop,
+		Action:    e.Action,
+		Detail:    e.Detail,
+	})
+	if err != nil {
+		return
+	}
+	i.hub.Publish(Message{Event: "controller", ID: i.epoch, Data: data})
+}
+
+// publishLifecycle may be called from the driver goroutine or, for the
+// "deleted" transition, from an HTTP goroutine — so it reads the epoch
+// from the mutex-guarded status snapshot, never from driver-only state.
+func (i *Instance) publishLifecycle(state, detail string) {
+	if !i.hub.HasSubscribers() {
+		return
+	}
+	data, err := json.Marshal(LifecycleUpdate{Instance: i.id, State: state, Detail: detail})
+	if err != nil {
+		return
+	}
+	i.mu.Lock()
+	ep := i.status.Epoch
+	i.mu.Unlock()
+	i.hub.Publish(Message{Event: "lifecycle", ID: ep, Data: data})
+}
+
+// loop is the driver goroutine: it applies enqueued commands immediately
+// and advances one simulated epoch per tick (or continuously when
+// free-running). When MaxEpochs is reached the loop parks — still serving
+// commands and status queries — until the instance is deleted.
+func (i *Instance) loop() {
+	defer close(i.donec)
+	defer i.hub.Close()
+
+	if i.interval <= 0 {
+		for {
+			select {
+			case <-i.stopc:
+				return
+			case c := <-i.cmds:
+				c.errc <- c.fn()
+				continue
+			default:
+			}
+			if i.doneRunning {
+				select {
+				case <-i.stopc:
+					return
+				case c := <-i.cmds:
+					c.errc <- c.fn()
+				}
+				continue
+			}
+			i.step()
+		}
+	}
+
+	tk := time.NewTicker(i.interval)
+	defer tk.Stop()
+	tick := tk.C
+	for {
+		select {
+		case <-i.stopc:
+			return
+		case c := <-i.cmds:
+			c.errc <- c.fn()
+		case <-tick:
+			i.step()
+			if i.doneRunning {
+				tk.Stop()
+				tick = nil
+			}
+		}
+	}
+}
+
+// step resolves one epoch: scenario events and load first (in schedule
+// order, exactly like the cluster interpreter), then Machine.Step, the
+// controller, the status snapshot and the event stream.
+func (i *Instance) step() {
+	if i.run != nil {
+		st := i.m.Clock().Now() - i.run.t0
+		if st >= i.run.sc.Duration {
+			name := i.run.sc.Name
+			i.run = nil
+			i.mu.Lock()
+			i.status.Scenario = ""
+			i.mu.Unlock()
+			i.publishLifecycle("scenario-done", name)
+		} else {
+			for _, ev := range i.run.cursor.Due(st) {
+				i.applyScenarioEvent(ev)
+			}
+			load := i.run.sc.LoadAt(st) * i.run.loadScale
+			if load > 1 {
+				load = 1
+			}
+			i.m.SetLoad(load)
+		}
+	}
+
+	tel := i.m.Step()
+	i.ctl.Step(i.m.Clock().Now())
+	i.epoch++
+
+	slo := i.m.SLO().Seconds()
+	up := EpochUpdate{
+		Instance:     i.id,
+		Epoch:        i.epoch,
+		SimSeconds:   i.m.Clock().Now().Seconds(),
+		Load:         tel.LCLoad,
+		TailMs:       1e3 * tel.TailLatency.Seconds(),
+		P95Ms:        1e3 * tel.Lat.P95.Seconds(),
+		SLOMs:        1e3 * slo,
+		EMU:          tel.EMU,
+		BEEnabled:    tel.BEEnabled,
+		BECores:      tel.BECores,
+		BEWays:       tel.BEWays,
+		BEFreqCapGHz: tel.BEFreqCap,
+		DRAMUtil:     tel.DRAMUtil,
+		PowerFracTDP: tel.PowerFracTDP,
+		LinkUtil:     tel.LinkUtil,
+	}
+	if slo > 0 {
+		up.Slack = (slo - tel.TailLatency.Seconds()) / slo
+	}
+
+	done := i.maxEpochs > 0 && i.epoch >= i.maxEpochs
+	i.mu.Lock()
+	i.status.Epoch = i.epoch
+	i.status.Last = up
+	if done {
+		i.status.State = StateDone
+	}
+	i.mu.Unlock()
+
+	if i.epochHook != nil {
+		i.epochHook(i.m, tel)
+	}
+	if i.hub.HasSubscribers() {
+		if data, err := json.Marshal(up); err == nil {
+			i.hub.Publish(Message{Event: "epoch", ID: i.epoch, Data: data})
+		}
+	}
+	if done {
+		i.doneRunning = true
+		i.publishLifecycle("done", fmt.Sprintf("max_epochs %d reached", i.maxEpochs))
+	}
+}
+
+// applyScenarioEvent mirrors the cluster interpreter on a single machine;
+// driver goroutine only.
+func (i *Instance) applyScenarioEvent(ev scenario.Event) {
+	switch ev.Kind {
+	case scenario.EventBEArrive:
+		enabled := i.ctl.BEEnabled() || i.m.BEEnabled()
+		task := i.m.AddBE(i.lab.BE(ev.Workload), workload.PlaceDedicated)
+		task.Enabled = enabled
+		i.m.Partition(i.m.BECoreCount())
+		i.refreshBEs()
+	case scenario.EventBEDepart:
+		i.removeBEByName(ev.Workload)
+	case scenario.EventLeafDegrade:
+		i.m.SetDegrade(ev.Factor)
+	case scenario.EventSLOScale:
+		i.m.SetSLOScale(ev.Factor)
+	case scenario.EventLoadScale:
+		if i.run != nil {
+			i.run.loadScale = ev.Factor
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus exposition: the control plane renders the text format by
+// hand (the repository takes no dependencies), aggregating the same
+// quantities the Heracles evaluation reports — EMU, tail latency and SLO
+// slack, BE allocations, shared-resource utilisation — plus controller
+// actuation counters, across every live instance.
+
+// escapeLabel escapes a Prometheus label value.
+var escapeLabel = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// metricFamily writes one HELP/TYPE header followed by a series per
+// status.
+func metricFamily(w io.Writer, name, typ, help string, sts []Status, value func(Status) float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range sts {
+		fmt.Fprintf(w, "%s{instance=\"%s\"} %s\n", name, escapeLabel.Replace(s.ID), fmtFloat(value(s)))
+	}
+}
+
+// WriteMetrics renders the full exposition for the given instance
+// snapshots.
+func WriteMetrics(w io.Writer, sts []Status) {
+	fmt.Fprint(w, "# HELP heracles_instances Number of live instances.\n# TYPE heracles_instances gauge\n")
+	fmt.Fprintf(w, "heracles_instances %d\n", len(sts))
+
+	metricFamily(w, "heracles_instance_up", "gauge",
+		"1 while the instance simulation is advancing, 0 once done.", sts,
+		func(s Status) float64 {
+			if s.State == StateRunning {
+				return 1
+			}
+			return 0
+		})
+	metricFamily(w, "heracles_instance_epochs_total", "counter",
+		"Simulated epochs resolved.", sts,
+		func(s Status) float64 { return float64(s.Epoch) })
+	metricFamily(w, "heracles_instance_load", "gauge",
+		"Offered LC load as a fraction of peak QPS.", sts,
+		func(s Status) float64 { return s.Last.Load })
+	metricFamily(w, "heracles_instance_slo_seconds", "gauge",
+		"Controller-visible latency target.", sts,
+		func(s Status) float64 { return s.Last.SLOMs / 1e3 })
+	metricFamily(w, "heracles_instance_tail_latency_seconds", "gauge",
+		"LC tail latency at the workload SLO quantile, last epoch.", sts,
+		func(s Status) float64 { return s.Last.TailMs / 1e3 })
+	metricFamily(w, "heracles_instance_p95_latency_seconds", "gauge",
+		"LC 95th-percentile latency, last epoch.", sts,
+		func(s Status) float64 { return s.Last.P95Ms / 1e3 })
+	metricFamily(w, "heracles_instance_slo_slack", "gauge",
+		"(SLO - tail latency) / SLO, last epoch; negative means violating.", sts,
+		func(s Status) float64 { return s.Last.Slack })
+	metricFamily(w, "heracles_instance_emu", "gauge",
+		"Effective machine utilisation (LC + BE throughput, each normalised to running alone).", sts,
+		func(s Status) float64 { return s.Last.EMU })
+	metricFamily(w, "heracles_instance_be_enabled", "gauge",
+		"1 while best-effort execution is enabled.", sts,
+		func(s Status) float64 {
+			if s.Last.BEEnabled {
+				return 1
+			}
+			return 0
+		})
+	metricFamily(w, "heracles_instance_be_cores", "gauge",
+		"Cores granted to best-effort tasks.", sts,
+		func(s Status) float64 { return float64(s.Last.BECores) })
+	metricFamily(w, "heracles_instance_be_ways", "gauge",
+		"LLC ways granted to best-effort tasks.", sts,
+		func(s Status) float64 { return float64(s.Last.BEWays) })
+	metricFamily(w, "heracles_instance_dram_util", "gauge",
+		"Achieved DRAM bandwidth over peak, all sockets.", sts,
+		func(s Status) float64 { return s.Last.DRAMUtil })
+	metricFamily(w, "heracles_instance_power_frac_tdp", "gauge",
+		"Total package power over total TDP.", sts,
+		func(s Status) float64 { return s.Last.PowerFracTDP })
+	metricFamily(w, "heracles_instance_link_util", "gauge",
+		"NIC egress utilisation.", sts,
+		func(s Status) float64 { return s.Last.LinkUtil })
+	metricFamily(w, "heracles_events_dropped_total", "counter",
+		"Event-stream messages lost to full subscriber buffers.", sts,
+		func(s Status) float64 { return float64(s.DroppedEvents) })
+
+	fmt.Fprint(w, "# HELP heracles_controller_actions_total Controller decisions by loop and action.\n# TYPE heracles_controller_actions_total counter\n")
+	for _, s := range sts {
+		for _, a := range s.Actions {
+			fmt.Fprintf(w, "heracles_controller_actions_total{instance=\"%s\",loop=\"%s\",action=\"%s\"} %d\n",
+				escapeLabel.Replace(s.ID), escapeLabel.Replace(a.Loop), escapeLabel.Replace(a.Action), a.Count)
+		}
+	}
+
+	// Fleet-level aggregates over all live instances.
+	var emuSum float64
+	minSlack := 0.0
+	for j, s := range sts {
+		emuSum += s.Last.EMU
+		if j == 0 || s.Last.Slack < minSlack {
+			minSlack = s.Last.Slack
+		}
+	}
+	emuMean := 0.0
+	if len(sts) > 0 {
+		emuMean = emuSum / float64(len(sts))
+	}
+	fmt.Fprint(w, "# HELP heracles_fleet_emu_mean Mean EMU across live instances.\n# TYPE heracles_fleet_emu_mean gauge\n")
+	fmt.Fprintf(w, "heracles_fleet_emu_mean %s\n", fmtFloat(emuMean))
+	fmt.Fprint(w, "# HELP heracles_fleet_slo_slack_min Worst SLO slack across live instances.\n# TYPE heracles_fleet_slo_slack_min gauge\n")
+	fmt.Fprintf(w, "heracles_fleet_slo_slack_min %s\n", fmtFloat(minSlack))
+}

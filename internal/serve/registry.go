@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"heracles/internal/parallel"
+)
+
+// Registry is the instance pool: it assigns ids, tracks live instances in
+// creation order, and fans snapshot and shutdown work out over the shared
+// parallel worker primitive so a control plane with many instances
+// snapshots and stops them concurrently.
+type Registry struct {
+	mu      sync.Mutex
+	seq     int
+	pending int // reserved ids whose instances are still being built
+	insts   map[string]*Instance
+	order   []string
+	workers int
+}
+
+// NewRegistry returns an empty registry. workers bounds snapshot and
+// shutdown fan-out (0 selects parallel.DefaultWorkers).
+func NewRegistry(workers int) *Registry {
+	return &Registry{insts: make(map[string]*Instance), workers: workers}
+}
+
+// Reserve claims the next instance id ("i1", "i2", ...) against the pool
+// cap (maxN <= 0 means uncapped). Counting live plus in-flight
+// reservations under one lock makes the cap exact even for concurrent
+// creates, while keeping instance construction — which may calibrate
+// workloads — outside the registry lock. A reservation ends with Put or
+// Unreserve.
+func (r *Registry) Reserve(maxN int) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if maxN > 0 && len(r.insts)+r.pending >= maxN {
+		return "", false
+	}
+	r.pending++
+	r.seq++
+	return fmt.Sprintf("i%d", r.seq), true
+}
+
+// Unreserve releases a reservation whose instance failed to build.
+func (r *Registry) Unreserve() {
+	r.mu.Lock()
+	r.pending--
+	r.mu.Unlock()
+}
+
+// Put inserts a built instance, consuming its reservation.
+func (r *Registry) Put(inst *Instance) {
+	r.mu.Lock()
+	r.pending--
+	r.insts[inst.ID()] = inst
+	r.order = append(r.order, inst.ID())
+	r.mu.Unlock()
+}
+
+// Get returns the instance with the given id.
+func (r *Registry) Get(id string) (*Instance, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inst, ok := r.insts[id]
+	return inst, ok
+}
+
+// Remove detaches the instance from the registry and returns it; the
+// caller stops it. Returns false if the id is unknown.
+func (r *Registry) Remove(id string) (*Instance, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inst, ok := r.insts[id]
+	if !ok {
+		return nil, false
+	}
+	delete(r.insts, id)
+	for j, oid := range r.order {
+		if oid == id {
+			r.order = append(r.order[:j], r.order[j+1:]...)
+			break
+		}
+	}
+	return inst, true
+}
+
+// Len returns the number of live instances.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.insts)
+}
+
+// listLocked snapshots the live instances in creation order; the caller
+// holds r.mu.
+func (r *Registry) listLocked() []*Instance {
+	out := make([]*Instance, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.insts[id])
+	}
+	return out
+}
+
+// List returns the live instances in creation order.
+func (r *Registry) List() []*Instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.listLocked()
+}
+
+// Statuses snapshots every instance concurrently, in creation order.
+func (r *Registry) Statuses() []Status {
+	insts := r.List()
+	out := make([]Status, len(insts))
+	parallel.ForEach(r.workers, len(insts), func(i int) {
+		out[i] = insts[i].Status()
+	})
+	return out
+}
+
+// Close stops every instance concurrently and empties the registry.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	insts := r.listLocked()
+	r.insts = make(map[string]*Instance)
+	r.order = nil
+	r.mu.Unlock()
+	parallel.ForEach(r.workers, len(insts), func(i int) {
+		insts[i].Stop()
+	})
+}

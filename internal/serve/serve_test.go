@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heracles/internal/experiment"
+	"heracles/internal/machine"
+)
+
+// testLab is shared by every test in the package so workload calibration
+// and DRAM-model profiling run once.
+var testLab = experiment.DefaultLab()
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{Lab: testLab})
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestHubFanOutAndDrop(t *testing.T) {
+	h := NewHub()
+	a := h.Subscribe(2)
+	b := h.Subscribe(2)
+	for i := 0; i < 3; i++ {
+		h.Publish(Message{Event: "epoch", ID: uint64(i + 1)})
+	}
+	// Each subscriber holds 2 of the 3 messages; one drop per subscriber.
+	if got := h.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	if m := <-a.Ch(); m.ID != 1 {
+		t.Fatalf("first message id = %d, want 1", m.ID)
+	}
+	b.Close()
+	// A closed subscriber still drains its buffer, then reports closed.
+	n := 0
+	for range b.Ch() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("closed subscriber drained %d messages, want 2", n)
+	}
+	h.Close()
+	// Hub close closes the remaining subscriber after its buffer drains.
+	for range a.Ch() {
+	}
+	// Subscribing after close yields an already-closed channel.
+	c := h.Subscribe(1)
+	if _, open := <-c.Ch(); open {
+		t.Fatal("subscribe after close returned an open channel")
+	}
+}
+
+func TestRegistryOrderAndRemove(t *testing.T) {
+	s := testServer(t)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		inst, err := s.CreateInstance(InstanceSpec{Speed: SpeedMax, MaxEpochs: 1})
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		ids = append(ids, inst.ID())
+	}
+	sts := s.Registry().Statuses()
+	if len(sts) != 3 {
+		t.Fatalf("Statuses len = %d, want 3", len(sts))
+	}
+	for i, st := range sts {
+		if st.ID != ids[i] {
+			t.Fatalf("Statuses[%d].ID = %s, want %s (creation order)", i, st.ID, ids[i])
+		}
+	}
+	inst, ok := s.Registry().Remove(ids[1])
+	if !ok {
+		t.Fatal("Remove of live instance failed")
+	}
+	inst.Stop()
+	if got := s.Registry().Len(); got != 2 {
+		t.Fatalf("Len after remove = %d, want 2", got)
+	}
+	if _, ok := s.Registry().Get(ids[1]); ok {
+		t.Fatal("removed instance still resolvable")
+	}
+}
+
+// TestInstanceCapExactUnderConcurrentCreates races many creates against
+// a small cap: the reservation protocol must never overshoot it.
+func TestInstanceCapExactUnderConcurrentCreates(t *testing.T) {
+	s := New(Config{Lab: testLab, MaxInstances: 3})
+	t.Cleanup(s.Close)
+	const attempts = 12
+	var created atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < attempts; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.CreateInstance(InstanceSpec{Speed: SpeedMax, MaxEpochs: 1}); err == nil {
+				created.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if created.Load() != 3 || s.Registry().Len() != 3 {
+		t.Fatalf("created %d instances (pool %d), want exactly 3", created.Load(), s.Registry().Len())
+	}
+}
+
+func TestValidateSpecRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec InstanceSpec
+		want string
+	}{
+		{"bad lc", InstanceSpec{LC: "nosuch"}, "unknown LC workload"},
+		{"bad be", InstanceSpec{BEs: []BEAttachment{{Workload: "nosuch"}}}, "unknown BE workload"},
+		{"bad placement", InstanceSpec{BEs: []BEAttachment{{Workload: "brain", Placement: "floaty"}}}, "unknown placement"},
+		{"bad load", InstanceSpec{Load: 1.5}, "outside [0, 1]"},
+		{"bad slo", InstanceSpec{SLOScale: -0.5}, "must not be negative"},
+		{"bad speed", InstanceSpec{Speed: -7}, "invalid"},
+		{"bad epochs", InstanceSpec{MaxEpochs: -1}, "must not be negative"},
+	}
+	for _, tc := range cases {
+		err := validateSpec(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := validateSpec(InstanceSpec{}); err != nil {
+		t.Errorf("zero spec rejected: %v", err)
+	}
+}
+
+func TestScenarioSpecBuild(t *testing.T) {
+	good := ScenarioSpec{
+		Name:      "mix",
+		DurationS: 120,
+		Load: &ShapeSpec{
+			Kind: "sum",
+			Terms: []ShapeSpec{
+				{Kind: "flat", Value: 0.3},
+				{Kind: "flashcrowd", StartS: 60, RiseS: 10, HoldS: 10, FallS: 10, Amp: 0.4},
+			},
+			Clamp: &ClampSpec{Lo: 0, Hi: 0.85},
+		},
+		Events: []EventSpec{
+			{AtS: 30, Kind: "be-arrive", Workload: "brain"},
+			{AtS: 60, Kind: "slo-scale", Factor: 0.8},
+			{AtS: 90, Kind: "be-depart", Workload: "brain"},
+		},
+	}
+	sc, err := good.Build()
+	if err != nil {
+		t.Fatalf("good spec: %v", err)
+	}
+	if sc.Duration != 2*time.Minute || len(sc.Events) != 3 {
+		t.Fatalf("built scenario = %v duration, %d events", sc.Duration, len(sc.Events))
+	}
+	if load := sc.LoadAt(75 * time.Second); load <= 0.3 {
+		t.Fatalf("flash crowd missing: load(75s) = %v", load)
+	}
+
+	bad := []ScenarioSpec{
+		{DurationS: 0, Load: &ShapeSpec{Kind: "flat", Value: 0.3}},
+		{DurationS: 60, Load: nil},
+		{DurationS: 60, Load: &ShapeSpec{Kind: "wavy"}},
+		{DurationS: 60, Load: &ShapeSpec{Kind: "steps"}},
+		{DurationS: 60, Load: &ShapeSpec{Kind: "flat", Value: 0.3},
+			Events: []EventSpec{{AtS: 10, Kind: "be-arrive", Workload: "nosuch"}}},
+		{DurationS: 60, Load: &ShapeSpec{Kind: "flat", Value: 0.3},
+			Events: []EventSpec{{AtS: 10, Kind: "explode"}}},
+	}
+	for i, sp := range bad {
+		if _, err := sp.Build(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestRoutesUniqueAndDocumentedInTable(t *testing.T) {
+	rs := Routes()
+	if len(rs) == 0 {
+		t.Fatal("no routes registered")
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if seen[r] {
+			t.Errorf("duplicate route %q", r)
+		}
+		seen[r] = true
+	}
+	for _, rt := range routeTable {
+		if rt.Doc == "" {
+			t.Errorf("route %s %s has no doc string", rt.Method, rt.Pattern)
+		}
+	}
+}
+
+// telPoint is the scalar slice of one epoch compared by the determinism
+// test.
+type telPoint struct {
+	tail    time.Duration
+	emu     float64
+	load    float64
+	beCores int
+	beWays  int
+	dram    float64
+	power   float64
+}
+
+// TestInstanceFanOutDeterminism runs the same scenario-driven spec on
+// several concurrent free-running instances and requires bit-identical
+// telemetry: the control plane must not perturb the simulation path.
+func TestInstanceFanOutDeterminism(t *testing.T) {
+	s := testServer(t)
+	const n = 4
+	const epochs = 240
+
+	scSpec := &ScenarioSpec{
+		Name:      "det",
+		DurationS: 200,
+		Load: &ShapeSpec{Kind: "sum", Terms: []ShapeSpec{
+			{Kind: "flat", Value: 0.35},
+			{Kind: "flashcrowd", StartS: 80, RiseS: 20, HoldS: 20, FallS: 20, Amp: 0.5},
+		}},
+		Events: []EventSpec{
+			{AtS: 40, Kind: "be-arrive", Workload: "streetview"},
+			{AtS: 120, Kind: "slo-scale", Factor: 0.7},
+			{AtS: 160, Kind: "be-depart", Workload: "streetview"},
+		},
+	}
+
+	traces := make([][]telPoint, n)
+	dones := make([]chan struct{}, n)
+	for k := 0; k < n; k++ {
+		k := k
+		dones[k] = make(chan struct{})
+		var once sync.Once
+		spec := InstanceSpec{
+			BEs:       []BEAttachment{{Workload: "brain"}},
+			Load:      0.35,
+			Speed:     SpeedMax,
+			MaxEpochs: epochs,
+			Scenario:  scSpec,
+			EpochHook: func(_ *machine.Machine, tel machine.Telemetry) {
+				traces[k] = append(traces[k], telPoint{
+					tail:    tel.TailLatency,
+					emu:     tel.EMU,
+					load:    tel.LCLoad,
+					beCores: tel.BECores,
+					beWays:  tel.BEWays,
+					dram:    tel.DRAMUtil,
+					power:   tel.PowerFracTDP,
+				})
+				if len(traces[k]) == epochs {
+					once.Do(func() { close(dones[k]) })
+				}
+			},
+		}
+		if _, err := s.CreateInstance(spec); err != nil {
+			t.Fatalf("create %d: %v", k, err)
+		}
+	}
+	for k := 0; k < n; k++ {
+		select {
+		case <-dones[k]:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("instance %d did not finish %d epochs", k, epochs)
+		}
+	}
+	for k := 1; k < n; k++ {
+		if len(traces[k]) < epochs {
+			t.Fatalf("instance %d recorded %d epochs", k, len(traces[k]))
+		}
+		for e := 0; e < epochs; e++ {
+			if traces[k][e] != traces[0][e] {
+				t.Fatalf("instance %d diverges from instance 0 at epoch %d:\n%+v\nvs\n%+v",
+					k, e, traces[k][e], traces[0][e])
+			}
+		}
+	}
+}
+
+// TestInstanceDoneParksAndStillServes checks MaxEpochs semantics: the
+// simulation stops, the instance stays inspectable and mutable, and the
+// status reports done.
+func TestInstanceDoneParksAndStillServes(t *testing.T) {
+	s := testServer(t)
+	inst, err := s.CreateInstance(InstanceSpec{Speed: SpeedMax, MaxEpochs: 50, Load: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for inst.Status().State != StateDone {
+		if time.Now().After(deadline) {
+			t.Fatal("instance never reached done")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := inst.Status()
+	if st.Epoch != 50 {
+		t.Fatalf("epoch = %d, want exactly 50", st.Epoch)
+	}
+	// Mutations still apply (no deadlock against a parked loop).
+	if err := inst.SetLoad(0.7); err != nil {
+		t.Fatalf("SetLoad on done instance: %v", err)
+	}
+	if st2 := inst.Status(); st2.Epoch != 50 {
+		t.Fatalf("done instance stepped after SetLoad: epoch %d", st2.Epoch)
+	}
+}
+
+func TestDoAfterStopReturnsErrStopped(t *testing.T) {
+	s := testServer(t)
+	inst, err := s.CreateInstance(InstanceSpec{Speed: SpeedMax, MaxEpochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Stop()
+	if err := inst.SetLoad(0.5); err != ErrStopped {
+		t.Fatalf("SetLoad after Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestWriteMetricsRendersAllFamilies(t *testing.T) {
+	var b strings.Builder
+	sts := []Status{{
+		ID: "i1", State: StateRunning, Epoch: 12,
+		Last: EpochUpdate{Load: 0.4, EMU: 0.6, SLOMs: 12, TailMs: 9, Slack: 0.25},
+		Actions: []ActionCount{
+			{Loop: "top", Action: "ENABLE_BE", Count: 2},
+		},
+	}}
+	WriteMetrics(&b, sts)
+	out := b.String()
+	for _, want := range []string{
+		"heracles_instances 1",
+		`heracles_instance_emu{instance="i1"} 0.6`,
+		`heracles_instance_slo_slack{instance="i1"} 0.25`,
+		`heracles_instance_epochs_total{instance="i1"} 12`,
+		`heracles_controller_actions_total{instance="i1",loop="top",action="ENABLE_BE"} 2`,
+		"heracles_fleet_emu_mean 0.6",
+		"heracles_fleet_slo_slack_min 0.25",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"heracles/internal/experiment"
+	"heracles/internal/hw"
+	"heracles/internal/workload"
+)
+
+// Config configures a control-plane server.
+type Config struct {
+	// Lab supplies calibrated workloads and the reference hardware; nil
+	// selects experiment.DefaultLab(). All instances on the reference
+	// generation share it, so each workload calibrates at most once.
+	Lab *experiment.Lab
+	// CompactLab backs instances created with "compact": true; nil builds
+	// a lab on hw.CompactConfig() on first use.
+	CompactLab *experiment.Lab
+	// DefaultSpeed is the tick rate for instances that do not set one:
+	// simulated seconds per wall-clock second. 0 selects 1 (real time);
+	// SpeedMax (-1) free-runs.
+	DefaultSpeed float64
+	// MaxInstances caps the pool (0 selects 64); creates beyond the cap
+	// fail with 503.
+	MaxInstances int
+	// Workers bounds status-snapshot and shutdown fan-out over the
+	// instance pool (0 selects GOMAXPROCS).
+	Workers int
+}
+
+// Server owns the instance pool and the HTTP API over it.
+type Server struct {
+	cfg Config
+	lab *experiment.Lab
+	reg *Registry
+	mux *http.ServeMux
+
+	compactOnce sync.Once
+	compactLab  *experiment.Lab
+}
+
+// New builds a server and its route table.
+func New(cfg Config) *Server {
+	if cfg.Lab == nil {
+		cfg.Lab = experiment.DefaultLab()
+	}
+	if cfg.DefaultSpeed == 0 {
+		cfg.DefaultSpeed = 1
+	}
+	if cfg.MaxInstances == 0 {
+		cfg.MaxInstances = 64
+	}
+	s := &Server{
+		cfg:        cfg,
+		lab:        cfg.Lab,
+		reg:        NewRegistry(cfg.Workers),
+		compactLab: cfg.CompactLab,
+	}
+	s.mux = http.NewServeMux()
+	for _, rt := range routeTable {
+		rt := rt
+		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, func(w http.ResponseWriter, r *http.Request) {
+			rt.handler(s, w, r)
+		})
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving every route in Routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the instance pool (the daemon bootstraps through it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// CreateInstance validates the spec, builds the instance and registers
+// it — the programmatic equivalent of POST /api/v1/instances.
+func (s *Server) CreateInstance(spec InstanceSpec) (*Instance, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	id, ok := s.reg.Reserve(s.cfg.MaxInstances)
+	if !ok {
+		return nil, errTooMany
+	}
+	speed := spec.Speed
+	if speed == 0 {
+		speed = s.cfg.DefaultSpeed
+	}
+	inst, err := newInstance(id, spec, s.labFor(spec.Compact), speed)
+	if err != nil {
+		s.reg.Unreserve()
+		return nil, err
+	}
+	s.reg.Put(inst)
+	return inst, nil
+}
+
+// Close stops every instance.
+func (s *Server) Close() { s.reg.Close() }
+
+// labFor resolves the lab for a hardware generation, building the
+// compact-generation lab on first use.
+func (s *Server) labFor(compact bool) *experiment.Lab {
+	if !compact {
+		return s.lab
+	}
+	s.compactOnce.Do(func() {
+		if s.compactLab == nil {
+			s.compactLab = experiment.NewLab(hw.CompactConfig())
+		}
+	})
+	return s.compactLab
+}
+
+var errTooMany = errors.New("serve: instance cap reached")
+
+// validateSpec rejects a create request with unknown workload names or
+// out-of-range numbers before any simulation state is built.
+func validateSpec(spec InstanceSpec) error {
+	if spec.LC != "" {
+		if _, ok := workload.LCByName(spec.LC); !ok {
+			return fmt.Errorf("unknown LC workload %q", spec.LC)
+		}
+	}
+	for _, att := range spec.BEs {
+		if err := checkBEName(att.Workload); err != nil {
+			return err
+		}
+		if _, err := placementByName(att.Placement); err != nil {
+			return err
+		}
+	}
+	if spec.Load < 0 || spec.Load > 1 {
+		return fmt.Errorf("load %v outside [0, 1]", spec.Load)
+	}
+	if spec.SLOScale < 0 {
+		return fmt.Errorf("slo_scale %v must not be negative", spec.SLOScale)
+	}
+	if spec.Speed < 0 && spec.Speed != SpeedMax {
+		return fmt.Errorf("speed %v invalid (positive, 0 for server default, or -1 for max)", spec.Speed)
+	}
+	if spec.MaxEpochs < 0 {
+		return fmt.Errorf("max_epochs %v must not be negative", spec.MaxEpochs)
+	}
+	return nil
+}
+
+// Route is one registered API endpoint; the docs checker cross-references
+// this table against docs/API.md.
+type Route struct {
+	Method  string
+	Pattern string
+	Doc     string
+
+	handler func(*Server, http.ResponseWriter, *http.Request)
+}
+
+// routeTable is the single source of truth for the HTTP surface: the mux
+// is built from it and Routes exposes it for documentation enforcement.
+var routeTable = []Route{
+	{"GET", "/healthz", "liveness probe: status and instance count", (*Server).handleHealthz},
+	{"GET", "/metrics", "Prometheus exposition across all instances", (*Server).handleMetrics},
+	{"GET", "/api/v1/instances", "list instance statuses", (*Server).handleList},
+	{"POST", "/api/v1/instances", "create an instance from an InstanceSpec", (*Server).handleCreate},
+	{"GET", "/api/v1/instances/{id}", "inspect one instance", (*Server).handleGet},
+	{"DELETE", "/api/v1/instances/{id}", "stop and remove an instance", (*Server).handleDelete},
+	{"PUT", "/api/v1/instances/{id}/load", "change the offered LC load target", (*Server).handleSetLoad},
+	{"PUT", "/api/v1/instances/{id}/slo", "change the controller-visible SLO scale", (*Server).handleSetSLO},
+	{"PUT", "/api/v1/instances/{id}/degrade", "inject or clear LC service degradation", (*Server).handleDegrade},
+	{"POST", "/api/v1/instances/{id}/bes", "attach a best-effort task", (*Server).handleAttachBE},
+	{"DELETE", "/api/v1/instances/{id}/bes/{workload}", "detach best-effort tasks by workload name", (*Server).handleDetachBE},
+	{"POST", "/api/v1/instances/{id}/scenario", "drive the instance by a declarative scenario", (*Server).handleScenario},
+	{"GET", "/api/v1/instances/{id}/stream", "SSE stream of epoch telemetry and controller events", (*Server).handleStream},
+}
+
+// Routes lists every registered endpoint as "METHOD PATTERN" strings, in
+// registration order.
+func Routes() []string {
+	out := make([]string, len(routeTable))
+	for i, rt := range routeTable {
+		out[i] = rt.Method + " " + rt.Pattern
+	}
+	return out
+}
+
+// --- Handler plumbing --------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func apiError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		apiError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// instance resolves {id} or writes a 404.
+func (s *Server) instance(w http.ResponseWriter, r *http.Request) (*Instance, bool) {
+	id := r.PathValue("id")
+	inst, ok := s.reg.Get(id)
+	if !ok {
+		apiError(w, http.StatusNotFound, "no instance %q", id)
+	}
+	return inst, ok
+}
+
+// doErr maps an instance mutation error onto an HTTP response.
+func doErr(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrStopped):
+		apiError(w, http.StatusConflict, "instance stopped")
+	default:
+		apiError(w, http.StatusBadRequest, "%v", err)
+	}
+	return false
+}
+
+// --- Handlers ----------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "instances": s.reg.Len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, s.reg.Statuses())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	sts := s.reg.Statuses()
+	writeJSON(w, http.StatusOK, map[string]any{"instances": sts})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec InstanceSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	inst, err := s.CreateInstance(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errTooMany) {
+			code = http.StatusServiceUnavailable
+		}
+		apiError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, inst.Status())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, inst.Status())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	inst, ok := s.reg.Remove(id)
+	if !ok {
+		apiError(w, http.StatusNotFound, "no instance %q", id)
+		return
+	}
+	inst.publishLifecycle("deleted", "")
+	inst.Stop()
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) handleSetLoad(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	var body struct {
+		Load float64 `json:"load"`
+	}
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	if body.Load < 0 || body.Load > 1 {
+		apiError(w, http.StatusBadRequest, "load %v outside [0, 1]", body.Load)
+		return
+	}
+	if !doErr(w, inst.SetLoad(body.Load)) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"load": body.Load})
+}
+
+func (s *Server) handleSetSLO(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	var body struct {
+		Scale float64 `json:"scale"`
+	}
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	if body.Scale <= 0 {
+		apiError(w, http.StatusBadRequest, "scale %v must be positive", body.Scale)
+		return
+	}
+	slo, err := inst.SetSLOScale(body.Scale)
+	if !doErr(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{
+		"slo_scale": body.Scale,
+		"slo_ms":    1e3 * slo.Seconds(),
+	})
+}
+
+func (s *Server) handleDegrade(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	var body struct {
+		Factor float64 `json:"factor"`
+	}
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	if body.Factor < 0 {
+		apiError(w, http.StatusBadRequest, "factor %v must not be negative", body.Factor)
+		return
+	}
+	if !doErr(w, inst.SetDegrade(body.Factor)) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"factor": body.Factor})
+}
+
+func (s *Server) handleAttachBE(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	var att BEAttachment
+	if !decodeBody(w, r, &att) {
+		return
+	}
+	if err := checkBEName(att.Workload); err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !doErr(w, inst.AttachBE(att)) {
+		return
+	}
+	writeJSON(w, http.StatusCreated, inst.Status())
+}
+
+func (s *Server) handleDetachBE(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("workload")
+	n, err := inst.DetachBE(name)
+	if !doErr(w, err) {
+		return
+	}
+	if n == 0 {
+		apiError(w, http.StatusNotFound, "no BE task running workload %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": n, "workload": name})
+}
+
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	var spec ScenarioSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	sc, err := spec.Build()
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !doErr(w, inst.InstallScenario(sc)) {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"scenario":   sc.Name,
+		"duration_s": sc.Duration.Seconds(),
+		"events":     len(sc.Events),
+	})
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		apiError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	sub := inst.Subscribe(256)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": stream %s\n\n", inst.ID())
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case msg, open := <-sub.Ch():
+			if !open {
+				// Instance stopped: a final comment lets clients
+				// distinguish shutdown from a broken connection.
+				fmt.Fprint(w, ": stream closed\n\n")
+				fl.Flush()
+				return
+			}
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", msg.Event, msg.ID, msg.Data)
+			fl.Flush()
+		}
+	}
+}

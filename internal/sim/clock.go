@@ -1,10 +1,3 @@
-// Package sim provides the deterministic simulation kernel used by the
-// Heracles reproduction: a virtual clock, a seedable pseudo-random number
-// generator, and a binary-heap event queue.
-//
-// Everything in this repository that depends on time or randomness goes
-// through this package so that experiments are reproducible bit-for-bit for
-// a fixed seed.
 package sim
 
 import (

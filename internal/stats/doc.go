@@ -1,0 +1,10 @@
+// Package stats provides the small statistical toolkit used throughout
+// the Heracles reproduction: exact windowed quantiles, log-bucketed
+// histograms, exponentially weighted moving averages, and online
+// summaries.
+//
+// The latency engines use it to turn per-epoch service distributions
+// into the tail quantiles the controller defends, and the experiment
+// layer uses it for the windowed worst-case accounting the paper's
+// figures report (e.g. the max-over-30-second-windows latency of §5.3).
+package stats

@@ -1,6 +1,3 @@
-// Package stats provides the small statistical toolkit used throughout the
-// Heracles reproduction: exact windowed quantiles, log-bucketed histograms,
-// exponentially weighted moving averages, and online summaries.
 package stats
 
 import (

@@ -1,0 +1,12 @@
+// Package tco implements the total-cost-of-ownership analysis of §5.3,
+// using the TCO calculator parameters of Barroso et al.'s case study of
+// a datacenter with low per-server cost: $2000 servers with a PUE of
+// 2.0, a peak power draw of 500 W, electricity at $0.10/kWh, and a
+// cluster of 10,000 servers.
+//
+// Analyze reproduces the paper's scenarios — the throughput/TCO gain
+// from raising utilisation with Heracles versus an
+// energy-proportionality controller — and internal/fleet prices whole
+// fleet runs through the same model, converting simulated EMU lift into
+// dollars.
+package tco

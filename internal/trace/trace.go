@@ -1,8 +1,3 @@
-// Package trace generates the request-load traces the experiments replay:
-// the 12-hour diurnal load trace of the cluster evaluation (§5.3, "an
-// anonymized, 12-hour request trace that captures the part of the daily
-// diurnal pattern when websearch is not fully loaded") and synthetic
-// anonymised request streams.
 package trace
 
 import (

@@ -1,0 +1,22 @@
+// Package workload defines the demand models for the paper's workloads:
+// the three latency-critical (LC) services characterised in §3.1
+// (websearch, ml_cluster, memkeyval) and the best-effort (BE) jobs and
+// antagonist microbenchmarks from §3.2/§5.1 (stream-LLC, stream-DRAM,
+// cpu_pwr, iperf, brain, streetview, and the spinloop HyperThread
+// antagonist).
+//
+// An LC workload is modelled as a service-time decomposition (compute +
+// memory-stall + network serialisation) whose components are inflated by
+// the machine model according to resource contention, plus a cache
+// working-set decomposition that drives both the miss-ratio curve and
+// the DRAM bandwidth demand. A BE workload is modelled as a per-core
+// demand vector plus a throughput model normalised against running
+// alone.
+//
+// Specs here are uncalibrated descriptions; internal/machine calibrates
+// them against a hardware configuration (peak QPS, SLO, guaranteed
+// frequency, alone-rate) and internal/experiment caches the calibrated
+// results. LCByName and BEByName are the catalogue every higher layer —
+// CLIs, scenarios, the control-plane API — resolves workload names
+// through.
+package workload
