@@ -16,8 +16,10 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# -shuffle=on randomises test order within each package, surfacing
+# order-dependent tests before they calcify.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Documentation gate: intra-repo markdown links resolve, every internal/
 # package carries a package comment, and docs/API.md covers every

@@ -32,6 +32,8 @@ import (
 
 	"heracles/internal/experiment"
 	"heracles/internal/machine"
+	"heracles/internal/sched"
+	"heracles/internal/sim"
 	"heracles/internal/workload"
 )
 
@@ -92,6 +94,42 @@ func main() {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Step()
+			}
+		}},
+		{"SchedTick", true, func(b *testing.B) {
+			// The scheduler's hot path: one dispatch-loop tick over a
+			// 64-node fleet with ~500 live jobs (the jobs never complete,
+			// so steady-state ticks scan every running job and re-place
+			// around churning BE enablement).
+			const nNodes = 64
+			jobs := make([]sched.JobSpec, 512)
+			for i := range jobs {
+				jobs[i] = sched.JobSpec{
+					Name: "j", Workload: "brain",
+					Demand: 1 + i%3, Work: 1e6 * time.Second, Retries: 1 << 20,
+				}
+			}
+			s := sched.New(sched.Config{Policy: sched.SlackGreedy{}, Jobs: jobs, EvictGrace: time.Second})
+			nodes := make([]sched.NodeState, nNodes)
+			progress := func(j *sched.Job) float64 { return j.CPUSec + 1 }
+			tick := func(i int) {
+				now := time.Duration(i) * time.Second
+				for n := range nodes {
+					r := sim.DeriveRNG(uint64(i), uint64(n))
+					nodes[n] = sched.NodeState{
+						ID: n, BEAllowed: r.Float64() > 0.2,
+						Slack: r.Float64() * 0.4, MaxBECores: 24,
+					}
+				}
+				s.Tick(now, nodes, progress)
+			}
+			for i := 0; i < 64; i++ {
+				tick(i) // reach steady state before timing
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tick(64 + i)
 			}
 		}},
 		{"ColocateSweep/sequential", true, func(b *testing.B) {

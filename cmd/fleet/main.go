@@ -4,19 +4,32 @@
 // latency-target change, evaluated baseline vs Heracles and priced with
 // the §5.3 TCO model.
 //
+// With -policy, best-effort work arrives as a job stream instead of the
+// static brain/streetview split: a deterministic synthetic batch of -jobs
+// jobs per cluster is dispatched by the named placement policy
+// (slack-greedy, bin-pack, spread, random; comma-separate to compare
+// several), and the output gains the scheduler's goodput-vs-wasted BE
+// CPU accounting. Arms are paired: the same -seed reproduces the same
+// job stream and per-cluster streams for every policy, so
+// `fleet -policy slack-greedy` vs `fleet -policy random` is an
+// apples-to-apples placement-quality comparison.
+//
 // Usage:
 //
-//	fleet [-minutes 30] [-std 2] [-compact 1] [-leaves 8] [-seed 42] [-workers 0]
+//	fleet [-minutes 30] [-std 2] [-compact 1] [-leaves 8] [-seed 42]
+//	      [-workers 0] [-policy slack-greedy,random] [-jobs 32]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"heracles/internal/fleet"
 	"heracles/internal/hw"
 	"heracles/internal/scenario"
+	"heracles/internal/sched"
 	"heracles/internal/trace"
 )
 
@@ -27,6 +40,8 @@ func main() {
 	leaves := flag.Int("leaves", 8, "leaf servers per cluster")
 	seed := flag.Uint64("seed", 42, "random seed (derives per-cluster streams)")
 	workers := flag.Int("workers", 0, "concurrent cluster runs (0 = GOMAXPROCS, 1 = sequential)")
+	policy := flag.String("policy", "", "BE job scheduler placement policy (comma-separate to compare; empty = scripted BE, no scheduler)")
+	jobsN := flag.Int("jobs", 32, "synthetic BE jobs per cluster when -policy is set")
 	flag.Parse()
 
 	dur := time.Duration(*minutes * float64(time.Minute))
@@ -103,6 +118,28 @@ func main() {
 			},
 		},
 	}
-	res := fleet.Run(cfg)
+
+	if *policy == "" {
+		fmt.Print(fleet.Run(cfg).String())
+		return
+	}
+
+	// Scheduler mode: the BE source is a deterministic synthetic job
+	// stream per cluster spec (same -seed, same jobs), and the scripted
+	// brain/streetview churn above no longer applies — the scheduler owns
+	// BE lifecycle, so the churn events are dropped to keep the
+	// comparison about placement alone.
+	for ci := range cfg.Clusters {
+		events := cfg.Clusters[ci].Scenario.Events[:0]
+		for _, ev := range cfg.Clusters[ci].Scenario.Events {
+			if ev.Kind != scenario.EventBEArrive && ev.Kind != scenario.EventBEDepart {
+				events = append(events, ev)
+			}
+		}
+		cfg.Clusters[ci].Scenario.Events = events
+		cfg.Clusters[ci].Jobs = sched.SyntheticJobs(*jobsN, dur, *seed+uint64(ci), []string{"brain", "streetview"})
+	}
+	policies := strings.Split(*policy, ",")
+	res := fleet.RunPolicies(cfg, policies)
 	fmt.Print(res.String())
 }

@@ -2,10 +2,16 @@
 //
 // With -addr it serves the control plane: an HTTP API to create, inspect,
 // reconfigure and delete live simulated machine instances, an SSE
-// telemetry stream per instance, and a Prometheus /metrics endpoint (see
-// docs/API.md). The workload flags become the spec of one bootstrapped
-// instance, so the daemon starts with a machine already running; -noboot
-// starts with an empty pool instead.
+// telemetry stream per instance, a best-effort job scheduler dispatching
+// over the pool (-sched-policy; job routes under /api/v1/jobs), and a
+// Prometheus /metrics endpoint (see docs/API.md). The workload flags
+// become the spec of one bootstrapped instance, so the daemon starts
+// with a machine already running; -noboot starts with an empty pool
+// instead.
+//
+// On SIGINT/SIGTERM the daemon drains: every instance driver stops
+// between epochs and all SSE subscribers are closed (clients see a
+// final "stream closed" comment) before the HTTP listener shuts down.
 //
 // Without -addr it runs headless: one instance advances as fast as the
 // simulation resolves, logging every controller decision and printing a
@@ -21,7 +27,7 @@
 //
 //	heraclesd [-addr :8080] [-lc websearch] [-be brain] [-load 0.4]
 //	          [-minutes 10] [-speed 0] [-fsroot /tmp/heracles-fs]
-//	          [-trace] [-noboot]
+//	          [-trace] [-noboot] [-sched-policy slack-greedy]
 package main
 
 import (
@@ -55,6 +61,7 @@ func main() {
 	fsroot := flag.String("fsroot", "", "mirror actuations into kernel-format files under this directory")
 	traceFlag := flag.Bool("trace", true, "log controller decisions")
 	noboot := flag.Bool("noboot", false, "with -addr, start with an empty instance pool instead of bootstrapping one from the flags")
+	schedPolicy := flag.String("sched-policy", "slack-greedy", "fleet job scheduler placement policy (slack-greedy, bin-pack, spread, random)")
 	flag.Parse()
 
 	serving := *addr != ""
@@ -71,7 +78,7 @@ func main() {
 		}
 	}
 
-	srv := serve.New(serve.Config{Lab: lab, DefaultSpeed: instSpeed})
+	srv := serve.New(serve.Config{Lab: lab, DefaultSpeed: instSpeed, SchedPolicy: *schedPolicy})
 	defer srv.Close()
 
 	var fs *actuate.FSActuator
@@ -128,6 +135,18 @@ func main() {
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
 
+	// drain stops every instance driver between epochs and closes all SSE
+	// subscribers — no simulation is abandoned mid-epoch and no stream is
+	// dropped without its terminal "stream closed" comment. It is also
+	// what lets http.Server.Shutdown below finish: open event-stream
+	// connections only end once their hubs close.
+	drain := func(sig os.Signal) {
+		log.Printf("heraclesd: %v, draining %d instance(s) after %d epochs",
+			sig, srv.Registry().Len(), epochs.Load())
+		srv.Close()
+	}
+
+	exitCode := 0
 	if serving {
 		httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 		errc := make(chan error, 1)
@@ -135,27 +154,33 @@ func main() {
 		log.Printf("heraclesd: control plane listening on %s (API under /api/v1, SSE per instance, Prometheus /metrics)", *addr)
 		select {
 		case err := <-errc:
-			log.Fatalf("heraclesd: %v", err)
+			log.Printf("heraclesd: %v", err)
+			srv.Close()
+			exitCode = 1
 		case sig := <-interrupt:
-			log.Printf("heraclesd: %v, shutting down", sig)
+			drain(sig)
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
 			_ = httpSrv.Shutdown(ctx)
+			cancel()
+			log.Printf("heraclesd: shutdown complete")
 		}
 	} else {
 		if maxEpochs > 0 {
 			select {
 			case <-runDone:
+				srv.Close()
 			case sig := <-interrupt:
-				log.Printf("heraclesd: %v, stopping after %d epochs", sig, epochs.Load())
+				drain(sig)
 			}
 		} else {
-			sig := <-interrupt
-			log.Printf("heraclesd: %v, stopping after %d epochs", sig, epochs.Load())
+			drain(<-interrupt)
 		}
 	}
 	if fs != nil {
 		fmt.Printf("kernel-format actuation mirror written under %s\n", *fsroot)
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"heracles/internal/lat"
 	"heracles/internal/machine"
 	"heracles/internal/scenario"
+	"heracles/internal/sched"
 	"heracles/internal/serve"
 	"heracles/internal/tco"
 	"heracles/internal/trace"
@@ -272,6 +273,54 @@ type (
 // RunFleet executes every cluster of the fleet, baseline and Heracles,
 // and aggregates utilisation, SLO compliance and TCO.
 var RunFleet = fleet.Run
+
+// Best-effort job scheduler: fleet-wide dispatch onto slack-advertising
+// machines, eviction with backoff, goodput accounting.
+type (
+	// SchedConfig configures a job scheduler (policy, job batch, seed,
+	// backoff, eviction grace).
+	SchedConfig = sched.Config
+	// SchedJobSpec describes one best-effort job (workload, core demand,
+	// required CPU work, priority, retry budget, submission time).
+	SchedJobSpec = sched.JobSpec
+	// SchedJob is a submitted job and its dispatch history.
+	SchedJob = sched.Job
+	// SchedPolicy places jobs on eligible machines.
+	SchedPolicy = sched.Policy
+	// SchedNodeState is one machine's slack/EMU advertisement.
+	SchedNodeState = sched.NodeState
+	// SchedAction is one executor instruction returned by a tick.
+	SchedAction = sched.Action
+	// SchedDecision is one placement-log entry.
+	SchedDecision = sched.Decision
+	// SchedAccounting aggregates goodput vs wasted BE CPU time.
+	SchedAccounting = sched.Accounting
+	// SchedReport is a finished run's scheduler artefact.
+	SchedReport = sched.Report
+	// Scheduler is the deterministic dispatch loop itself.
+	Scheduler = sched.Scheduler
+	// FleetPoliciesResult is a paired policy-vs-policy fleet comparison.
+	FleetPoliciesResult = fleet.PoliciesResult
+	// FleetPolicyOutcome is one arm of that comparison.
+	FleetPolicyOutcome = fleet.PolicyOutcome
+	// FleetSchedAggregate is the fleet-level scheduler reduction.
+	FleetSchedAggregate = fleet.SchedAggregate
+)
+
+var (
+	// NewScheduler builds a scheduler from a SchedConfig.
+	NewScheduler = sched.New
+	// SchedPolicyByName resolves "slack-greedy", "bin-pack", "spread" or
+	// "random".
+	SchedPolicyByName = sched.PolicyByName
+	// SchedPolicyNames lists the built-in policies.
+	SchedPolicyNames = sched.PolicyNames
+	// SyntheticJobs generates a deterministic batch of BE jobs.
+	SyntheticJobs = sched.SyntheticJobs
+	// RunFleetPolicies runs the fleet once per placement policy, paired
+	// on seeds, with goodput/queue-delay aggregates per arm.
+	RunFleetPolicies = fleet.RunPolicies
+)
 
 // TCO analysis (§5.3).
 type (

@@ -11,6 +11,7 @@ import (
 	"heracles/internal/machine"
 	"heracles/internal/parallel"
 	"heracles/internal/scenario"
+	"heracles/internal/sched"
 	"heracles/internal/sim"
 	"heracles/internal/trace"
 	"heracles/internal/workload"
@@ -66,6 +67,19 @@ type Config struct {
 	// (Seed, epoch) rather than shared generator state, so every worker
 	// count produces identical results.
 	Workers int
+
+	// Sched, when non-nil, attaches a fleet-wide best-effort job
+	// scheduler to the Heracles run: instead of the construction-time
+	// brain/streetview split, BE work arrives as a job stream dispatched
+	// onto leaves by the scheduler's policy, evicted when a leaf's
+	// controller disables BE, and accounted as goodput vs wasted CPU
+	// time (Result.Sched). Scripted BE arrive/depart events still apply
+	// on top, but departures never touch scheduler-owned tasks — the
+	// scheduler is the sole owner of its jobs' lifecycle. Ignored on
+	// baseline (no-colocation) runs. A zero
+	// Sched.Seed inherits Config.Seed (the scheduler decorrelates its
+	// streams internally).
+	Sched *sched.Config
 }
 
 // EpochStat is the cluster state for one trace epoch.
@@ -77,6 +91,10 @@ type EpochStat struct {
 	EMU        float64       // cluster-wide effective machine utilisation
 	LeafWorst  float64       // worst per-leaf tail latency / leaf SLO
 	Violations int           // leaves violating their local target this epoch
+
+	// Scheduler depths at this epoch (zero without Config.Sched).
+	SchedQueue   int // jobs submitted and waiting for placement
+	SchedRunning int // jobs placed on leaves
 }
 
 // Result is a full cluster run.
@@ -84,6 +102,10 @@ type Result struct {
 	SLO    time.Duration // root-level SLO (µ/30s target)
 	Warmup time.Duration // excluded from Summarize
 	Epochs []EpochStat
+
+	// Sched is the job scheduler's final report (nil without
+	// Config.Sched or on baseline runs).
+	Sched *sched.Report
 }
 
 // leaf couples one machine with its controller.
@@ -150,6 +172,28 @@ func RunScenario(cfg Config, sc scenario.Scenario) Result {
 		cfg.AdjustPeriod = 30 * time.Second
 	}
 
+	// A scheduler-driven run replaces the construction-time
+	// brain/streetview split: the job stream is the BE source, so leaves
+	// start empty and the scheduler owns BE lifecycle (scripted events
+	// still apply on top).
+	var schd *sched.Scheduler
+	var schedTasks map[int]*machine.BETask  // job id -> live task
+	var schedOwned map[*machine.BETask]bool // tasks the scheduler owns
+	if cfg.Heracles && cfg.Sched != nil {
+		sc2 := *cfg.Sched
+		if sc2.Seed == 0 {
+			sc2.Seed = cfg.Seed
+		}
+		// Unknown workload names are composition error, like scenario
+		// events: fail before any simulation state exists.
+		for _, js := range sc2.Jobs {
+			cfg.lookupBE(js.Workload)
+		}
+		schd = sched.New(sc2)
+		schedTasks = make(map[int]*machine.BETask)
+		schedOwned = make(map[*machine.BETask]bool)
+	}
+
 	leaves := make([]*leaf, cfg.Leaves)
 	for i := range leaves {
 		m := machine.New(cfg.HW)
@@ -157,10 +201,12 @@ func RunScenario(cfg Config, sc scenario.Scenario) Result {
 		var ctl *core.Controller
 		if cfg.Heracles {
 			m.SetSLOScale(cfg.LeafTargetFrac)
-			if i%2 == 0 {
-				m.AddBE(cfg.Brain, workload.PlaceDedicated)
-			} else {
-				m.AddBE(cfg.SView, workload.PlaceDedicated)
+			if schd == nil {
+				if i%2 == 0 {
+					m.AddBE(cfg.Brain, workload.PlaceDedicated)
+				} else {
+					m.AddBE(cfg.SView, workload.PlaceDedicated)
+				}
 			}
 			ctl = core.New(m, cfg.Model, core.DefaultConfig())
 		}
@@ -189,11 +235,15 @@ func RunScenario(cfg Config, sc scenario.Scenario) Result {
 	// tens of thousands of times and must not spawn goroutines each time.
 	pool := parallel.NewPool(cfg.Workers)
 	defer pool.Close()
+	var nodeStates []sched.NodeState
+	if schd != nil {
+		nodeStates = make([]sched.NodeState, len(leaves))
+	}
 	for epochIdx := uint64(0); t < end; epochIdx++ {
 		// Apply due events sequentially before the leaves fan out, so the
 		// mutation order never depends on worker scheduling.
 		for _, ev := range cursor.Due(t) {
-			applyEvent(cfg, leaves, ev)
+			applyEvent(cfg, leaves, schedOwned, ev)
 			switch ev.Kind {
 			case scenario.EventLoadScale:
 				loadScale = ev.Factor
@@ -201,6 +251,24 @@ func RunScenario(cfg Config, sc scenario.Scenario) Result {
 				if ev.Leaf == scenario.AllLeaves {
 					leafScale = ev.Factor
 				}
+			}
+		}
+		// The scheduler ticks in the same sequential window as the
+		// events, against the previous epoch's telemetry: the slack each
+		// controller advertised is what steers placement, and mutation
+		// order stays independent of worker scheduling.
+		if schd != nil {
+			for i, lf := range leaves {
+				nodeStates[i] = leafNodeState(i, lf)
+			}
+			actions := schd.Tick(t, nodeStates, func(j *sched.Job) float64 {
+				if task := schedTasks[j.ID]; task != nil {
+					return task.CPUSec
+				}
+				return j.CPUSec
+			})
+			for _, a := range actions {
+				applySchedAction(cfg, leaves, schedTasks, schedOwned, a)
 			}
 		}
 		load := sc.LoadAt(t) * loadScale
@@ -240,7 +308,7 @@ func RunScenario(cfg Config, sc scenario.Scenario) Result {
 		// not depend on execution order.
 		mean := rootMean(leafTail, cfg.RootSamples, sim.DeriveRNG(cfg.Seed, epochIdx))
 
-		res.Epochs = append(res.Epochs, EpochStat{
+		es := EpochStat{
 			At:         t,
 			Load:       load,
 			RootMean:   mean,
@@ -248,7 +316,12 @@ func RunScenario(cfg Config, sc scenario.Scenario) Result {
 			EMU:        emu / float64(len(leaves)),
 			LeafWorst:  worst,
 			Violations: viol,
-		})
+		}
+		if schd != nil {
+			es.SchedQueue = schd.QueueDepth()
+			es.SchedRunning = schd.Running()
+		}
+		res.Epochs = append(res.Epochs, es)
 
 		// Centralized leaf-target adjustment (§5.3 future work): convert
 		// root-level slack into looser per-leaf targets, and tighten
@@ -281,13 +354,75 @@ func RunScenario(cfg Config, sc scenario.Scenario) Result {
 		}
 		t += epoch
 	}
+	if schd != nil {
+		rep := schd.Report()
+		res.Sched = &rep
+	}
 	return res
+}
+
+// leafNodeState builds the scheduler's view of one leaf from the
+// previous epoch's telemetry and the controller's enablement — the
+// "slack advertised upward" half of the feedback loop.
+func leafNodeState(id int, lf *leaf) sched.NodeState {
+	tel := lf.m.Last()
+	slack := 0.0
+	if slo := lf.m.SLO(); slo > 0 && tel.Time > 0 {
+		slack = (slo.Seconds() - tel.TailLatency.Seconds()) / slo.Seconds()
+	}
+	return sched.NodeState{
+		ID:         id,
+		BEAllowed:  lf.ctl != nil && lf.ctl.BEEnabled(),
+		Slack:      slack,
+		EMU:        tel.EMU,
+		Load:       lf.m.Load(),
+		MaxBECores: lf.m.MaxBECores(),
+	}
+}
+
+// applySchedAction executes one scheduler instruction on the fleet:
+// dispatch installs the job's workload as a dedicated BE task, the stop
+// kinds retire it (CompleteBE banks goodput, RemoveBE charges the lost
+// work) and re-partition the freed cores back to the LC task.
+func applySchedAction(cfg Config, leaves []*leaf, tasks map[int]*machine.BETask, owned map[*machine.BETask]bool, a sched.Action) {
+	lf := leaves[a.Node]
+	switch a.Kind {
+	case sched.ActionDispatch:
+		// The scheduler filters eligibility before placement, so a
+		// dispatch onto a BE-disabled leaf is a scheduler bug, not a
+		// runtime condition: fail loudly (the invariant the tests pin).
+		if lf.ctl == nil || !lf.ctl.BEEnabled() {
+			panic(fmt.Sprintf("cluster: scheduler dispatched job %d to leaf %d whose controller has BE disabled", a.Job, a.Node))
+		}
+		task := lf.m.AddBE(cfg.lookupBE(a.Workload), workload.PlaceDedicated)
+		task.Enabled = true
+		lf.m.Partition(lf.m.BECoreCount())
+		tasks[a.Job] = task
+		owned[task] = true
+	case sched.ActionEvict, sched.ActionFail, sched.ActionComplete:
+		task := tasks[a.Job]
+		if task == nil {
+			return
+		}
+		if a.Kind == sched.ActionComplete {
+			lf.m.CompleteBE(task)
+		} else {
+			lf.m.RemoveBE(task)
+		}
+		lf.m.Partition(lf.m.BECoreCount())
+		delete(tasks, a.Job)
+		delete(owned, task)
+	}
 }
 
 // applyEvent applies one scenario event to the targeted leaves. BE churn
 // applies only to Heracles-managed leaves: the baseline configuration
-// models no colocation, so arrivals have nowhere to run.
-func applyEvent(cfg Config, leaves []*leaf, ev scenario.Event) {
+// models no colocation, so arrivals have nowhere to run. Scheduler-owned
+// tasks (schedOwned) are off-limits to scripted departures — the
+// scheduler is the sole owner of its jobs' lifecycle, otherwise a depart
+// event would freeze the job's progress forever while the scheduler
+// still believes it is running.
+func applyEvent(cfg Config, leaves []*leaf, schedOwned map[*machine.BETask]bool, ev scenario.Event) {
 	for i, lf := range leaves {
 		if ev.Leaf != scenario.AllLeaves && ev.Leaf != i {
 			continue
@@ -314,7 +449,7 @@ func applyEvent(cfg Config, leaves []*leaf, ev scenario.Event) {
 			// Collect first: RemoveBE splices the live task list.
 			var departing []*machine.BETask
 			for _, be := range lf.m.BEs() {
-				if be.WL.Spec.Name == ev.Workload {
+				if be.WL.Spec.Name == ev.Workload && !schedOwned[be] {
 					departing = append(departing, be)
 				}
 			}
@@ -394,6 +529,11 @@ type Summary struct {
 	MeanRootFrac float64
 	MaxRootFrac  float64
 	Violations   int // epochs with root latency above the SLO
+
+	// SchedPolicy and Sched carry the job scheduler's policy name and
+	// goodput accounting when the run had one (nil otherwise).
+	SchedPolicy string
+	Sched       *sched.Accounting
 }
 
 // Summarize reduces a result to the quantities §5.3 reports: no SLO
@@ -403,6 +543,11 @@ type Summary struct {
 // violations are counted.
 func (r Result) Summarize() Summary {
 	s := Summary{SLO: r.SLO, MinEMU: 1e9}
+	if r.Sched != nil {
+		s.SchedPolicy = r.Sched.Policy
+		acct := r.Sched.Accounting
+		s.Sched = &acct
+	}
 	const winN = 30
 	var win []float64
 	winSum := 0.0
@@ -434,7 +579,7 @@ func (r Result) Summarize() Summary {
 		}
 	}
 	if n == 0 {
-		return Summary{SLO: r.SLO}
+		return Summary{SLO: r.SLO, SchedPolicy: s.SchedPolicy, Sched: s.Sched}
 	}
 	s.MeanEMU /= n
 	s.MeanRootFrac /= n

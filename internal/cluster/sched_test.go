@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"heracles/internal/scenario"
+	"heracles/internal/sched"
+)
+
+// schedConfig builds a cluster config with a scheduler-driven BE source.
+func schedConfig(t *testing.T, policy sched.Policy, jobs []sched.JobSpec) Config {
+	cfg := baseConfig(t)
+	cfg.Heracles = true
+	cfg.Sched = &sched.Config{Policy: policy, Jobs: jobs, EvictGrace: 10 * time.Second, Backoff: 20 * time.Second}
+	return cfg
+}
+
+func schedJobs(n int, horizon time.Duration) []sched.JobSpec {
+	return sched.SyntheticJobs(n, horizon, 5, []string{"brain", "streetview"})
+}
+
+// TestSchedulerClusterCompletesJobs: on a calm cluster the scheduler
+// dispatches and completes jobs, banks their CPU time as goodput, and
+// colocation lifts EMU above the bare load.
+func TestSchedulerClusterCompletesJobs(t *testing.T) {
+	horizon := 16 * time.Minute
+	cfg := schedConfig(t, sched.SlackGreedy{}, schedJobs(12, horizon))
+	res := RunScenario(cfg, scenario.Scenario{
+		Name: "sched-calm", Duration: horizon, Load: scenario.Flat(0.35),
+	})
+	if res.Sched == nil {
+		t.Fatal("no scheduler report")
+	}
+	acct := res.Sched.Accounting
+	if acct.Completed == 0 {
+		t.Fatalf("no jobs completed: %+v", acct)
+	}
+	if acct.GoodCPUSec <= 0 {
+		t.Fatalf("no goodput banked: %+v", acct)
+	}
+	s := res.Summarize()
+	if s.Sched == nil || s.SchedPolicy != "slack-greedy" {
+		t.Fatalf("summary lost sched accounting: %+v", s)
+	}
+	if s.MeanEMU <= 0.37 {
+		t.Fatalf("scheduled BE work did not lift EMU: %.3f", s.MeanEMU)
+	}
+	// Depths are reported per epoch.
+	sawRunning := false
+	for _, e := range res.Epochs {
+		if e.SchedRunning > 0 {
+			sawRunning = true
+			break
+		}
+	}
+	if !sawRunning {
+		t.Fatal("no epoch reported running jobs")
+	}
+}
+
+// TestSchedulerClusterDeterministicAcrossWorkers pins the tentpole's
+// determinism contract: the per-epoch stats AND the placement log are
+// bit-identical for workers=1 and workers=4, for a policy that draws on
+// the RNG stream (random) as well as the slack-driven one.
+func TestSchedulerClusterDeterministicAcrossWorkers(t *testing.T) {
+	horizon := 10 * time.Minute
+	for _, pol := range []sched.Policy{sched.SlackGreedy{}, sched.Random{}} {
+		sc := scenario.Scenario{
+			Name: "sched-det", Duration: horizon,
+			Load: scenario.Steps{{At: 0, Load: 0.3}, {At: horizon / 2, Load: 0.6}},
+		}
+		cfg := schedConfig(t, pol, schedJobs(10, horizon))
+		cfg.Workers = 1
+		seq := RunScenario(cfg, sc)
+		cfg = schedConfig(t, pol, schedJobs(10, horizon))
+		cfg.Workers = 4
+		par := RunScenario(cfg, sc)
+
+		if !reflect.DeepEqual(seq.Epochs, par.Epochs) {
+			t.Fatalf("%s: epoch stats diverged across worker counts", pol.Name())
+		}
+		if !reflect.DeepEqual(seq.Sched, par.Sched) {
+			t.Fatalf("%s: placement log diverged across worker counts", pol.Name())
+		}
+		if len(seq.Sched.Decisions) == 0 {
+			t.Fatalf("%s: empty placement log", pol.Name())
+		}
+	}
+}
+
+// TestSchedulerEvictsUnderFlashCrowd drives load above the controller's
+// disable threshold mid-run: every controller parks BE, the scheduler
+// must evict and re-queue (wasting the accrued work), and the
+// dispatch-to-disabled panic guard in applySchedAction must stay silent
+// throughout — the integration half of the invariant test.
+func TestSchedulerEvictsUnderFlashCrowd(t *testing.T) {
+	horizon := 18 * time.Minute
+	jobs := []sched.JobSpec{}
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, sched.JobSpec{
+			Name: "long", Workload: "brain", Demand: 2,
+			Work: time.Hour, Retries: 8, Submit: time.Duration(i) * 20 * time.Second,
+		})
+	}
+	cfg := schedConfig(t, sched.Spread{}, jobs)
+	res := RunScenario(cfg, scenario.Scenario{
+		Name:     "sched-crowd",
+		Duration: horizon,
+		Load: scenario.Clamp(scenario.Sum(
+			scenario.Flat(0.35),
+			scenario.FlashCrowd{Start: 6 * time.Minute, Rise: time.Minute, Hold: 2 * time.Minute, Fall: time.Minute, Amp: 0.55},
+		), 0, 0.92),
+	})
+	acct := res.Sched.Accounting
+	if acct.Evictions == 0 {
+		t.Fatalf("flash crowd caused no evictions: %+v", acct)
+	}
+	if acct.WastedCPUSec <= 0 {
+		t.Fatalf("evictions wasted no CPU time: %+v", acct)
+	}
+}
+
+// TestScriptedDepartSparesSchedulerTasks: a scripted be-depart event for
+// a workload the scheduler is also running must not detach the
+// scheduler's tasks — otherwise those jobs would freeze mid-run, never
+// completing and never evicting. With departs fenced off, every job
+// still completes.
+func TestScriptedDepartSparesSchedulerTasks(t *testing.T) {
+	horizon := 14 * time.Minute
+	jobs := []sched.JobSpec{}
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, sched.JobSpec{
+			Name: "j", Workload: "brain", Demand: 2,
+			Work: 2 * time.Minute, Retries: 3,
+			Submit: time.Duration(i) * 30 * time.Second,
+		})
+	}
+	cfg := schedConfig(t, sched.SlackGreedy{}, jobs)
+	res := RunScenario(cfg, scenario.Scenario{
+		Name: "depart-vs-sched", Duration: horizon, Load: scenario.Flat(0.35),
+		Events: []scenario.Event{
+			// Fires while the scheduler's brain jobs are running.
+			scenario.BEDepart(4*time.Minute, scenario.AllLeaves, "brain"),
+		},
+	})
+	acct := res.Sched.Accounting
+	if acct.Completed != len(jobs) {
+		t.Fatalf("scripted depart froze scheduler jobs: %+v", acct)
+	}
+}
+
+// TestSchedulerUnknownWorkloadPanics: job composition errors fail before
+// any simulation state exists, like scenario events.
+func TestSchedulerUnknownWorkloadPanics(t *testing.T) {
+	cfg := schedConfig(t, sched.SlackGreedy{}, []sched.JobSpec{
+		{Name: "bad", Workload: "nope", Work: time.Minute},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown job workload did not panic")
+		}
+	}()
+	RunScenario(cfg, scenario.Scenario{Name: "bad", Duration: time.Minute, Load: scenario.Flat(0.3)})
+}

@@ -41,6 +41,12 @@ type BETask struct {
 	LastRate float64
 	LastNorm float64
 	LastHit  float64
+
+	// CPUSec is the cumulative busy CPU time (core-seconds) this task has
+	// accrued while enabled — the currency of the scheduler's goodput
+	// accounting. It survives controller park/unpark cycles; it is lost
+	// (counted as evicted) when the task is removed before CompleteBE.
+	CPUSec float64
 }
 
 // Machine is the simulated server.
@@ -56,6 +62,14 @@ type Machine struct {
 	beNetCeilGBs float64 // HTB ceiling over all BE traffic; 0 = uncapped
 	sloScale     float64 // controller-visible SLO scale; 0 or 1 = unscaled
 	degrade      float64 // LC service-time degradation factor; 0 or 1 = none
+
+	// Cumulative BE CPU-time disposition (busy core-seconds of retired
+	// tasks): beGoodCPUSec accrues on CompleteBE, beLostCPUSec on RemoveBE
+	// (a task that departs or is evicted before completing loses its
+	// work). RemoveBEs is a wholesale experiment reset and accounts
+	// nothing.
+	beGoodCPUSec float64
+	beLostCPUSec float64
 
 	lastService float64 // previous epoch mean LC service time (seconds)
 	tel         Telemetry
@@ -195,17 +209,37 @@ func (m *Machine) AddBE(wl *workload.BE, placement workload.PlacementKind) *BETa
 // BEs returns the installed BE tasks.
 func (m *Machine) BEs() []*BETask { return m.bes }
 
-// RemoveBE detaches one BE task. The departed task's cores stay
+// RemoveBE detaches one BE task, counting its accrued CPU time as
+// evicted (work lost before completion). The departed task's cores stay
 // unassigned until the next Partition/SetBECores call; callers that want
 // them redistributed immediately should follow up with
 // Partition(BECoreCount()).
 func (m *Machine) RemoveBE(be *BETask) {
+	if m.detachBE(be) {
+		m.beLostCPUSec += be.CPUSec
+	}
+}
+
+// CompleteBE detaches one BE task whose job finished, counting its
+// accrued CPU time as completed work. The fleet scheduler retires jobs
+// through this so goodput and wasted BE CPU-seconds are separable in
+// telemetry.
+func (m *Machine) CompleteBE(be *BETask) {
+	if m.detachBE(be) {
+		m.beGoodCPUSec += be.CPUSec
+	}
+}
+
+// detachBE splices the task out of the live list, reporting whether it
+// was installed.
+func (m *Machine) detachBE(be *BETask) bool {
 	for i, b := range m.bes {
 		if b == be {
 			m.bes = append(m.bes[:i], m.bes[i+1:]...)
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // RemoveBEs detaches all BE tasks and restores all cores and ways to LC.

@@ -495,6 +495,7 @@ func (m *Machine) Step() Telemetry {
 	}
 
 	// --- 8. BE throughput -------------------------------------------------
+	dtSec := dt.Seconds()
 	var busyBECores float64
 	for bi, be := range m.bes {
 		be.LastRate, be.LastNorm = 0, 0
@@ -517,6 +518,7 @@ func (m *Machine) Step() Telemetry {
 			}
 			if len(be.Cores) > 0 {
 				busyBECores += float64(len(be.Cores))
+				be.CPUSec += float64(len(be.Cores)) * dtSec
 			}
 			tel.BERateNorm += be.LastNorm
 			continue
@@ -544,6 +546,10 @@ func (m *Machine) Step() Telemetry {
 			freqRel = 1
 			busyBECores += eqCores
 		}
+		// Busy core-seconds accrue for any occupied cores, even when the
+		// achieved rate rounds to zero — occupancy, not usefulness, is what
+		// the eviction-waste accounting measures.
+		be.CPUSec += eqCores * dtSec
 		if eqCores <= 0 || freqRel <= 0 {
 			continue
 		}
@@ -578,6 +584,8 @@ func (m *Machine) Step() Telemetry {
 	lcBusy := float64(k) * es.Utilisation
 	tel.CPUUtil = clamp01((lcBusy + busyBECores) / float64(tc))
 	tel.BEEnabled = m.BEEnabled()
+	tel.BEGoodCPUSec = m.beGoodCPUSec
+	tel.BELostCPUSec = m.beLostCPUSec
 	tel.BECores = m.BECoreCount()
 	tel.BEWays = m.BEWayCount()
 	tel.BEFreqCap = m.BEFreqCap()

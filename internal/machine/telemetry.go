@@ -36,6 +36,13 @@ type Telemetry struct {
 	BETxGBs    float64
 	BERateNorm float64 // sum of per-task normalised rates
 	BEFreqGHz  float64 // mean achieved frequency across BE cores
+	// Cumulative CPU time (busy core-seconds) of retired BE tasks, split
+	// by disposition: BEGoodCPUSec accrued via CompleteBE (finished jobs),
+	// BELostCPUSec via RemoveBE (evicted or departed before completion).
+	// The fleet scheduler's goodput accounting reads these as its single
+	// source of truth.
+	BEGoodCPUSec float64
+	BELostCPUSec float64
 
 	// Shared resources.
 	SocketPowerW   []float64

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"heracles/internal/sim"
+)
+
+// JobSpec describes one best-effort job before submission.
+type JobSpec struct {
+	// Name is a display label; ids are assigned by the scheduler.
+	Name string
+	// Workload is the calibrated BE workload the job runs ("brain",
+	// "streetview", ...). The executor resolves it; unknown names are the
+	// executor's error, not the scheduler's.
+	Workload string
+	// Demand is the number of cores the job asks for — an admission
+	// weight: a node is eligible only while the summed demand of its
+	// running jobs plus this one fits within its BE core ceiling. Values
+	// below 1 are treated as 1.
+	Demand int
+	// Work is the CPU time the job needs: busy BE core-seconds accrued on
+	// whatever allocation the machine's controller grants. A job with
+	// Work = 10m on a single granted core runs ten simulated minutes.
+	Work time.Duration
+	// Priority orders dispatch: higher dispatches first; ties break by
+	// submission order.
+	Priority int
+	// Retries is how many times an evicted job may re-queue before it is
+	// failed. Work lost to an eviction is not carried over — a retry
+	// starts from zero, which is exactly why evictions are waste.
+	Retries int
+	// Submit is when the job enters the queue (scheduler time). Batch
+	// runs pre-load specs with staggered Submit times; live layers submit
+	// with Submit = now.
+	Submit time.Duration
+}
+
+// JobState is a job's lifecycle phase.
+type JobState int
+
+const (
+	// JobPending jobs are queued (or backing off after an eviction).
+	JobPending JobState = iota
+	// JobRunning jobs are placed on a node and accruing CPU time.
+	JobRunning
+	// JobCompleted jobs reached their required work.
+	JobCompleted
+	// JobFailed jobs exhausted their retry budget.
+	JobFailed
+	// JobCancelled jobs were cancelled by the caller.
+	JobCancelled
+)
+
+// String names the state.
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobRunning:
+		return "running"
+	case JobCompleted:
+		return "completed"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return "unknown"
+	}
+}
+
+// Job is one submitted job and its full dispatch history. The scheduler
+// hands out copies; all mutation happens inside the scheduler.
+type Job struct {
+	ID   int
+	Spec JobSpec
+
+	State JobState
+	// Node is the machine the job currently runs on, or -1.
+	Node int
+	// Attempts counts dispatches so far (1 on the first placement).
+	Attempts int
+
+	SubmittedAt time.Duration
+	// ReadyAt is when the job (re-)entered the dispatchable queue: the
+	// submission time, or the end of the post-eviction backoff.
+	ReadyAt time.Duration
+	// StartedAt is the dispatch time of the current (or last) attempt.
+	StartedAt time.Duration
+	// FinishedAt is when the job reached a terminal state.
+	FinishedAt time.Duration
+
+	// CPUSec is the busy core-seconds accrued by the current attempt.
+	CPUSec float64
+	// WastedCPUSec accumulates the CPU time lost across evicted attempts.
+	WastedCPUSec float64
+}
+
+// SyntheticJobs generates a deterministic batch of n best-effort jobs for
+// fleet experiments: submissions spread over the first 70% of the
+// horizon, CPU demand of one to four cores, one to five minutes of
+// required CPU work, three priority classes and a retry budget of three.
+// Each job derives from (seed, index), so the batch is identical across
+// runs and platforms. Jobs are returned in submission order.
+func SyntheticJobs(n int, horizon time.Duration, seed uint64, workloads []string) []JobSpec {
+	if n <= 0 || len(workloads) == 0 {
+		return nil
+	}
+	specs := make([]JobSpec, n)
+	for i := range specs {
+		rng := sim.DeriveRNG(seed, uint64(i))
+		wl := workloads[rng.Intn(len(workloads))]
+		specs[i] = JobSpec{
+			Name:     fmt.Sprintf("%s-%d", wl, i),
+			Workload: wl,
+			Demand:   1 + rng.Intn(4),
+			Work:     time.Duration((60 + rng.Float64()*240) * float64(time.Second)),
+			Priority: rng.Intn(3),
+			Retries:  3,
+			Submit:   time.Duration(rng.Float64() * 0.7 * float64(horizon)),
+		}
+	}
+	sort.SliceStable(specs, func(a, b int) bool { return specs[a].Submit < specs[b].Submit })
+	return specs
+}

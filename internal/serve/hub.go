@@ -11,7 +11,7 @@ import (
 // marshalled once by the publisher and shared read-only by every
 // subscriber.
 type Message struct {
-	Event string // "epoch", "controller" or "lifecycle"
+	Event string // "epoch", "controller", "scheduler" or "lifecycle"
 	ID    uint64
 	Data  []byte
 }

@@ -89,6 +89,15 @@ type EpochUpdate struct {
 	BECores      int     `json:"be_cores"`
 	BEWays       int     `json:"be_ways"`
 	BEFreqCapGHz float64 `json:"be_freq_cap_ghz,omitempty"`
+	// BEAllowed is the controller's verdict (distinct from BEEnabled,
+	// which is task-level and false on a machine with no BE tasks): the
+	// capacity advertisement the fleet scheduler keys dispatch on.
+	BEAllowed bool `json:"be_allowed"`
+	// Cumulative CPU time of retired BE tasks, split by disposition
+	// (completed jobs vs evicted/departed work) — the machine-side
+	// source of truth for goodput accounting.
+	BEGoodCPUSec float64 `json:"be_good_cpu_s"`
+	BELostCPUSec float64 `json:"be_lost_cpu_s"`
 	DRAMUtil     float64 `json:"dram_util"`
 	PowerFracTDP float64 `json:"power_frac_tdp"`
 	LinkUtil     float64 `json:"link_util"`
@@ -181,10 +190,15 @@ type Instance struct {
 	donec    chan struct{}
 	stopOnce sync.Once
 
-	// Driver-goroutine-only state.
+	// Driver-goroutine-only state (schedOwned is also touched from Do
+	// closures, which run in the driver goroutine by construction).
 	epoch       uint64
 	run         *runState
 	doneRunning bool
+	// schedOwned marks BE tasks installed by the fleet scheduler: only
+	// the scheduler may remove them, so the detach route and scenario
+	// depart events cannot pull a running job's task out from under it.
+	schedOwned map[*machine.BETask]struct{}
 
 	mu      sync.Mutex
 	status  Status
@@ -201,17 +215,18 @@ func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float6
 		lcName = "websearch"
 	}
 	i := &Instance{
-		id:        id,
-		name:      spec.Name,
-		lab:       lab,
-		hub:       NewHub(),
-		speed:     speed,
-		maxEpochs: uint64(max(spec.MaxEpochs, 0)),
-		epochHook: spec.EpochHook,
-		cmds:      make(chan command),
-		stopc:     make(chan struct{}),
-		donec:     make(chan struct{}),
-		actions:   make(map[actionKey]int64),
+		id:         id,
+		name:       spec.Name,
+		lab:        lab,
+		hub:        NewHub(),
+		speed:      speed,
+		maxEpochs:  uint64(max(spec.MaxEpochs, 0)),
+		epochHook:  spec.EpochHook,
+		cmds:       make(chan command),
+		stopc:      make(chan struct{}),
+		donec:      make(chan struct{}),
+		actions:    make(map[actionKey]int64),
+		schedOwned: make(map[*machine.BETask]struct{}),
 	}
 
 	i.m = machine.New(lab.Cfg)
@@ -434,10 +449,15 @@ func (i *Instance) installScenario(sc scenario.Scenario) {
 	i.publishLifecycle("scenario", sc.Name)
 }
 
-// removeBEByName runs in the driver goroutine.
+// removeBEByName runs in the driver goroutine. Scheduler-owned tasks
+// are off-limits: jobs are cancelled through the job API, not detached
+// by workload name.
 func (i *Instance) removeBEByName(name string) int {
 	var departing []*machine.BETask
 	for _, be := range i.m.BEs() {
+		if _, owned := i.schedOwned[be]; owned {
+			continue
+		}
 		if be.WL.Spec.Name == name {
 			departing = append(departing, be)
 		}
@@ -595,6 +615,9 @@ func (i *Instance) step() {
 		BECores:      tel.BECores,
 		BEWays:       tel.BEWays,
 		BEFreqCapGHz: tel.BEFreqCap,
+		BEAllowed:    i.ctl.BEEnabled(),
+		BEGoodCPUSec: tel.BEGoodCPUSec,
+		BELostCPUSec: tel.BELostCPUSec,
 		DRAMUtil:     tel.DRAMUtil,
 		PowerFracTDP: tel.PowerFracTDP,
 		LinkUtil:     tel.LinkUtil,
@@ -624,6 +647,112 @@ func (i *Instance) step() {
 		i.doneRunning = true
 		i.publishLifecycle("done", fmt.Sprintf("max_epochs %d reached", i.maxEpochs))
 	}
+}
+
+// --- Fleet-scheduler hooks --------------------------------------------
+//
+// The control plane's job scheduler treats each instance as one node of
+// the fleet. Every hook funnels through Do, so scheduler activity obeys
+// the same between-epochs mutation contract as the rest of the API.
+
+// schedProbeResult is the scheduler's per-tick view of one instance.
+type schedProbeResult struct {
+	state      string
+	beAllowed  bool
+	slack      float64
+	emu        float64
+	load       float64
+	maxBECores int
+}
+
+// schedProbe reads the node state the dispatch loop keys on.
+func (i *Instance) schedProbe() (schedProbeResult, error) {
+	var pr schedProbeResult
+	err := i.Do(func() error {
+		tel := i.m.Last()
+		pr.beAllowed = i.ctl.BEEnabled()
+		pr.emu = tel.EMU
+		pr.load = i.m.Load()
+		pr.maxBECores = i.m.MaxBECores()
+		if slo := i.m.SLO(); slo > 0 && tel.Time > 0 {
+			pr.slack = (slo.Seconds() - tel.TailLatency.Seconds()) / slo.Seconds()
+		}
+		return nil
+	})
+	i.mu.Lock()
+	pr.state = i.status.State
+	i.mu.Unlock()
+	return pr, err
+}
+
+// startSchedTask installs a scheduler-dispatched BE task. It re-checks
+// the controller's enablement inside the mailbox — the live fleet's
+// enforcement of the never-dispatch-while-disabled invariant, since the
+// controller may have flipped between the snapshot and the apply — and
+// returns an error (the driver aborts the dispatch) instead of parking
+// the job on a machine that will not run it.
+func (i *Instance) startSchedTask(wlName string) (*machine.BETask, error) {
+	wl := i.lab.BE(wlName) // calibrate outside the mailbox
+	var task *machine.BETask
+	err := i.Do(func() error {
+		if !i.ctl.BEEnabled() {
+			return fmt.Errorf("controller has BE disabled on %s", i.id)
+		}
+		task = i.m.AddBE(wl, workload.PlaceDedicated)
+		task.Enabled = true
+		i.schedOwned[task] = struct{}{}
+		i.m.Partition(i.m.BECoreCount())
+		i.refreshBEs()
+		return nil
+	})
+	return task, err
+}
+
+// stopSchedTask retires a scheduler-owned task and returns its accrued
+// CPU time: CompleteBE banks it as goodput, RemoveBE charges it as lost.
+func (i *Instance) stopSchedTask(task *machine.BETask, completed bool) (float64, error) {
+	var cpu float64
+	err := i.Do(func() error {
+		cpu = task.CPUSec
+		if completed {
+			i.m.CompleteBE(task)
+		} else {
+			i.m.RemoveBE(task)
+		}
+		delete(i.schedOwned, task)
+		i.m.Partition(i.m.BECoreCount())
+		i.refreshBEs()
+		return nil
+	})
+	return cpu, err
+}
+
+// taskCPUSec reads a running task's accrued CPU time between epochs.
+func (i *Instance) taskCPUSec(task *machine.BETask) (float64, error) {
+	var cpu float64
+	err := i.Do(func() error {
+		cpu = task.CPUSec
+		return nil
+	})
+	return cpu, err
+}
+
+// publishScheduler emits a scheduler decision on the instance's event
+// stream. Called from the scheduler driver's goroutine; like the
+// "deleted" lifecycle event, it reads the epoch from the mutex-guarded
+// snapshot.
+func (i *Instance) publishScheduler(up SchedulerUpdate) {
+	if !i.hub.HasSubscribers() {
+		return
+	}
+	data, err := json.Marshal(up)
+	if err != nil {
+		return
+	}
+	i.mu.Lock()
+	ep := i.status.Epoch
+	i.mu.Unlock()
+	i.hub.Publish(Message{Event: "scheduler", ID: ep, Data: data})
 }
 
 // applyScenarioEvent mirrors the cluster interpreter on a single machine;

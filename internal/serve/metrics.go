@@ -117,3 +117,40 @@ func WriteMetrics(w io.Writer, sts []Status) {
 	fmt.Fprint(w, "# HELP heracles_fleet_slo_slack_min Worst SLO slack across live instances.\n# TYPE heracles_fleet_slo_slack_min gauge\n")
 	fmt.Fprintf(w, "heracles_fleet_slo_slack_min %s\n", fmtFloat(minSlack))
 }
+
+// schedScalar writes one unlabelled scheduler series.
+func schedScalar(w io.Writer, name, typ, help, value string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, value)
+}
+
+// WriteSchedMetrics renders the fleet scheduler's exposition block:
+// queue depth, dispatch/eviction/completion counters and the
+// goodput-vs-wasted CPU split.
+func WriteSchedMetrics(w io.Writer, st SchedulerStatus) {
+	fmt.Fprintf(w, "# HELP heracles_sched_info Fleet scheduler placement policy.\n# TYPE heracles_sched_info gauge\nheracles_sched_info{policy=\"%s\"} 1\n",
+		escapeLabel.Replace(st.Policy))
+	schedScalar(w, "heracles_sched_queue_depth", "gauge",
+		"Jobs submitted and waiting for placement.", strconv.Itoa(st.QueueDepth))
+	schedScalar(w, "heracles_sched_running_jobs", "gauge",
+		"Jobs currently placed on instances.", strconv.Itoa(st.Running))
+	schedScalar(w, "heracles_sched_jobs_submitted_total", "counter",
+		"Jobs ever submitted.", strconv.Itoa(st.Submitted))
+	schedScalar(w, "heracles_sched_dispatches_total", "counter",
+		"Job placements onto instances.", strconv.Itoa(st.Dispatches))
+	schedScalar(w, "heracles_sched_jobs_completed_total", "counter",
+		"Jobs that reached their required work.", strconv.Itoa(st.Completed))
+	schedScalar(w, "heracles_sched_evictions_total", "counter",
+		"Jobs evicted because a controller disabled BE.", strconv.Itoa(st.Evictions))
+	schedScalar(w, "heracles_sched_jobs_failed_total", "counter",
+		"Jobs that exhausted their retry budget.", strconv.Itoa(st.Failed))
+	schedScalar(w, "heracles_sched_jobs_cancelled_total", "counter",
+		"Jobs cancelled by the API.", strconv.Itoa(st.Cancelled))
+	schedScalar(w, "heracles_sched_dispatch_aborts_total", "counter",
+		"Dispatches refused by the target instance (controller flipped).", strconv.Itoa(st.Aborted))
+	schedScalar(w, "heracles_sched_goodput_cpu_seconds_total", "counter",
+		"BE CPU-seconds banked by completed jobs.", fmtFloat(st.GoodCPUSec))
+	schedScalar(w, "heracles_sched_wasted_cpu_seconds_total", "counter",
+		"BE CPU-seconds discarded by evictions and cancellations.", fmtFloat(st.WastedCPUSec))
+	schedScalar(w, "heracles_sched_queue_delay_mean_seconds", "gauge",
+		"Mean dispatchable-to-dispatched wait.", fmtFloat(st.MeanQueueDelayS))
+}

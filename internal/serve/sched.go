@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"heracles/internal/machine"
+	"heracles/internal/sched"
+)
+
+// JobSubmission is the JSON body of POST /api/v1/jobs.
+type JobSubmission struct {
+	Name string `json:"name,omitempty"`
+	// Workload is the BE workload to run ("brain", "streetview", ...).
+	Workload string `json:"workload"`
+	// Demand is the requested core count (admission weight; default 1).
+	Demand int `json:"demand,omitempty"`
+	// WorkS is the required CPU time in busy BE core-seconds.
+	WorkS float64 `json:"work_s"`
+	// Priority orders dispatch (higher first).
+	Priority int `json:"priority,omitempty"`
+	// Retries is the re-queue budget after evictions (default 3).
+	Retries *int `json:"retries,omitempty"`
+}
+
+// JobStatus is the wire form of one scheduler job.
+type JobStatus struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name,omitempty"`
+	Workload string  `json:"workload"`
+	State    string  `json:"state"`
+	Instance string  `json:"instance,omitempty"`
+	Demand   int     `json:"demand"`
+	WorkS    float64 `json:"work_s"`
+	Priority int     `json:"priority,omitempty"`
+	Retries  int     `json:"retries"`
+	Attempts int     `json:"attempts"`
+	CPUSec   float64 `json:"cpu_s"`
+	WastedS  float64 `json:"wasted_cpu_s"`
+}
+
+// SchedulerStatus is the wire form of GET /api/v1/scheduler.
+type SchedulerStatus struct {
+	Policy          string  `json:"policy"`
+	QueueDepth      int     `json:"queue_depth"`
+	Running         int     `json:"running"`
+	Submitted       int     `json:"submitted"`
+	Dispatches      int     `json:"dispatches"`
+	Completed       int     `json:"completed"`
+	Evictions       int     `json:"evictions"`
+	Failed          int     `json:"failed"`
+	Cancelled       int     `json:"cancelled"`
+	Aborted         int     `json:"aborted"`
+	GoodCPUSec      float64 `json:"good_cpu_s"`
+	WastedCPUSec    float64 `json:"wasted_cpu_s"`
+	GoodputFrac     float64 `json:"goodput_frac"`
+	MeanQueueDelayS float64 `json:"mean_queue_delay_s"`
+	MaxQueueDepth   int     `json:"max_queue_depth"`
+}
+
+// SchedulerUpdate is one scheduler decision published on the affected
+// instance's SSE stream as a "scheduler" event.
+type SchedulerUpdate struct {
+	Instance string  `json:"instance"`
+	Job      int     `json:"job"`
+	Name     string  `json:"name,omitempty"`
+	Workload string  `json:"workload"`
+	Action   string  `json:"action"` // dispatch | evict | complete | fail
+	Attempt  int     `json:"attempt"`
+	CPUSec   float64 `json:"cpu_s"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+// taskRef binds a running job to its live BE task on an instance.
+type taskRef struct {
+	inst *Instance
+	task *machine.BETask
+}
+
+// schedDriver owns the control plane's fleet scheduler: a wall-clock
+// dispatch loop over the live instance pool. The sched.Scheduler core is
+// single-threaded; every access (ticks and the job API) serialises on
+// mu, and all machine mutation goes through each instance's command
+// mailbox — the scheduler never touches a Machine directly, so instance
+// determinism is preserved.
+type schedDriver struct {
+	srv      *Server
+	interval time.Duration
+	start    time.Time
+
+	mu    sync.Mutex
+	s     *sched.Scheduler
+	tasks map[int]*taskRef
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	donec    chan struct{}
+}
+
+func newSchedDriver(srv *Server, policy sched.Policy, seed uint64, interval time.Duration) *schedDriver {
+	d := &schedDriver{
+		srv:      srv,
+		interval: interval,
+		start:    time.Now(),
+		s: sched.New(sched.Config{
+			Policy: policy,
+			Seed:   seed,
+			// Live time runs on the wall clock; the defaults (30s backoff,
+			// 15s grace) are sized for simulated seconds, which the served
+			// instances also tick in real time by default.
+		}),
+		tasks: make(map[int]*taskRef),
+		stopc: make(chan struct{}),
+		donec: make(chan struct{}),
+	}
+	go d.loop()
+	return d
+}
+
+// now is the scheduler clock: wall time since the driver started.
+func (d *schedDriver) now() time.Duration { return time.Since(d.start) }
+
+func (d *schedDriver) stop() {
+	d.stopOnce.Do(func() { close(d.stopc) })
+	<-d.donec
+}
+
+func (d *schedDriver) loop() {
+	defer close(d.donec)
+	tk := time.NewTicker(d.interval)
+	defer tk.Stop()
+	for {
+		select {
+		case <-d.stopc:
+			return
+		case <-tk.C:
+			d.tick()
+		}
+	}
+}
+
+// instIndex parses the registry id ("i7") into the scheduler's stable
+// integer node id.
+func instIndex(id string) (int, bool) {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "i"))
+	return n, err == nil && n > 0
+}
+
+// tick snapshots the pool, advances the scheduler and applies its
+// actions. Probes and mutations run through instance mailboxes; an
+// instance that stops mid-tick simply drops out of the snapshot and its
+// jobs are evicted on the spot.
+func (d *schedDriver) tick() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	insts := d.srv.reg.List()
+	nodes := make([]sched.NodeState, 0, len(insts))
+	byID := make(map[int]*Instance, len(insts))
+	for _, in := range insts {
+		id, ok := instIndex(in.ID())
+		if !ok {
+			continue
+		}
+		pr, err := in.schedProbe()
+		if err != nil || pr.state != StateRunning {
+			continue
+		}
+		nodes = append(nodes, sched.NodeState{
+			ID:         id,
+			BEAllowed:  pr.beAllowed,
+			Slack:      pr.slack,
+			EMU:        pr.emu,
+			Load:       pr.load,
+			MaxBECores: pr.maxBECores,
+		})
+		byID[id] = in
+	}
+
+	actions := d.s.Tick(d.now(), nodes, func(j *sched.Job) float64 {
+		ref := d.tasks[j.ID]
+		if ref == nil {
+			return j.CPUSec
+		}
+		cpu, err := ref.inst.taskCPUSec(ref.task)
+		if err != nil {
+			return j.CPUSec
+		}
+		return cpu
+	})
+
+	for _, a := range actions {
+		job, _ := d.s.Job(a.Job)
+		switch a.Kind {
+		case sched.ActionDispatch:
+			in := byID[a.Node]
+			if in == nil {
+				d.s.Abort(a.Job, d.now())
+				continue
+			}
+			task, err := in.startSchedTask(a.Workload)
+			if err != nil {
+				// The controller flipped since the snapshot (or the
+				// instance stopped): hand the job back without charging
+				// its retry budget.
+				d.s.Abort(a.Job, d.now())
+				continue
+			}
+			d.tasks[a.Job] = &taskRef{inst: in, task: task}
+			in.publishScheduler(SchedulerUpdate{
+				Instance: in.ID(), Job: a.Job, Name: job.Spec.Name, Workload: a.Workload,
+				Action: a.Kind.String(), Attempt: job.Attempts,
+			})
+		case sched.ActionEvict, sched.ActionFail, sched.ActionComplete:
+			ref := d.tasks[a.Job]
+			delete(d.tasks, a.Job)
+			if ref == nil {
+				continue
+			}
+			cpu, err := ref.inst.stopSchedTask(ref.task, a.Kind == sched.ActionComplete)
+			if err != nil {
+				continue // instance already gone; nothing to publish
+			}
+			ref.inst.publishScheduler(SchedulerUpdate{
+				Instance: ref.inst.ID(), Job: a.Job, Name: job.Spec.Name, Workload: a.Workload,
+				Action: a.Kind.String(), Attempt: job.Attempts, CPUSec: cpu,
+			})
+		}
+	}
+}
+
+// Submit validates and enqueues a job.
+func (d *schedDriver) Submit(sub JobSubmission) JobStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	retries := 3
+	if sub.Retries != nil {
+		retries = *sub.Retries
+	}
+	id := d.s.Submit(sched.JobSpec{
+		Name:     sub.Name,
+		Workload: sub.Workload,
+		Demand:   sub.Demand,
+		Work:     time.Duration(sub.WorkS * float64(time.Second)),
+		Priority: sub.Priority,
+		Retries:  retries,
+		Submit:   d.now(),
+	})
+	j, _ := d.s.Job(id)
+	return d.jobStatusLocked(j)
+}
+
+// Jobs lists every job.
+func (d *schedDriver) Jobs() []JobStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	jobs := d.s.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = d.jobStatusLocked(j)
+	}
+	return out
+}
+
+// Job returns one job.
+func (d *schedDriver) Job(id int) (JobStatus, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.s.Job(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	return d.jobStatusLocked(j), true
+}
+
+// Cancel cancels a job, stopping its task if it is running. Returns
+// (status, found, cancelled): a terminal job is found but not cancelled.
+func (d *schedDriver) Cancel(id int) (JobStatus, bool, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.s.Job(id)
+	if !ok {
+		return JobStatus{}, false, false
+	}
+	var accrued float64
+	ref := d.tasks[id]
+	if j.State == sched.JobRunning && ref != nil {
+		if cpu, err := ref.inst.stopSchedTask(ref.task, false); err == nil {
+			accrued = cpu
+			ref.inst.publishScheduler(SchedulerUpdate{
+				Instance: ref.inst.ID(), Job: id, Name: j.Spec.Name, Workload: j.Spec.Workload,
+				Action: "evict", Attempt: j.Attempts, CPUSec: cpu, Detail: "cancelled",
+			})
+		}
+		delete(d.tasks, id)
+	}
+	cancelled := d.s.Cancel(id, d.now(), accrued)
+	j, _ = d.s.Job(id)
+	return d.jobStatusLocked(j), true, cancelled
+}
+
+// Status snapshots the scheduler for the API and /metrics.
+func (d *schedDriver) Status() SchedulerStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a := d.s.Accounting()
+	return SchedulerStatus{
+		Policy:          d.s.Policy(),
+		QueueDepth:      a.QueueDepth,
+		Running:         a.Running,
+		Submitted:       a.Submitted,
+		Dispatches:      a.Dispatches,
+		Completed:       a.Completed,
+		Evictions:       a.Evictions,
+		Failed:          a.Failed,
+		Cancelled:       a.Cancelled,
+		Aborted:         a.Aborted,
+		GoodCPUSec:      a.GoodCPUSec,
+		WastedCPUSec:    a.WastedCPUSec,
+		GoodputFrac:     a.GoodputFrac(),
+		MeanQueueDelayS: a.MeanQueueDelay().Seconds(),
+		MaxQueueDepth:   a.MaxQueueDepth,
+	}
+}
+
+// jobStatusLocked renders a job snapshot; d.mu is held.
+func (d *schedDriver) jobStatusLocked(j sched.Job) JobStatus {
+	st := JobStatus{
+		ID:       j.ID,
+		Name:     j.Spec.Name,
+		Workload: j.Spec.Workload,
+		State:    j.State.String(),
+		Demand:   j.Spec.Demand,
+		WorkS:    j.Spec.Work.Seconds(),
+		Priority: j.Spec.Priority,
+		Retries:  j.Spec.Retries,
+		Attempts: j.Attempts,
+		CPUSec:   j.CPUSec,
+		WastedS:  j.WastedCPUSec,
+	}
+	if j.State == sched.JobRunning {
+		if ref := d.tasks[j.ID]; ref != nil {
+			st.Instance = ref.inst.ID()
+		}
+	}
+	return st
+}
+
+// --- Handlers ----------------------------------------------------------
+
+func (s *Server) handleSchedStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Status())
+}
+
+func (s *Server) handleJobsList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.Jobs()})
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var sub JobSubmission
+	if !decodeBody(w, r, &sub) {
+		return
+	}
+	if err := checkBEName(sub.Workload); err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if sub.WorkS <= 0 {
+		apiError(w, http.StatusBadRequest, "work_s %v must be positive", sub.WorkS)
+		return
+	}
+	if sub.Demand < 0 || sub.Priority < 0 || (sub.Retries != nil && *sub.Retries < 0) {
+		apiError(w, http.StatusBadRequest, "demand, priority and retries must not be negative")
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.sched.Submit(sub))
+}
+
+// jobID parses {id} or writes a 404.
+func jobID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 1 {
+		apiError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id, ok := jobID(w, r)
+	if !ok {
+		return
+	}
+	st, found := s.sched.Job(id)
+	if !found {
+		apiError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := jobID(w, r)
+	if !ok {
+		return
+	}
+	st, found, cancelled := s.sched.Cancel(id)
+	switch {
+	case !found:
+		apiError(w, http.StatusNotFound, "no job %d", id)
+	case !cancelled:
+		apiError(w, http.StatusConflict, "job %d already %s", id, st.State)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitForJobState polls the job route until the predicate holds or the
+// deadline passes, returning the final status.
+func waitForJobState(t *testing.T, client *http.Client, url string, deadline time.Duration, ok func(JobStatus) bool) JobStatus {
+	t.Helper()
+	var st JobStatus
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		body := doReq(t, client, "GET", url, nil, 200)
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("job status: %v; body %s", err, body)
+		}
+		if ok(st) {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job never reached the expected state; last: %+v", st)
+	return st
+}
+
+// TestJobLifecycleOverHTTP is the scheduler's acceptance flow: submit a
+// job against a free-running instance, watch it dispatch and complete,
+// see the scheduler decisions on the SSE stream and the goodput counters
+// in /metrics, and exercise cancel/404/validation paths.
+func TestJobLifecycleOverHTTP(t *testing.T) {
+	s := New(Config{Lab: testLab, SchedInterval: 10 * time.Millisecond, SchedSeed: 3})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// A fast (but not free-running) machine at modest load: its
+	// controller enables BE within the first simulated minute, which
+	// passes in well under a wall second — while the epoch-event rate
+	// stays low enough that the SSE subscriber never overflows and drops
+	// the scheduler events this test asserts on.
+	spec := InstanceSpec{Name: "node", LC: "websearch", Load: 0.3, Speed: 500}
+	body := doReq(t, client, "POST", ts.URL+"/api/v1/instances", jsonBody(t, spec), 201)
+	var inst Status
+	if err := json.Unmarshal(body, &inst); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// Attach an SSE subscriber before any scheduling happens.
+	req, err := http.NewRequest("GET", ts.URL+"/api/v1/instances/"+inst.ID+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Drain the stream from the start: a free-running instance floods
+	// epoch events, and an unread stream would overflow the subscriber
+	// buffer and drop the scheduler events this test waits for.
+	sawScheduler := make(chan SchedulerUpdate, 16)
+	go func() {
+		r := newSSEReader(resp.Body)
+		for {
+			ev, err := r.Next()
+			if err != nil {
+				close(sawScheduler)
+				return
+			}
+			if ev.Event != "scheduler" {
+				continue
+			}
+			var up SchedulerUpdate
+			if json.Unmarshal(ev.Data, &up) == nil {
+				select {
+				case sawScheduler <- up:
+				default:
+				}
+			}
+		}
+	}()
+
+	// Validation: bad submissions are rejected before the queue sees
+	// them.
+	doReq(t, client, "POST", ts.URL+"/api/v1/jobs",
+		jsonBody(t, JobSubmission{Workload: "nope", WorkS: 10}), 400)
+	doReq(t, client, "POST", ts.URL+"/api/v1/jobs",
+		jsonBody(t, JobSubmission{Workload: "brain"}), 400)
+
+	// Submit a small job: 20 busy core-seconds completes in wall
+	// milliseconds on a free-running machine.
+	body = doReq(t, client, "POST", ts.URL+"/api/v1/jobs",
+		jsonBody(t, JobSubmission{Name: "batch-1", Workload: "brain", WorkS: 20}), 201)
+	var job JobStatus
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatalf("submit: %v; body %s", err, body)
+	}
+	if job.ID != 1 || job.State != "pending" || job.Demand != 1 || job.Retries != 3 {
+		t.Fatalf("submitted job = %+v", job)
+	}
+
+	done := waitForJobState(t, client, ts.URL+"/api/v1/jobs/1", 15*time.Second, func(j JobStatus) bool {
+		return j.State == "completed"
+	})
+	if done.CPUSec < 20 || done.Attempts != 1 {
+		t.Fatalf("completed job = %+v", done)
+	}
+
+	// The job list carries it, and the scheduler status banked goodput.
+	body = doReq(t, client, "GET", ts.URL+"/api/v1/jobs", nil, 200)
+	if !bytes.Contains(body, []byte(`"batch-1"`)) {
+		t.Fatalf("job list missing the job: %s", body)
+	}
+	body = doReq(t, client, "GET", ts.URL+"/api/v1/scheduler", nil, 200)
+	var st SchedulerStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != "slack-greedy" || st.Completed < 1 || st.GoodCPUSec < 20 {
+		t.Fatalf("scheduler status = %+v", st)
+	}
+
+	// Submit a long job and cancel it; terminal jobs refuse a second
+	// cancel, unknown ids 404.
+	doReq(t, client, "POST", ts.URL+"/api/v1/jobs",
+		jsonBody(t, JobSubmission{Name: "doomed", Workload: "streetview", WorkS: 1e7}), 201)
+	waitForJobState(t, client, ts.URL+"/api/v1/jobs/2", 15*time.Second, func(j JobStatus) bool {
+		return j.State == "running" || j.State == "pending"
+	})
+	body = doReq(t, client, "DELETE", ts.URL+"/api/v1/jobs/2", nil, 200)
+	var cancelled JobStatus
+	if err := json.Unmarshal(body, &cancelled); err != nil {
+		t.Fatal(err)
+	}
+	if cancelled.State != "cancelled" {
+		t.Fatalf("cancel result = %+v", cancelled)
+	}
+	doReq(t, client, "DELETE", ts.URL+"/api/v1/jobs/2", nil, 409)
+	doReq(t, client, "DELETE", ts.URL+"/api/v1/jobs/99", nil, 404)
+
+	// Scheduler decisions reached the instance's SSE stream.
+	select {
+	case up, ok := <-sawScheduler:
+		if !ok {
+			t.Fatal("stream closed before any scheduler event")
+		}
+		if up.Instance != inst.ID || up.Job == 0 || up.Action == "" {
+			t.Fatalf("scheduler SSE event = %+v", up)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("no scheduler event on the SSE stream")
+	}
+
+	// /metrics exposes the scheduler block.
+	metrics := string(doReq(t, client, "GET", ts.URL+"/metrics", nil, 200))
+	for _, want := range []string{
+		"heracles_sched_queue_depth",
+		"heracles_sched_goodput_cpu_seconds_total",
+		"heracles_sched_evictions_total",
+		`heracles_sched_info{policy="slack-greedy"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+
+	// Telemetry carries the machine-side disposition counters and the
+	// controller verdict field. The counters land on telemetry one epoch
+	// after CompleteBE runs, so poll rather than read once.
+	var got Status
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+inst.ID, nil, 200)
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Last.BEGoodCPUSec >= 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("instance never exposed the completed job's CPU time: %+v", got.Last)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !got.Last.BEAllowed {
+		t.Fatalf("controller verdict missing from telemetry: %+v", got.Last)
+	}
+}
+
+// TestSchedulerSkipsDisabledInstances pins the live half of the
+// dispatch invariant: an instance at saturating load (its controller
+// keeps BE disabled) never receives a job.
+func TestSchedulerSkipsDisabledInstances(t *testing.T) {
+	s := New(Config{Lab: testLab, SchedInterval: 5 * time.Millisecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Load 0.95 is far above the controller's 0.85 disable threshold:
+	// BE stays parked forever.
+	doReq(t, client, "POST", ts.URL+"/api/v1/instances",
+		jsonBody(t, InstanceSpec{Name: "hot", LC: "websearch", Load: 0.95, Speed: SpeedMax}), 201)
+	doReq(t, client, "POST", ts.URL+"/api/v1/jobs",
+		jsonBody(t, JobSubmission{Name: "starved", Workload: "brain", WorkS: 5}), 201)
+
+	// Give the dispatch loop plenty of ticks, then require the job is
+	// still queued with zero attempts.
+	time.Sleep(300 * time.Millisecond)
+	body := doReq(t, client, "GET", ts.URL+"/api/v1/jobs/1", nil, 200)
+	var job JobStatus
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.State != "pending" || job.Attempts != 0 {
+		t.Fatalf("job dispatched onto a BE-disabled machine: %+v", job)
+	}
+}

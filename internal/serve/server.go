@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"heracles/internal/experiment"
 	"heracles/internal/hw"
+	"heracles/internal/sched"
 	"heracles/internal/workload"
 )
 
@@ -31,20 +33,33 @@ type Config struct {
 	// Workers bounds status-snapshot and shutdown fan-out over the
 	// instance pool (0 selects GOMAXPROCS).
 	Workers int
+
+	// SchedPolicy names the fleet scheduler's placement policy
+	// (slack-greedy, bin-pack, spread, random; default "slack-greedy").
+	// The scheduler dispatches jobs submitted via POST /api/v1/jobs over
+	// the live instance pool.
+	SchedPolicy string
+	// SchedInterval is the dispatch loop's wall-clock cadence (default
+	// 1s; tests shorten it).
+	SchedInterval time.Duration
+	// SchedSeed seeds the scheduler's deterministic choice streams.
+	SchedSeed uint64
 }
 
 // Server owns the instance pool and the HTTP API over it.
 type Server struct {
-	cfg Config
-	lab *experiment.Lab
-	reg *Registry
-	mux *http.ServeMux
+	cfg   Config
+	lab   *experiment.Lab
+	reg   *Registry
+	mux   *http.ServeMux
+	sched *schedDriver
 
 	compactOnce sync.Once
 	compactLab  *experiment.Lab
 }
 
-// New builds a server and its route table.
+// New builds a server and its route table. Unknown scheduler policy
+// names panic: server configuration is programmer input.
 func New(cfg Config) *Server {
 	if cfg.Lab == nil {
 		cfg.Lab = experiment.DefaultLab()
@@ -54,6 +69,16 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxInstances == 0 {
 		cfg.MaxInstances = 64
+	}
+	if cfg.SchedPolicy == "" {
+		cfg.SchedPolicy = "slack-greedy"
+	}
+	if cfg.SchedInterval <= 0 {
+		cfg.SchedInterval = time.Second
+	}
+	policy, err := sched.PolicyByName(cfg.SchedPolicy)
+	if err != nil {
+		panic("serve: " + err.Error())
 	}
 	s := &Server{
 		cfg:        cfg,
@@ -68,6 +93,7 @@ func New(cfg Config) *Server {
 			rt.handler(s, w, r)
 		})
 	}
+	s.sched = newSchedDriver(s, policy, cfg.SchedSeed, cfg.SchedInterval)
 	return s
 }
 
@@ -100,8 +126,14 @@ func (s *Server) CreateInstance(spec InstanceSpec) (*Instance, error) {
 	return inst, nil
 }
 
-// Close stops every instance.
-func (s *Server) Close() { s.reg.Close() }
+// Close stops the scheduler's dispatch loop, then every instance. The
+// order matters: the driver holds task references into live instances,
+// so it must quiesce before the pool tears down. Safe to call more than
+// once.
+func (s *Server) Close() {
+	s.sched.stop()
+	s.reg.Close()
+}
 
 // labFor resolves the lab for a hardware generation, building the
 // compact-generation lab on first use.
@@ -175,7 +207,12 @@ var routeTable = []Route{
 	{"POST", "/api/v1/instances/{id}/bes", "attach a best-effort task", (*Server).handleAttachBE},
 	{"DELETE", "/api/v1/instances/{id}/bes/{workload}", "detach best-effort tasks by workload name", (*Server).handleDetachBE},
 	{"POST", "/api/v1/instances/{id}/scenario", "drive the instance by a declarative scenario", (*Server).handleScenario},
-	{"GET", "/api/v1/instances/{id}/stream", "SSE stream of epoch telemetry and controller events", (*Server).handleStream},
+	{"GET", "/api/v1/instances/{id}/stream", "SSE stream of epoch telemetry, controller and scheduler events", (*Server).handleStream},
+	{"GET", "/api/v1/scheduler", "fleet scheduler status and goodput accounting", (*Server).handleSchedStatus},
+	{"GET", "/api/v1/jobs", "list best-effort jobs", (*Server).handleJobsList},
+	{"POST", "/api/v1/jobs", "submit a best-effort job for fleet-wide dispatch", (*Server).handleJobSubmit},
+	{"GET", "/api/v1/jobs/{id}", "inspect one job", (*Server).handleJobGet},
+	{"DELETE", "/api/v1/jobs/{id}", "cancel a job, evicting it if running", (*Server).handleJobCancel},
 }
 
 // Routes lists every registered endpoint as "METHOD PATTERN" strings, in
@@ -245,6 +282,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WriteMetrics(w, s.reg.Statuses())
+	WriteSchedMetrics(w, s.sched.Status())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
