@@ -30,8 +30,10 @@ import (
 	"testing"
 	"time"
 
+	"heracles/internal/engine"
 	"heracles/internal/experiment"
 	"heracles/internal/machine"
+	"heracles/internal/scenario"
 	"heracles/internal/sched"
 	"heracles/internal/sim"
 	"heracles/internal/workload"
@@ -132,6 +134,46 @@ func main() {
 				tick(64 + i)
 			}
 		}},
+		{"EngineStep", true, func(b *testing.B) {
+			// The unified epoch loop's hot path: one Step of an 8-node
+			// Heracles engine with root fan-out sampling — scenario load
+			// evaluation, eight machine steps and controller polls, the
+			// node-order reduction and the root's 100-sample draw.
+			eng := engine.New(benchEngineConfig(lab))
+			defer eng.Close()
+			eng.InstallScenario(benchScenario())
+			for i := 0; i < 120; i++ {
+				eng.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		}},
+		{"SnapshotRestore", true, func(b *testing.B) {
+			// Checkpoint round trip of a warmed 8-node engine whose
+			// telemetry rings are full (600 epochs/node): Snapshot's deep
+			// copy plus Restore's rebuild, the cost a periodic
+			// checkpointer or a migration pays per cycle.
+			eng := engine.New(benchEngineConfig(lab))
+			defer eng.Close()
+			sc := benchScenario()
+			eng.InstallScenario(sc)
+			for i := 0; i < 620; i++ {
+				eng.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cp := eng.Snapshot()
+				r, err := engine.Restore(benchEngineConfig(lab), cp, &sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.Close()
+			}
+		}},
 		{"ColocateSweep/sequential", true, func(b *testing.B) {
 			o := opts
 			o.Workers = 1
@@ -196,6 +238,38 @@ func main() {
 		return
 	}
 	writeBaseline(*out, base)
+}
+
+// benchEngineConfig is the 8-node Heracles fleet the engine benchmarks
+// run on: brain/streetview split, root sampling, sequential stepping
+// (the per-epoch cost, not the fan-out, is what the entry tracks).
+func benchEngineConfig(lab *experiment.Lab) engine.Config {
+	brain := lab.BE("brain")
+	sview := lab.BE("streetview")
+	return engine.Config{
+		Nodes:       8,
+		HW:          lab.Cfg,
+		LC:          lab.LC("websearch"),
+		Heracles:    true,
+		Model:       lab.DRAMModel("websearch"),
+		LookupBE:    lab.BE,
+		SLOScale:    0.8,
+		RootSamples: 100,
+		Seed:        1,
+		Workers:     1,
+		InitialBEs: func(i int) []engine.BEAttach {
+			if i%2 == 0 {
+				return []engine.BEAttach{{WL: brain, Placement: workload.PlaceDedicated}}
+			}
+			return []engine.BEAttach{{WL: sview, Placement: workload.PlaceDedicated}}
+		},
+	}
+}
+
+// benchScenario is a long flat-load scenario (the horizon outlasts any
+// b.N the runner picks).
+func benchScenario() scenario.Scenario {
+	return scenario.Scenario{Name: "bench", Duration: 1000 * time.Hour, Load: scenario.Flat(0.5)}
 }
 
 // writeBaseline marshals and writes the baseline file, exiting on error.

@@ -3,18 +3,30 @@
 // Heracles colocating brain on half of the leaves and streetview on the
 // other half, compared against the no-colocation baseline.
 //
+// -checkpoint snapshots the Heracles run's full simulation state to a
+// file once the simulated clock reaches -checkpoint-at; -resume restores
+// such a file and replays only the remaining epochs of the Heracles run
+// (the baseline arm is skipped), continuing bit-identically to an
+// uninterrupted run. A resumed run must use the same flags (leaves,
+// hours, step, seed) as the run that wrote the checkpoint: the scenario
+// is regenerated from them, while the checkpoint carries the state.
+//
 // Usage:
 //
 //	cluster [-leaves 20] [-hours 12] [-step 1s] [-seed 42] [-workers 0]
+//	        [-checkpoint ckpt.json -checkpoint-at 6h] [-resume ckpt.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"time"
 
 	"heracles/internal/cluster"
+	"heracles/internal/engine"
 	"heracles/internal/experiment"
+	"heracles/internal/scenario"
 	"heracles/internal/trace"
 )
 
@@ -24,6 +36,9 @@ func main() {
 	step := flag.Duration("step", time.Second, "trace step")
 	seed := flag.Uint64("seed", 42, "random seed (drives the trace and root fan-out sampling)")
 	workers := flag.Int("workers", 0, "concurrent leaves per epoch (0 = GOMAXPROCS, 1 = sequential)")
+	ckptPath := flag.String("checkpoint", "", "write a simulation checkpoint of the Heracles run to this file")
+	ckptAt := flag.Duration("checkpoint-at", 6*time.Hour, "simulated time at which -checkpoint snapshots")
+	resume := flag.String("resume", "", "resume the Heracles run from this checkpoint file (skips the baseline arm)")
 	flag.Parse()
 
 	lab := experiment.DefaultLab()
@@ -33,8 +48,8 @@ func main() {
 		Seed:     *seed,
 	})
 
-	for _, heraclesOn := range []bool{false, true} {
-		cfg := cluster.Config{
+	baseCfg := func(heraclesOn bool) cluster.Config {
+		return cluster.Config{
 			Leaves:   *leaves,
 			Heracles: heraclesOn,
 			HW:       lab.Cfg,
@@ -45,14 +60,44 @@ func main() {
 			Model:    lab.DRAMModel("websearch"),
 			Workers:  *workers,
 		}
-		res := cluster.Run(cfg, tr)
-		s := res.Summarize()
-		mode := "baseline"
-		if heraclesOn {
-			mode = "heracles"
-		}
+	}
+	report := func(mode string, s cluster.Summary) {
 		fmt.Printf("%-8s  SLO(µ/30s)=%v  meanEMU=%5.1f%%  minEMU=%5.1f%%  meanLatency=%5.1f%%SLO  maxWindow=%5.1f%%SLO  violations=%d\n",
 			mode, s.SLO.Round(time.Microsecond), 100*s.MeanEMU, 100*s.MinEMU,
 			100*s.MeanRootFrac, 100*s.MaxRootFrac, s.Violations)
+	}
+
+	if *resume != "" {
+		cp, err := engine.ReadFile(*resume)
+		if err != nil {
+			log.Fatalf("cluster: reading checkpoint: %v", err)
+		}
+		res, err := cluster.RunScenarioFrom(baseCfg(true), scenario.FromTrace("trace", tr), cp)
+		if err != nil {
+			log.Fatalf("cluster: resuming: %v", err)
+		}
+		fmt.Printf("resumed at t=%v (%d epochs remained)\n",
+			cp.Now.Round(time.Second), len(res.Epochs))
+		report("heracles", res.Summarize())
+		return
+	}
+
+	for _, heraclesOn := range []bool{false, true} {
+		cfg := baseCfg(heraclesOn)
+		mode := "baseline"
+		if heraclesOn {
+			mode = "heracles"
+			if *ckptPath != "" {
+				cfg.CheckpointAt = *ckptAt
+				cfg.OnCheckpoint = func(cp *engine.Checkpoint) {
+					if err := cp.WriteFile(*ckptPath); err != nil {
+						log.Fatalf("cluster: writing checkpoint: %v", err)
+					}
+					fmt.Printf("checkpoint written to %s at t=%v\n", *ckptPath, cp.Now.Round(time.Second))
+				}
+			}
+		}
+		res := cluster.Run(cfg, tr)
+		report(mode, res.Summarize())
 	}
 }

@@ -6,7 +6,11 @@
 //   - an internal/ package has no package comment (the architecture
 //     story `go doc` tells), or
 //   - a control-plane route registered in internal/serve is not
-//     documented in docs/API.md.
+//     documented in docs/API.md,
+//   - or a Go source comment references a DESIGN.md section anchor
+//     ("DESIGN.md §N") that does not exist as a "## §N" heading — the
+//     architecture pointers in package comments must not rot as
+//     DESIGN.md evolves.
 //
 // Usage:
 //
@@ -35,6 +39,7 @@ func main() {
 	problems = append(problems, checkMarkdownLinks(*root)...)
 	problems = append(problems, checkPackageComments(*root)...)
 	problems = append(problems, checkRouteDocs(*root)...)
+	problems = append(problems, checkDesignAnchors(*root)...)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -43,7 +48,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: markdown links, package comments and API route docs all OK")
+	fmt.Println("docscheck: markdown links, package comments, API route docs and DESIGN anchors all OK")
 }
 
 // linkRE matches [text](target) markdown links; targets with nested
@@ -137,6 +142,82 @@ func checkPackageComments(root string) []string {
 			problems = append(problems,
 				fmt.Sprintf("internal/%s: no package comment (add a doc.go)", e.Name()))
 		}
+	}
+	return problems
+}
+
+// designHeadingRE matches the "## §N Title" section headings of DESIGN.md.
+var designHeadingRE = regexp.MustCompile(`(?m)^## §(\d+)\b`)
+
+// designChainRE consumes one "§N" link of a reference chain after a
+// "DESIGN.md" token: separators (spaces, commas, "and", comment markers
+// and newlines — doc comments wrap) followed by the section number.
+// "DESIGN.md §9,\n// §11" therefore yields both 9 and 11, while prose
+// like "the §5.3 experiment" — a paper reference, not a DESIGN anchor —
+// is never reached because it has no preceding DESIGN.md token.
+var designChainRE = regexp.MustCompile(`^(?:[ \t\r\n,]|//|and\b)*§(\d+)`)
+
+// designRefs extracts every DESIGN.md section number referenced in text.
+func designRefs(text string) []string {
+	var out []string
+	for {
+		i := strings.Index(text, "DESIGN.md")
+		if i < 0 {
+			return out
+		}
+		text = text[i+len("DESIGN.md"):]
+		for {
+			m := designChainRE.FindStringSubmatch(text)
+			if m == nil {
+				break
+			}
+			out = append(out, m[1])
+			text = text[len(m[0]):]
+		}
+	}
+}
+
+// checkDesignAnchors requires every DESIGN.md section reference in a Go
+// source file to resolve to an existing "## §N" heading.
+func checkDesignAnchors(root string) []string {
+	var problems []string
+	designPath := filepath.Join(root, "DESIGN.md")
+	design, err := os.ReadFile(designPath)
+	if err != nil {
+		return []string{fmt.Sprintf("reading %s: %v", designPath, err)}
+	}
+	sections := map[string]bool{}
+	for _, m := range designHeadingRE.FindAllStringSubmatch(string(design), -1) {
+		sections[m[1]] = true
+	}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, sec := range designRefs(string(data)) {
+			if !sections[sec] {
+				problems = append(problems,
+					fmt.Sprintf("%s: references DESIGN.md §%s, but DESIGN.md has no \"## §%s\" heading", path, sec, sec))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("walking %s: %v", root, err))
 	}
 	return problems
 }

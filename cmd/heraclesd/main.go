@@ -23,21 +23,33 @@
 // schemata, cgroup cpusets, cpufreq caps, HTB ceilings) so the decision
 // stream can be inspected or replayed.
 //
+// -checkpoint-dir enables crash recovery: every -checkpoint-every
+// (default 30s) the daemon snapshots each live instance's full
+// simulation state into <dir>/<id>.json (atomically, write-then-rename).
+// On startup the daemon restores every checkpoint found in the
+// directory — each resumes bit-identically from its snapshot epoch —
+// and skips the flag-bootstrapped instance when it restored at least
+// one. Restored instances get fresh ids; the superseded files are
+// removed once their replacements are written.
+//
 // Usage:
 //
 //	heraclesd [-addr :8080] [-lc websearch] [-be brain] [-load 0.4]
 //	          [-minutes 10] [-speed 0] [-fsroot /tmp/heracles-fs]
 //	          [-trace] [-noboot] [-sched-policy slack-greedy]
+//	          [-checkpoint-dir /var/lib/heracles] [-checkpoint-every 30s]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -62,6 +74,8 @@ func main() {
 	traceFlag := flag.Bool("trace", true, "log controller decisions")
 	noboot := flag.Bool("noboot", false, "with -addr, start with an empty instance pool instead of bootstrapping one from the flags")
 	schedPolicy := flag.String("sched-policy", "slack-greedy", "fleet job scheduler placement policy (slack-greedy, bin-pack, spread, random)")
+	ckptDir := flag.String("checkpoint-dir", "", "periodically snapshot every instance into this directory and crash-resume from it on startup")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "wall-clock cadence of -checkpoint-dir snapshots")
 	flag.Parse()
 
 	serving := *addr != ""
@@ -121,7 +135,32 @@ func main() {
 		}
 	}
 
-	if !serving || !*noboot {
+	// Crash recovery: restore every checkpoint in -checkpoint-dir before
+	// deciding whether to bootstrap a fresh instance from the flags.
+	restored := 0
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatalf("heraclesd: checkpoint dir: %v", err)
+		}
+		// Headless runs are flag-driven, so -minutes sets the restored
+		// instances' horizon too; a serving daemon keeps each
+		// checkpoint's own max_epochs. The raw -speed flag travels (not
+		// the resolved default): with -speed unset (0) each instance
+		// resumes at its own checkpointed speed, an explicit flag
+		// overrides them all — except headless auto, which free-runs
+		// like every headless instance.
+		override := 0
+		restoreSpeed := *speed
+		if !serving {
+			override = maxEpochs
+			if restoreSpeed == 0 {
+				restoreSpeed = serve.SpeedMax
+			}
+		}
+		restored = restoreCheckpoints(srv, *ckptDir, restoreSpeed, override)
+	}
+
+	if (!serving || !*noboot) && restored == 0 {
 		inst, err := srv.CreateInstance(spec)
 		if err != nil {
 			log.Fatalf("heraclesd: bootstrap instance: %v", err)
@@ -130,6 +169,35 @@ func main() {
 			log.Printf("heraclesd: bootstrapped instance %s (%s + %s at %.0f%% load)",
 				inst.ID(), *lcName, *beName, 100**load)
 		}
+	} else if restored > 0 {
+		log.Printf("heraclesd: resumed %d instance(s) from %s, skipping flag bootstrap", restored, *ckptDir)
+		if !serving && maxEpochs > 0 {
+			// Headless resume: the restored instances have no epoch hook,
+			// so completion is "every instance parked at its max_epochs"
+			// (instances checkpointed at or past their target park on the
+			// first status read).
+			go func() {
+				for {
+					done := true
+					for _, st := range srv.Registry().Statuses() {
+						if st.State != serve.StateDone {
+							done = false
+							break
+						}
+					}
+					if done {
+						close(runDone)
+						return
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+			}()
+		}
+	}
+
+	var ckptStop func()
+	if *ckptDir != "" {
+		ckptStop = startCheckpointer(srv, *ckptDir, *ckptEvery)
 	}
 
 	interrupt := make(chan os.Signal, 1)
@@ -143,6 +211,9 @@ func main() {
 	drain := func(sig os.Signal) {
 		log.Printf("heraclesd: %v, draining %d instance(s) after %d epochs",
 			sig, srv.Registry().Len(), epochs.Load())
+		if ckptStop != nil {
+			ckptStop() // final snapshot pass while the drivers still run
+		}
 		srv.Close()
 	}
 
@@ -155,6 +226,9 @@ func main() {
 		select {
 		case err := <-errc:
 			log.Printf("heraclesd: %v", err)
+			if ckptStop != nil {
+				ckptStop()
+			}
 			srv.Close()
 			exitCode = 1
 		case sig := <-interrupt:
@@ -168,6 +242,9 @@ func main() {
 		if maxEpochs > 0 {
 			select {
 			case <-runDone:
+				if ckptStop != nil {
+					ckptStop()
+				}
 				srv.Close()
 			case sig := <-interrupt:
 				drain(sig)
@@ -181,6 +258,119 @@ func main() {
 	}
 	if exitCode != 0 {
 		os.Exit(exitCode)
+	}
+}
+
+// restoreCheckpoints resumes every instance checkpointed under dir. Each
+// restored instance continues bit-identically from its snapshot epoch
+// under a fresh id. Restored files stay in place until the checkpointer
+// has written their replacements — deleting them here would open a
+// data-loss window in which a second crash finds an empty directory.
+// Unreadable or unrestorable files are set aside as *.failed (preserved
+// for inspection, out of the restore glob) with a log line — recovery
+// should salvage what it can, not refuse to start.
+func restoreCheckpoints(srv *serve.Server, dir string, speed float64, maxEpochs int) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		log.Printf("heraclesd: scanning %s: %v", dir, err)
+		return 0
+	}
+	restored := 0
+	for _, path := range paths {
+		fail := func(err error) {
+			log.Printf("heraclesd: restoring %s: %v (kept as %s.failed)", path, err, path)
+			if err := os.Rename(path, path+".failed"); err != nil {
+				log.Printf("heraclesd: %v", err)
+			}
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Printf("heraclesd: reading %s: %v", path, err)
+			continue
+		}
+		var cp serve.InstanceCheckpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			fail(err)
+			continue
+		}
+		inst, err := srv.CreateInstance(serve.InstanceSpec{Restore: &cp, Speed: speed, MaxEpochs: maxEpochs})
+		if err != nil {
+			fail(err)
+			continue
+		}
+		log.Printf("heraclesd: restored instance %s from %s (epoch %d)",
+			inst.ID(), path, cp.Engine.Epoch)
+		restored++
+	}
+	return restored
+}
+
+// startCheckpointer snapshots every live instance into dir on a ticker.
+// The returned stop function takes one final snapshot pass (while the
+// instance drivers still run) and then joins the goroutine; call it
+// before draining the server.
+func startCheckpointer(srv *serve.Server, dir string, every time.Duration) func() {
+	if every <= 0 {
+		every = 30 * time.Second
+	}
+	stopc := make(chan struct{})
+	donec := make(chan struct{})
+	pass := func() {
+		live := make(map[string]bool)
+		for _, inst := range srv.Registry().List() {
+			cp, err := inst.Checkpoint()
+			if err != nil {
+				continue // instance stopped mid-pass
+			}
+			data, err := json.MarshalIndent(cp, "", " ")
+			if err != nil {
+				log.Printf("heraclesd: checkpoint %s: %v", inst.ID(), err)
+				continue
+			}
+			path := filepath.Join(dir, inst.ID()+".json")
+			tmp := path + ".tmp"
+			if err := os.WriteFile(tmp, data, 0o644); err != nil {
+				log.Printf("heraclesd: checkpoint %s: %v", inst.ID(), err)
+				continue
+			}
+			if err := os.Rename(tmp, path); err != nil {
+				log.Printf("heraclesd: checkpoint %s: %v", inst.ID(), err)
+				continue
+			}
+			live[inst.ID()+".json"] = true
+		}
+		// Drop files for instances that no longer exist so a restart does
+		// not resurrect deleted machines.
+		if paths, err := filepath.Glob(filepath.Join(dir, "*.json")); err == nil {
+			for _, p := range paths {
+				if !live[filepath.Base(p)] {
+					os.Remove(p)
+				}
+			}
+		}
+	}
+	go func() {
+		defer close(donec)
+		// Snapshot immediately: the ticker's first fire is one full
+		// interval away, and any just-restored instances must get their
+		// replacement files (and stale files their garbage collection)
+		// before the next crash, not 30 seconds later.
+		pass()
+		tk := time.NewTicker(every)
+		defer tk.Stop()
+		for {
+			select {
+			case <-stopc:
+				return
+			case <-tk.C:
+				pass()
+			}
+		}
+	}()
+	return func() {
+		close(stopc)
+		<-donec
+		pass()
 	}
 }
 

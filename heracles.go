@@ -27,6 +27,7 @@ import (
 	"heracles/internal/actuate"
 	"heracles/internal/cluster"
 	"heracles/internal/core"
+	"heracles/internal/engine"
 	"heracles/internal/experiment"
 	"heracles/internal/fleet"
 	"heracles/internal/hw"
@@ -201,10 +202,41 @@ var (
 	// RunClusterScenario drives the cluster through a declarative
 	// scenario (load shape + timed events).
 	RunClusterScenario = cluster.RunScenario
+	// RunClusterScenarioFrom resumes a checkpointed cluster run: same
+	// Config and scenario, continuation bit-identical to an
+	// uninterrupted run.
+	RunClusterScenarioFrom = cluster.RunScenarioFrom
 	// DiurnalTrace synthesises the §5.3 12-hour load trace.
 	DiurnalTrace = trace.Diurnal
 	// ConstantTrace returns a flat load trace.
 	ConstantTrace = trace.Constant
+)
+
+// Unified epoch engine (DESIGN.md §11): the canonical loop both the
+// batch (cluster/fleet) and live (serve) layers drive, with
+// checkpoint/restore of the full simulation state.
+type (
+	// Engine owns the canonical epoch loop over a set of machines.
+	Engine = engine.Engine
+	// EngineConfig describes an engine (nodes, workloads, subsystems).
+	EngineConfig = engine.Config
+	// EngineEpochResult is everything one Step produced.
+	EngineEpochResult = engine.EpochResult
+	// EngineCheckpoint is the versioned serialized simulation state.
+	EngineCheckpoint = engine.Checkpoint
+	// InstanceCheckpoint is a live instance's checkpoint wire form.
+	InstanceCheckpoint = serve.InstanceCheckpoint
+)
+
+var (
+	// NewEngine builds an engine.
+	NewEngine = engine.New
+	// RestoreEngine rebuilds an engine from a checkpoint; the
+	// continuation is bit-identical to an uninterrupted run.
+	RestoreEngine = engine.Restore
+	// ReadCheckpoint loads a checkpoint persisted with
+	// EngineCheckpoint.WriteFile.
+	ReadCheckpoint = engine.ReadFile
 )
 
 // Scenario engine: declarative load shapes and timed events.

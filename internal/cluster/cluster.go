@@ -1,18 +1,13 @@
 package cluster
 
 import (
-	"fmt"
-	"math"
 	"time"
 
 	"heracles/internal/core"
+	"heracles/internal/engine"
 	"heracles/internal/hw"
-	"heracles/internal/lat"
-	"heracles/internal/machine"
-	"heracles/internal/parallel"
 	"heracles/internal/scenario"
 	"heracles/internal/sched"
-	"heracles/internal/sim"
 	"heracles/internal/trace"
 	"heracles/internal/workload"
 )
@@ -80,22 +75,21 @@ type Config struct {
 	// Sched.Seed inherits Config.Seed (the scheduler decorrelates its
 	// streams internally).
 	Sched *sched.Config
+
+	// CheckpointAt, together with OnCheckpoint, snapshots the run: at the
+	// first completed epoch whose simulated time reaches CheckpointAt the
+	// engine's full state is serialized and handed to OnCheckpoint.
+	// Resume the run later with RunScenarioFrom (same Config and the same
+	// scenario) — the continuation is bit-identical to the uninterrupted
+	// run.
+	CheckpointAt time.Duration
+	OnCheckpoint func(*engine.Checkpoint)
 }
 
-// EpochStat is the cluster state for one trace epoch.
-type EpochStat struct {
-	At         time.Duration
-	Load       float64
-	RootMean   time.Duration // mean fan-out latency at the root (µ/30s proxy)
-	RootFrac   float64       // RootMean / SLO
-	EMU        float64       // cluster-wide effective machine utilisation
-	LeafWorst  float64       // worst per-leaf tail latency / leaf SLO
-	Violations int           // leaves violating their local target this epoch
-
-	// Scheduler depths at this epoch (zero without Config.Sched).
-	SchedQueue   int // jobs submitted and waiting for placement
-	SchedRunning int // jobs placed on leaves
-}
+// EpochStat is the cluster state for one trace epoch. It is the engine's
+// per-epoch statistic: the cluster layer is a thin driver over
+// internal/engine, which owns the canonical epoch loop.
+type EpochStat = engine.EpochStat
 
 // Result is a full cluster run.
 type Result struct {
@@ -108,12 +102,6 @@ type Result struct {
 	Sched *sched.Report
 }
 
-// leaf couples one machine with its controller.
-type leaf struct {
-	m   *machine.Machine
-	ctl *core.Controller
-}
-
 // Run replays the load trace against the cluster and returns per-epoch
 // statistics — the compatibility wrapper over RunScenario for callers
 // with a bare trace and no events.
@@ -122,8 +110,8 @@ func Run(cfg Config, tr trace.Trace) Result {
 }
 
 // lookupBE resolves a BE-arrival event's workload name against the
-// config. Unknown names panic: scenario composition is programmer error,
-// not runtime input.
+// config; unknown names return nil and the engine panics (scenario
+// composition is programmer error, not runtime input).
 func (cfg Config) lookupBE(name string) *workload.BE {
 	if be, ok := cfg.Catalog[name]; ok {
 		return be
@@ -134,30 +122,47 @@ func (cfg Config) lookupBE(name string) *workload.BE {
 	if cfg.SView != nil && cfg.SView.Spec.Name == name {
 		return cfg.SView
 	}
-	panic("cluster: scenario references unknown BE workload " + name)
+	return nil
 }
 
-// RunScenario drives the cluster through a declarative scenario: the
-// scenario's load shape replaces bespoke trace plumbing, and its timed
-// events (BE churn, leaf degradation, SLO/load-target changes) are
-// applied between epochs, in schedule order, before the leaves step. The
-// root-level SLO is set as the µ/30s latency when serving 90% load with
-// no colocated tasks (§5.3).
-func RunScenario(cfg Config, sc scenario.Scenario) Result {
-	if err := sc.Validate(); err != nil {
-		panic(err.Error())
+// engineConfig translates the cluster configuration into the engine's.
+func (cfg Config) engineConfig() engine.Config {
+	ecfg := engine.Config{
+		Nodes:          cfg.Leaves,
+		HW:             cfg.HW,
+		LC:             cfg.LC,
+		Heracles:       cfg.Heracles,
+		Model:          cfg.Model,
+		LookupBE:       cfg.lookupBE,
+		RootSamples:    cfg.RootSamples,
+		Seed:           cfg.Seed,
+		DynamicTargets: cfg.Heracles && cfg.DynamicLeafTargets,
+		AdjustPeriod:   cfg.AdjustPeriod,
+		Workers:        cfg.Workers,
 	}
+	if cfg.Heracles {
+		ecfg.SLOScale = cfg.LeafTargetFrac
+		if cfg.Sched != nil {
+			ecfg.Sched = cfg.Sched
+		} else {
+			// The construction-time split of §5.3: brain on even leaves,
+			// streetview on odd ones.
+			brain, sview := cfg.Brain, cfg.SView
+			ecfg.InitialBEs = func(i int) []engine.BEAttach {
+				if i%2 == 0 {
+					return []engine.BEAttach{{WL: brain, Placement: workload.PlaceDedicated}}
+				}
+				return []engine.BEAttach{{WL: sview, Placement: workload.PlaceDedicated}}
+			}
+		}
+	}
+	return ecfg
+}
+
+// withDefaults fills the documented defaults in place.
+func (cfg Config) withDefaults() Config {
 	if cfg.Leaves <= 0 {
 		cfg.Leaves = 20
-	}
-	// Like unknown BE workload names, an event aimed at a leaf that does
-	// not exist is scenario-composition error: fail loudly rather than
-	// silently skipping the injection.
-	for i, ev := range sc.Events {
-		if ev.Leaf != scenario.AllLeaves && (ev.Leaf < 0 || ev.Leaf >= cfg.Leaves) {
-			panic(fmt.Sprintf("cluster: scenario event %d (%v) targets leaf %d of a %d-leaf cluster",
-				i, ev.Kind, ev.Leaf, cfg.Leaves))
-		}
 	}
 	if cfg.RootSamples <= 0 {
 		cfg.RootSamples = 200
@@ -171,354 +176,54 @@ func RunScenario(cfg Config, sc scenario.Scenario) Result {
 	if cfg.AdjustPeriod == 0 {
 		cfg.AdjustPeriod = 30 * time.Second
 	}
+	return cfg
+}
 
-	// A scheduler-driven run replaces the construction-time
-	// brain/streetview split: the job stream is the BE source, so leaves
-	// start empty and the scheduler owns BE lifecycle (scripted events
-	// still apply on top).
-	var schd *sched.Scheduler
-	var schedTasks map[int]*machine.BETask  // job id -> live task
-	var schedOwned map[*machine.BETask]bool // tasks the scheduler owns
-	if cfg.Heracles && cfg.Sched != nil {
-		sc2 := *cfg.Sched
-		if sc2.Seed == 0 {
-			sc2.Seed = cfg.Seed
-		}
-		// Unknown workload names are composition error, like scenario
-		// events: fail before any simulation state exists.
-		for _, js := range sc2.Jobs {
-			cfg.lookupBE(js.Workload)
-		}
-		schd = sched.New(sc2)
-		schedTasks = make(map[int]*machine.BETask)
-		schedOwned = make(map[*machine.BETask]bool)
+// RunScenario drives the cluster through a declarative scenario — a thin
+// batch driver over the engine that owns the epoch loop (see
+// internal/engine and DESIGN.md §11): the scenario's load shape and
+// timed events, the per-epoch scheduler tick and the leaf/controller
+// stepping all happen inside engine.Step. The root-level SLO is set as
+// the µ/30s latency when serving 90% load with no colocated tasks
+// (§5.3).
+func RunScenario(cfg Config, sc scenario.Scenario) Result {
+	cfg = cfg.withDefaults()
+	eng := engine.New(cfg.engineConfig())
+	defer eng.Close()
+	eng.InstallScenario(sc)
+	return drive(cfg, eng, sc.Duration)
+}
+
+// RunScenarioFrom resumes a checkpointed run: cfg and sc must be the
+// ones the original run used (the checkpoint stores the cursor position
+// and simulation state, not the scenario's code). The returned result
+// covers the epochs from the checkpoint to the scenario end, and is
+// bit-identical to the same span of an uninterrupted run.
+func RunScenarioFrom(cfg Config, sc scenario.Scenario, cp *engine.Checkpoint) (Result, error) {
+	cfg = cfg.withDefaults()
+	eng, err := engine.Restore(cfg.engineConfig(), cp, &sc)
+	if err != nil {
+		return Result{}, err
 	}
+	defer eng.Close()
+	return drive(cfg, eng, sc.Duration), nil
+}
 
-	leaves := make([]*leaf, cfg.Leaves)
-	for i := range leaves {
-		m := machine.New(cfg.HW)
-		m.SetLC(cfg.LC)
-		var ctl *core.Controller
-		if cfg.Heracles {
-			m.SetSLOScale(cfg.LeafTargetFrac)
-			if schd == nil {
-				if i%2 == 0 {
-					m.AddBE(cfg.Brain, workload.PlaceDedicated)
-				} else {
-					m.AddBE(cfg.SView, workload.PlaceDedicated)
-				}
-			}
-			ctl = core.New(m, cfg.Model, core.DefaultConfig())
+// drive steps the engine to the scenario horizon, collecting stats and
+// taking the configured checkpoint.
+func drive(cfg Config, eng *engine.Engine, end time.Duration) Result {
+	res := Result{SLO: eng.SLO(), Warmup: cfg.Warmup}
+	checkpointed := cfg.OnCheckpoint == nil
+	for eng.Now() < end {
+		er := eng.Step()
+		res.Epochs = append(res.Epochs, er.Stat)
+		if !checkpointed && eng.Now() >= cfg.CheckpointAt {
+			checkpointed = true
+			cfg.OnCheckpoint(eng.Snapshot())
 		}
-		leaves[i] = &leaf{m: m, ctl: ctl}
 	}
-
-	// Root SLO: mean fan-out latency at 90% load with a small margin for
-	// trace noise above the nominal crest (the paper sets the target as
-	// µ/30s at 90% load). The calibration draws from its own derived RNG
-	// stream, disjoint from every epoch's sampling stream.
-	slo := rootLatencyAt(cfg, 0.95, sim.DeriveRNG(cfg.Seed, ^uint64(0)))
-
-	res := Result{SLO: slo, Warmup: cfg.Warmup}
-	epoch := leaves[0].m.Epoch()
-	var t time.Duration
-	end := sc.Duration
-	leafScale := cfg.LeafTargetFrac
-	var lastAdjust time.Duration
-	var rootEWMA float64
-	loadScale := 1.0
-	cursor := sc.Cursor()
-	leafEMU := make([]float64, len(leaves))
-	leafFrac := make([]float64, len(leaves))
-	leafTail := make([]lat.EpochStats, len(leaves))
-	// One persistent pool for the whole trace: the epoch loop fans out
-	// tens of thousands of times and must not spawn goroutines each time.
-	pool := parallel.NewPool(cfg.Workers)
-	defer pool.Close()
-	var nodeStates []sched.NodeState
-	if schd != nil {
-		nodeStates = make([]sched.NodeState, len(leaves))
-	}
-	for epochIdx := uint64(0); t < end; epochIdx++ {
-		// Apply due events sequentially before the leaves fan out, so the
-		// mutation order never depends on worker scheduling.
-		for _, ev := range cursor.Due(t) {
-			applyEvent(cfg, leaves, schedOwned, ev)
-			switch ev.Kind {
-			case scenario.EventLoadScale:
-				loadScale = ev.Factor
-			case scenario.EventSLOScale:
-				if ev.Leaf == scenario.AllLeaves {
-					leafScale = ev.Factor
-				}
-			}
-		}
-		// The scheduler ticks in the same sequential window as the
-		// events, against the previous epoch's telemetry: the slack each
-		// controller advertised is what steers placement, and mutation
-		// order stays independent of worker scheduling.
-		if schd != nil {
-			for i, lf := range leaves {
-				nodeStates[i] = leafNodeState(i, lf)
-			}
-			actions := schd.Tick(t, nodeStates, func(j *sched.Job) float64 {
-				if task := schedTasks[j.ID]; task != nil {
-					return task.CPUSec
-				}
-				return j.CPUSec
-			})
-			for _, a := range actions {
-				applySchedAction(cfg, leaves, schedTasks, schedOwned, a)
-			}
-		}
-		load := sc.LoadAt(t) * loadScale
-		if load > 1 {
-			load = 1
-		}
-		// Leaves are independent servers: step them concurrently, each
-		// writing only its own slot, then reduce sequentially in leaf
-		// order so float accumulation is identical for any worker count.
-		pool.ForEach(len(leaves), func(i int) {
-			lf := leaves[i]
-			lf.m.SetLoad(load)
-			tel := lf.m.Step()
-			if lf.ctl != nil {
-				lf.ctl.Step(lf.m.Clock().Now())
-			}
-			leafEMU[i] = tel.EMU
-			leafFrac[i] = tel.TailLatency.Seconds() / cfg.LC.SLO.Seconds()
-			leafTail[i] = tel.Lat
-		})
-		var (
-			emu   float64
-			worst float64
-			viol  int
-		)
-		for i := range leaves {
-			emu += leafEMU[i]
-			if leafFrac[i] > worst {
-				worst = leafFrac[i]
-			}
-			if leafFrac[i] > 1 {
-				viol++
-			}
-		}
-		// The root's fan-out sampling gets a fresh stream derived from
-		// (seed, epoch): no shared mutable RNG state, so the samples do
-		// not depend on execution order.
-		mean := rootMean(leafTail, cfg.RootSamples, sim.DeriveRNG(cfg.Seed, epochIdx))
-
-		es := EpochStat{
-			At:         t,
-			Load:       load,
-			RootMean:   mean,
-			RootFrac:   mean.Seconds() / slo.Seconds(),
-			EMU:        emu / float64(len(leaves)),
-			LeafWorst:  worst,
-			Violations: viol,
-		}
-		if schd != nil {
-			es.SchedQueue = schd.QueueDepth()
-			es.SchedRunning = schd.Running()
-		}
-		res.Epochs = append(res.Epochs, es)
-
-		// Centralized leaf-target adjustment (§5.3 future work): convert
-		// root-level slack into looser per-leaf targets, and tighten
-		// quickly when the root approaches its SLO.
-		if cfg.Heracles && cfg.DynamicLeafTargets {
-			if rootEWMA == 0 {
-				rootEWMA = mean.Seconds()
-			} else {
-				rootEWMA = 0.2*mean.Seconds() + 0.8*rootEWMA
-			}
-			if t-lastAdjust >= cfg.AdjustPeriod {
-				lastAdjust = t
-				rootSlack := (slo.Seconds() - rootEWMA) / slo.Seconds()
-				switch {
-				case rootSlack < 0.05:
-					leafScale -= 0.05
-				case rootSlack > 0.15:
-					leafScale += 0.02
-				}
-				if leafScale < 0.5 {
-					leafScale = 0.5
-				}
-				if leafScale > 0.90 {
-					leafScale = 0.90
-				}
-				for _, lf := range leaves {
-					lf.m.SetSLOScale(leafScale)
-				}
-			}
-		}
-		t += epoch
-	}
-	if schd != nil {
-		rep := schd.Report()
-		res.Sched = &rep
-	}
+	res.Sched = eng.SchedReport()
 	return res
-}
-
-// leafNodeState builds the scheduler's view of one leaf from the
-// previous epoch's telemetry and the controller's enablement — the
-// "slack advertised upward" half of the feedback loop.
-func leafNodeState(id int, lf *leaf) sched.NodeState {
-	tel := lf.m.Last()
-	slack := 0.0
-	if slo := lf.m.SLO(); slo > 0 && tel.Time > 0 {
-		slack = (slo.Seconds() - tel.TailLatency.Seconds()) / slo.Seconds()
-	}
-	return sched.NodeState{
-		ID:         id,
-		BEAllowed:  lf.ctl != nil && lf.ctl.BEEnabled(),
-		Slack:      slack,
-		EMU:        tel.EMU,
-		Load:       lf.m.Load(),
-		MaxBECores: lf.m.MaxBECores(),
-	}
-}
-
-// applySchedAction executes one scheduler instruction on the fleet:
-// dispatch installs the job's workload as a dedicated BE task, the stop
-// kinds retire it (CompleteBE banks goodput, RemoveBE charges the lost
-// work) and re-partition the freed cores back to the LC task.
-func applySchedAction(cfg Config, leaves []*leaf, tasks map[int]*machine.BETask, owned map[*machine.BETask]bool, a sched.Action) {
-	lf := leaves[a.Node]
-	switch a.Kind {
-	case sched.ActionDispatch:
-		// The scheduler filters eligibility before placement, so a
-		// dispatch onto a BE-disabled leaf is a scheduler bug, not a
-		// runtime condition: fail loudly (the invariant the tests pin).
-		if lf.ctl == nil || !lf.ctl.BEEnabled() {
-			panic(fmt.Sprintf("cluster: scheduler dispatched job %d to leaf %d whose controller has BE disabled", a.Job, a.Node))
-		}
-		task := lf.m.AddBE(cfg.lookupBE(a.Workload), workload.PlaceDedicated)
-		task.Enabled = true
-		lf.m.Partition(lf.m.BECoreCount())
-		tasks[a.Job] = task
-		owned[task] = true
-	case sched.ActionEvict, sched.ActionFail, sched.ActionComplete:
-		task := tasks[a.Job]
-		if task == nil {
-			return
-		}
-		if a.Kind == sched.ActionComplete {
-			lf.m.CompleteBE(task)
-		} else {
-			lf.m.RemoveBE(task)
-		}
-		lf.m.Partition(lf.m.BECoreCount())
-		delete(tasks, a.Job)
-		delete(owned, task)
-	}
-}
-
-// applyEvent applies one scenario event to the targeted leaves. BE churn
-// applies only to Heracles-managed leaves: the baseline configuration
-// models no colocation, so arrivals have nowhere to run. Scheduler-owned
-// tasks (schedOwned) are off-limits to scripted departures — the
-// scheduler is the sole owner of its jobs' lifecycle, otherwise a depart
-// event would freeze the job's progress forever while the scheduler
-// still believes it is running.
-func applyEvent(cfg Config, leaves []*leaf, schedOwned map[*machine.BETask]bool, ev scenario.Event) {
-	for i, lf := range leaves {
-		if ev.Leaf != scenario.AllLeaves && ev.Leaf != i {
-			continue
-		}
-		switch ev.Kind {
-		case scenario.EventBEArrive:
-			if lf.ctl == nil {
-				continue
-			}
-			wl := cfg.lookupBE(ev.Workload)
-			// The arrival inherits the controller's current enablement so
-			// a task landing mid-emergency or mid-cooldown stays parked
-			// until the controller re-enables BE execution. The machine
-			// state covers the window before the controller's first
-			// enable, when the construction-time BE tasks are running.
-			enabled := lf.ctl.BEEnabled() || lf.m.BEEnabled()
-			task := lf.m.AddBE(wl, workload.PlaceDedicated)
-			task.Enabled = enabled
-			lf.m.Partition(lf.m.BECoreCount())
-		case scenario.EventBEDepart:
-			if lf.ctl == nil {
-				continue
-			}
-			// Collect first: RemoveBE splices the live task list.
-			var departing []*machine.BETask
-			for _, be := range lf.m.BEs() {
-				if be.WL.Spec.Name == ev.Workload && !schedOwned[be] {
-					departing = append(departing, be)
-				}
-			}
-			for _, be := range departing {
-				lf.m.RemoveBE(be)
-			}
-			if len(departing) > 0 {
-				lf.m.Partition(lf.m.BECoreCount())
-			}
-		case scenario.EventLeafDegrade:
-			lf.m.SetDegrade(ev.Factor)
-		case scenario.EventSLOScale:
-			lf.m.SetSLOScale(ev.Factor)
-		}
-	}
-}
-
-// rootMean estimates the mean fan-out latency: each request's latency is
-// the maximum over per-leaf samples drawn from the leaves' latency
-// distributions (approximated as lognormal matching each leaf's measured
-// p50/p99).
-func rootMean(leafStats []lat.EpochStats, samples int, rng *sim.RNG) time.Duration {
-	var sum float64
-	for s := 0; s < samples; s++ {
-		var worst float64
-		for _, ls := range leafStats {
-			v := sampleLeaf(ls, rng)
-			if v > worst {
-				worst = v
-			}
-		}
-		sum += worst
-	}
-	return time.Duration(sum / float64(samples) * float64(time.Second))
-}
-
-// sampleLeaf draws one response-time sample from a leaf's epoch stats.
-func sampleLeaf(ls lat.EpochStats, rng *sim.RNG) float64 {
-	p50 := ls.P50.Seconds()
-	p99 := ls.P99.Seconds()
-	if p50 <= 0 {
-		return 0
-	}
-	if p99 < p50 {
-		p99 = p50
-	}
-	// Lognormal with median p50 and 99th percentile p99:
-	// sigma = ln(p99/p50)/z99.
-	sigma := 0.0
-	if p99 > p50 {
-		sigma = math.Log(p99/p50) / 2.326
-	}
-	return p50 * math.Exp(rng.Norm(0, sigma))
-}
-
-// rootLatencyAt computes the baseline root mean latency at the given load.
-func rootLatencyAt(cfg Config, load float64, rng *sim.RNG) time.Duration {
-	stats := make([]lat.EpochStats, cfg.Leaves)
-	m := machine.New(cfg.HW)
-	m.SetLC(cfg.LC)
-	m.SetLoad(load)
-	var tel machine.Telemetry
-	for i := 0; i < 8; i++ {
-		tel = m.Step()
-	}
-	for i := range stats {
-		stats[i] = tel.Lat
-	}
-	return rootMean(stats, cfg.RootSamples, rng)
 }
 
 // Summary aggregates a run.

@@ -1,39 +1,15 @@
 package cluster
 
 import (
-	"reflect"
 	"testing"
 	"time"
 
 	"heracles/internal/trace"
 )
 
-// TestParallelRunMatchesSequential asserts the cluster simulation is
-// worker-count-invariant: leaves step concurrently but write only their own
-// slots, reductions happen in leaf order, and the root's fan-out sampling
-// uses an RNG stream derived from (seed, epoch) rather than shared state.
-func TestParallelRunMatchesSequential(t *testing.T) {
-	cfg := baseConfig(t)
-	cfg.Heracles = true
-	tr := trace.Constant(0.45, 4*time.Minute, time.Second)
-
-	cfg.Workers = 1
-	seq := Run(cfg, tr)
-	cfg.Workers = 4
-	par := Run(cfg, tr)
-
-	if seq.SLO != par.SLO {
-		t.Fatalf("SLO differs: %v vs %v", seq.SLO, par.SLO)
-	}
-	if len(seq.Epochs) != len(par.Epochs) {
-		t.Fatalf("epoch count differs: %d vs %d", len(seq.Epochs), len(par.Epochs))
-	}
-	for i := range seq.Epochs {
-		if !reflect.DeepEqual(seq.Epochs[i], par.Epochs[i]) {
-			t.Fatalf("epoch %d diverged:\nseq: %+v\npar: %+v", i, seq.Epochs[i], par.Epochs[i])
-		}
-	}
-}
+// Worker-count invariance of the epoch loop is pinned at the engine
+// level (internal/engine), which cluster runs are a thin driver over;
+// this file keeps only the cluster-specific seed-sensitivity guard.
 
 // TestSeedChangesRootSampling guards the (seed, epoch) stream derivation:
 // different seeds must actually change the root's sampled fan-out latency.

@@ -5,13 +5,14 @@
 // (µ/30s); each leaf runs a uniform 99%-ile latency target chosen so the
 // root satisfies the SLO.
 //
-// RunScenario is the interpreter for declarative scenarios: timed events
-// are applied between epochs in schedule order, and leaves — independent
-// machines — step concurrently on a persistent worker pool, with the
-// root's fan-out sampling drawn from per-epoch derived RNG streams so
-// every worker count produces bit-identical results. The optional
-// DynamicLeafTargets mode implements the centralized root controller the
-// paper sketches, converting root-level slack into per-leaf latency
-// targets. internal/fleet runs many of these clusters; Run is the
-// compatibility wrapper for callers with a bare load trace.
+// The package is a thin batch driver over internal/engine, which owns
+// the canonical epoch loop (scenario events, scheduler ticks, leaf and
+// controller stepping, root fan-out sampling — see DESIGN.md §11):
+// RunScenario installs the scenario and steps the engine to the horizon,
+// collecting per-epoch statistics. The optional DynamicLeafTargets mode
+// enables the engine's centralized root controller, converting
+// root-level slack into per-leaf latency targets. Config.OnCheckpoint
+// snapshots the run mid-flight and RunScenarioFrom resumes it
+// bit-identically. internal/fleet runs many of these clusters; Run is
+// the compatibility wrapper for callers with a bare load trace.
 package cluster

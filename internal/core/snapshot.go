@@ -1,0 +1,75 @@
+package core
+
+import "time"
+
+// ControllerState is the controller's complete serializable state: the
+// top-level enablement latches, the core & memory subcontroller's
+// gradient-descent phase, and the per-loop poll deadlines. A controller
+// restored from this state makes exactly the decisions the original
+// would have made. The decision trace (Events) is observability, not
+// simulation state, and is not part of the snapshot.
+type ControllerState struct {
+	Enabled      bool          `json:"enabled"`
+	GrowAllowed  bool          `json:"grow_allowed"`
+	CooldownTill time.Duration `json:"cooldown_till_ns"`
+	Slack        float64       `json:"slack"`
+	Latency      time.Duration `json:"latency_ns"`
+
+	State        GrowState     `json:"state"`
+	LastBW       float64       `json:"last_bw"`
+	BWDerivative float64       `json:"bw_derivative"`
+	PendingWays  int           `json:"pending_ways"`
+	PendingCheck bool          `json:"pending_check"`
+	RateBefore   float64       `json:"rate_before"`
+	LastGrow     time.Duration `json:"last_grow_ns"`
+
+	NextTop   time.Duration `json:"next_top_ns"`
+	NextCore  time.Duration `json:"next_core_ns"`
+	NextPower time.Duration `json:"next_power_ns"`
+	NextNet   time.Duration `json:"next_net_ns"`
+}
+
+// Snapshot captures the controller's state. Safe to call between Steps.
+func (c *Controller) Snapshot() ControllerState {
+	return ControllerState{
+		Enabled:      c.enabled,
+		GrowAllowed:  c.growAllowed,
+		CooldownTill: c.cooldownTill,
+		Slack:        c.slack,
+		Latency:      c.latency,
+		State:        c.state,
+		LastBW:       c.lastBW,
+		BWDerivative: c.bwDerivative,
+		PendingWays:  c.pendingWays,
+		PendingCheck: c.pendingCheck,
+		RateBefore:   c.rateBefore,
+		LastGrow:     c.lastGrow,
+		NextTop:      c.nextTop,
+		NextCore:     c.nextCore,
+		NextPower:    c.nextPower,
+		NextNet:      c.nextNet,
+	}
+}
+
+// Restore overwrites the controller's state with a snapshot, leaving the
+// decision trace and its subscribers untouched. The environment (the
+// machine) must itself have been restored to the matching state; the
+// controller only carries its own latches and deadlines.
+func (c *Controller) Restore(st ControllerState) {
+	c.enabled = st.Enabled
+	c.growAllowed = st.GrowAllowed
+	c.cooldownTill = st.CooldownTill
+	c.slack = st.Slack
+	c.latency = st.Latency
+	c.state = st.State
+	c.lastBW = st.LastBW
+	c.bwDerivative = st.BWDerivative
+	c.pendingWays = st.PendingWays
+	c.pendingCheck = st.PendingCheck
+	c.rateBefore = st.RateBefore
+	c.lastGrow = st.LastGrow
+	c.nextTop = st.NextTop
+	c.nextCore = st.NextCore
+	c.nextPower = st.NextPower
+	c.nextNet = st.NextNet
+}

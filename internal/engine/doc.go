@@ -1,0 +1,29 @@
+// Package engine owns the canonical Heracles epoch loop — the one place
+// in the repository where simulated machines, their controllers, the
+// best-effort job scheduler and a declarative scenario advance together.
+//
+// One Step resolves one epoch for every node, in a fixed order: due
+// scenario events apply sequentially (so mutation order never depends on
+// worker scheduling), the job scheduler ticks against the previous
+// epoch's advertised slack, the offered load is evaluated from the
+// scenario's shape, every machine steps (concurrently when Workers > 1,
+// each writing only its own slot) and its controller runs, and the
+// epoch's statistics reduce in node order so float accumulation is
+// identical for any worker count.
+//
+// Both execution styles the paper contrasts are thin drivers over this
+// loop: internal/cluster replays scenarios batch-style (a for loop over
+// Step), and internal/serve advances the same Engine from a driver
+// goroutine under a command mailbox, applying API writes between epochs.
+// Batch-vs-live equivalence is therefore true by construction; the
+// engine-level determinism test pins it.
+//
+// Snapshot serializes the complete simulation state — machines,
+// controllers, scheduler, scenario cursor position and the epoch index
+// that roots the per-epoch RNG streams — into a versioned Checkpoint,
+// and Restore rebuilds an Engine that continues bit-identically to an
+// uninterrupted run. Checkpoints power cluster resume-from-checkpoint,
+// the control plane's pause/migrate routes and heraclesd's crash
+// recovery. See DESIGN.md §11 for the architecture and the checkpoint
+// format/versioning rules.
+package engine

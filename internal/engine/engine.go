@@ -1,0 +1,668 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"heracles/internal/core"
+	"heracles/internal/hw"
+	"heracles/internal/lat"
+	"heracles/internal/machine"
+	"heracles/internal/parallel"
+	"heracles/internal/scenario"
+	"heracles/internal/sched"
+	"heracles/internal/sim"
+	"heracles/internal/workload"
+)
+
+// BEAttach names one construction-time best-effort task for a node.
+type BEAttach struct {
+	WL        *workload.BE
+	Placement workload.PlacementKind
+}
+
+// Config describes an engine: the node fleet, the workloads, and which
+// optional subsystems (root fan-out sampling, dynamic leaf targets, the
+// job scheduler) participate in the loop.
+type Config struct {
+	// Nodes is the number of simulated machines (default 1). The cluster
+	// layer runs one engine with many nodes; the live layer runs one
+	// engine per instance with a single node.
+	Nodes int
+	HW    hw.Config
+	// LC is the calibrated latency-critical workload every node serves.
+	LC *workload.LC
+	// Heracles attaches a controller to every node; false models the
+	// no-colocation baseline (BE scenario events are ignored).
+	Heracles bool
+	// Model is the shared offline DRAM model (nil falls back to counter
+	// subtraction, see core.New).
+	Model core.DRAMModel
+	// LookupBE resolves BE workload names referenced by scenario events
+	// and scheduler jobs. Unknown names panic inside the resolver or here:
+	// composition is programmer (or pre-validated API) input.
+	LookupBE func(name string) *workload.BE
+	// InitialBEs returns the construction-time BE tasks of a node (nil for
+	// none). Ignored when restoring from a checkpoint.
+	InitialBEs func(node int) []BEAttach
+	// Load is the initial offered LC load (scenario shapes override it
+	// every epoch while active).
+	Load float64
+	// SLOScale tightens the controller-visible latency target of every
+	// node (0 = unscaled) — the per-leaf target fraction of §5.3.
+	SLOScale float64
+
+	// RootSamples, when positive, enables the cluster root: an SLO is
+	// calibrated at construction (root mean fan-out latency at 95% load)
+	// and every epoch samples the root's fan-out latency with that many
+	// draws from the (Seed, epoch) RNG stream.
+	RootSamples int
+	Seed        uint64
+
+	// DynamicTargets enables the centralized root controller that
+	// converts root-level slack into per-node SLO-scale adjustments every
+	// AdjustPeriod (default 30s). Requires RootSamples > 0.
+	DynamicTargets bool
+	AdjustPeriod   time.Duration
+
+	// Workers bounds how many nodes step concurrently within an epoch:
+	// 0 selects parallel.DefaultWorkers, 1 forces the sequential
+	// reference run. Results are bit-identical for any worker count.
+	Workers int
+
+	// Sched, when non-nil (and Heracles), attaches the best-effort job
+	// scheduler: jobs dispatch onto nodes by advertised slack, evict when
+	// a controller disables BE, and account goodput vs wasted CPU time.
+	// A zero Sched.Seed inherits Config.Seed.
+	Sched *sched.Config
+}
+
+// EpochStat is the engine's per-epoch statistic — the cluster layer
+// collects these as its result rows. Root fields are zero when the
+// engine runs without root sampling (RootSamples == 0).
+type EpochStat struct {
+	At         time.Duration
+	Load       float64
+	RootMean   time.Duration // mean fan-out latency at the root (µ/30s proxy)
+	RootFrac   float64       // RootMean / SLO
+	EMU        float64       // mean effective machine utilisation over nodes
+	LeafWorst  float64       // worst per-node tail latency / workload SLO
+	Violations int           // nodes violating the workload SLO this epoch
+
+	// Scheduler depths at this epoch (zero without Config.Sched).
+	SchedQueue   int
+	SchedRunning int
+}
+
+// EpochResult is everything one Step produced. Tel aliases the engine's
+// scratch and each machine's telemetry ring: consume it before the next
+// Step, copy to retain.
+type EpochResult struct {
+	Epoch uint64        // completed epochs, 1-based after the first Step
+	At    time.Duration // simulated time at the start of the epoch
+	Stat  EpochStat
+	Tel   []machine.Telemetry
+	// EventsApplied counts the scenario events that fired this epoch.
+	EventsApplied int
+	// ScenarioDone carries the scenario's name on the epoch its horizon
+	// elapsed; the load freezes at its final value.
+	ScenarioDone string
+}
+
+// node couples one machine with its (optional) controller.
+type node struct {
+	m   *machine.Machine
+	ctl *core.Controller
+}
+
+// runState is the active scenario, owned by the stepping goroutine.
+type runState struct {
+	sc        scenario.Scenario
+	cursor    *scenario.Cursor
+	t0        time.Duration // sim time when the scenario was installed
+	loadScale float64
+}
+
+// Engine is the canonical epoch loop over a set of simulated machines.
+// It is single-threaded by contract: callers step it from one goroutine
+// (the cluster's run loop, or a live instance's driver) and apply any
+// external mutation between Steps.
+type Engine struct {
+	cfg   Config
+	nodes []*node
+	epoch time.Duration
+	slo   time.Duration // root SLO; zero without root sampling
+
+	epochIdx uint64
+	t        time.Duration
+
+	leafScale  float64
+	lastAdjust time.Duration
+	rootEWMA   float64
+
+	run *runState
+
+	schd       *sched.Scheduler
+	schedTasks map[int]schedTask       // job id -> live task
+	schedOwned map[*machine.BETask]int // task -> owning job id (externOwner for live-fleet tasks)
+	nodeStates []sched.NodeState
+
+	pool     *parallel.Pool
+	leafEMU  []float64
+	leafFrac []float64
+	leafTail []lat.EpochStats
+	telBuf   []machine.Telemetry
+}
+
+type schedTask struct {
+	node int
+	task *machine.BETask
+}
+
+// externOwner marks a task owned by a scheduler outside this engine (the
+// live control plane's fleet dispatcher); see OwnBE.
+const externOwner = -1
+
+// New builds an engine. It panics on structural misconfiguration (no LC
+// workload, unresolvable scheduler job workloads): engine composition is
+// programmer input, not runtime data.
+func New(cfg Config) *Engine {
+	e := newEngine(&cfg, true)
+	for i, n := range e.nodes {
+		if cfg.InitialBEs != nil {
+			for _, att := range cfg.InitialBEs(i) {
+				n.m.AddBE(att.WL, att.Placement)
+			}
+		}
+		n.m.SetLoad(cfg.Load)
+	}
+	if cfg.Sched != nil && cfg.Heracles {
+		sc2 := *cfg.Sched
+		if sc2.Seed == 0 {
+			sc2.Seed = cfg.Seed
+		}
+		for _, js := range sc2.Jobs {
+			e.lookupBE(js.Workload) // fail before any simulation state exists
+		}
+		e.attachScheduler(sched.New(sc2))
+	}
+	return e
+}
+
+// newEngine builds the engine skeleton shared by New and Restore. With
+// construct set it also builds the node fleet and runs the root-SLO
+// calibration; Restore passes false — its nodes, clock and SLO all come
+// from the checkpoint, so constructing throwaways here (N machines plus
+// an 8-epoch calibration run) would only be waste.
+func newEngine(cfg *Config, construct bool) *Engine {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.LC == nil {
+		panic("engine: Config.LC workload missing")
+	}
+	if cfg.AdjustPeriod == 0 {
+		cfg.AdjustPeriod = 30 * time.Second
+	}
+	e := &Engine{
+		cfg:       *cfg,
+		leafScale: cfg.SLOScale,
+		leafEMU:   make([]float64, cfg.Nodes),
+		leafFrac:  make([]float64, cfg.Nodes),
+		leafTail:  make([]lat.EpochStats, cfg.Nodes),
+		telBuf:    make([]machine.Telemetry, cfg.Nodes),
+	}
+	e.nodes = make([]*node, cfg.Nodes)
+	e.epoch = time.Second
+	if construct {
+		for i := range e.nodes {
+			m := machine.New(cfg.HW)
+			m.SetLC(cfg.LC)
+			if cfg.SLOScale > 0 {
+				m.SetSLOScale(cfg.SLOScale)
+			}
+			var ctl *core.Controller
+			if cfg.Heracles {
+				ctl = core.New(m, cfg.Model, core.DefaultConfig())
+			}
+			e.nodes[i] = &node{m: m, ctl: ctl}
+		}
+		e.epoch = e.nodes[0].m.Epoch()
+
+		// Root SLO: mean fan-out latency at 95% load with a small margin
+		// for noise above the nominal crest (the paper sets the target as
+		// µ/30s at 90% load). The calibration draws from its own derived
+		// RNG stream, disjoint from every epoch's sampling stream.
+		if cfg.RootSamples > 0 {
+			e.slo = rootLatencyAt(*cfg, 0.95, sim.DeriveRNG(cfg.Seed, ^uint64(0)))
+		}
+	}
+	// One persistent pool for the engine's lifetime: the epoch loop fans
+	// out tens of thousands of times and must not spawn goroutines each
+	// time.
+	e.pool = parallel.NewPool(cfg.Workers)
+	return e
+}
+
+// attachScheduler wires a (new or restored) scheduler into the loop.
+func (e *Engine) attachScheduler(s *sched.Scheduler) {
+	e.schd = s
+	if e.schedTasks == nil {
+		e.schedTasks = make(map[int]schedTask)
+	}
+	if e.schedOwned == nil {
+		e.schedOwned = make(map[*machine.BETask]int)
+	}
+	e.nodeStates = make([]sched.NodeState, len(e.nodes))
+}
+
+// lookupBE resolves a BE workload name via the config. Unknown names
+// panic: scenario and job composition is programmer error, not runtime
+// input.
+func (e *Engine) lookupBE(name string) *workload.BE {
+	if e.cfg.LookupBE != nil {
+		if wl := e.cfg.LookupBE(name); wl != nil {
+			return wl
+		}
+	}
+	panic("engine: unknown BE workload " + name)
+}
+
+// Close releases the engine's worker pool.
+func (e *Engine) Close() { e.pool.Close() }
+
+// Nodes returns the node count.
+func (e *Engine) Nodes() int { return len(e.nodes) }
+
+// Machine returns node i's simulated machine. Mutate it only between
+// Steps, from the stepping goroutine's context.
+func (e *Engine) Machine(i int) *machine.Machine { return e.nodes[i].m }
+
+// Controller returns node i's controller, or nil on baseline engines.
+func (e *Engine) Controller(i int) *core.Controller { return e.nodes[i].ctl }
+
+// SLO returns the calibrated root-level SLO (zero without root sampling).
+func (e *Engine) SLO() time.Duration { return e.slo }
+
+// Epoch returns the number of completed epochs.
+func (e *Engine) Epoch() uint64 { return e.epochIdx }
+
+// Now returns the simulated time at the start of the next epoch.
+func (e *Engine) Now() time.Duration { return e.t }
+
+// ScenarioActive reports whether a scenario currently drives the load.
+func (e *Engine) ScenarioActive() bool { return e.run != nil }
+
+// ScenarioName returns the active scenario's name ("" when none).
+func (e *Engine) ScenarioName() string {
+	if e.run == nil {
+		return ""
+	}
+	return e.run.sc.Name
+}
+
+// SchedReport returns the job scheduler's report, or nil without one.
+func (e *Engine) SchedReport() *sched.Report {
+	if e.schd == nil {
+		return nil
+	}
+	rep := e.schd.Report()
+	return &rep
+}
+
+// InstallScenario starts driving the engine by the scenario from the
+// next Step, replacing any active scenario. Events aimed at nodes
+// outside the fleet panic, like unknown workload names: scenario
+// composition is programmer (or pre-validated API) input.
+func (e *Engine) InstallScenario(sc scenario.Scenario) {
+	if err := sc.Validate(); err != nil {
+		panic(err.Error())
+	}
+	for i, ev := range sc.Events {
+		if ev.Leaf != scenario.AllLeaves && (ev.Leaf < 0 || ev.Leaf >= len(e.nodes)) {
+			panic(fmt.Sprintf("engine: scenario event %d (%v) targets node %d of a %d-node engine",
+				i, ev.Kind, ev.Leaf, len(e.nodes)))
+		}
+	}
+	e.run = &runState{sc: sc, cursor: sc.Cursor(), t0: e.t, loadScale: 1}
+}
+
+// OwnBE marks a task as owned by a scheduler outside this engine (the
+// live control plane's fleet dispatcher): scripted depart events and
+// name-based removals leave it alone, exactly like the engine's own job
+// tasks.
+func (e *Engine) OwnBE(task *machine.BETask) {
+	if e.schedOwned == nil {
+		e.schedOwned = make(map[*machine.BETask]int)
+	}
+	e.schedOwned[task] = externOwner
+}
+
+// DisownBE releases an OwnBE marking when the external scheduler retires
+// the task.
+func (e *Engine) DisownBE(task *machine.BETask) { delete(e.schedOwned, task) }
+
+// OwnedBE reports whether any scheduler owns the task's lifecycle.
+func (e *Engine) OwnedBE(task *machine.BETask) bool {
+	_, ok := e.schedOwned[task]
+	return ok
+}
+
+// NodeState builds the scheduler's view of one node from the previous
+// epoch's telemetry and the controller's enablement — the "slack
+// advertised upward" half of the feedback loop. Both the engine's own
+// scheduler tick and the live control plane's fleet dispatcher read
+// nodes through this.
+func (e *Engine) NodeState(i int) sched.NodeState {
+	n := e.nodes[i]
+	tel := n.m.Last()
+	slack := 0.0
+	if slo := n.m.SLO(); slo > 0 && tel.Time > 0 {
+		slack = (slo.Seconds() - tel.TailLatency.Seconds()) / slo.Seconds()
+	}
+	return sched.NodeState{
+		ID:         i,
+		BEAllowed:  n.ctl != nil && n.ctl.BEEnabled(),
+		Slack:      slack,
+		EMU:        tel.EMU,
+		Load:       n.m.Load(),
+		MaxBECores: n.m.MaxBECores(),
+	}
+}
+
+// Step resolves one epoch: scenario events and the scheduler tick apply
+// sequentially first (so mutation order never depends on worker
+// scheduling), then the offered load, then every machine and controller
+// step, then the epoch statistics reduce in node order.
+func (e *Engine) Step() EpochResult {
+	t := e.t
+	res := EpochResult{Epoch: e.epochIdx + 1, At: t, Tel: e.telBuf}
+
+	load := math.NaN() // NaN = manual mode, leave each machine's load alone
+	if e.run != nil {
+		st := t - e.run.t0
+		if st >= e.run.sc.Duration {
+			res.ScenarioDone = e.run.sc.Name
+			e.run = nil
+		} else {
+			for _, ev := range e.run.cursor.Due(st) {
+				e.applyEvent(ev)
+				res.EventsApplied++
+			}
+			load = e.run.sc.LoadAt(st) * e.run.loadScale
+			if load > 1 {
+				load = 1
+			}
+		}
+	}
+
+	// The scheduler ticks in the same sequential window as the events,
+	// against the previous epoch's telemetry: the slack each controller
+	// advertised is what steers placement.
+	if e.schd != nil {
+		for i := range e.nodes {
+			e.nodeStates[i] = e.NodeState(i)
+		}
+		actions := e.schd.Tick(t, e.nodeStates, func(j *sched.Job) float64 {
+			if st, ok := e.schedTasks[j.ID]; ok {
+				return st.task.CPUSec
+			}
+			return j.CPUSec
+		})
+		for _, a := range actions {
+			e.applySchedAction(a)
+		}
+	}
+
+	// Nodes are independent servers: step them concurrently, each writing
+	// only its own slot, then reduce sequentially in node order so float
+	// accumulation is identical for any worker count.
+	manual := math.IsNaN(load)
+	e.pool.ForEach(len(e.nodes), func(i int) {
+		n := e.nodes[i]
+		if !manual {
+			n.m.SetLoad(load)
+		}
+		tel := n.m.Step()
+		if n.ctl != nil {
+			n.ctl.Step(n.m.Clock().Now())
+		}
+		e.telBuf[i] = tel
+		e.leafEMU[i] = tel.EMU
+		e.leafFrac[i] = tel.TailLatency.Seconds() / e.cfg.LC.SLO.Seconds()
+		e.leafTail[i] = tel.Lat
+	})
+
+	var (
+		emu   float64
+		worst float64
+		viol  int
+	)
+	for i := range e.nodes {
+		emu += e.leafEMU[i]
+		if e.leafFrac[i] > worst {
+			worst = e.leafFrac[i]
+		}
+		if e.leafFrac[i] > 1 {
+			viol++
+		}
+	}
+	stat := EpochStat{
+		At:         t,
+		EMU:        emu / float64(len(e.nodes)),
+		LeafWorst:  worst,
+		Violations: viol,
+	}
+	if manual {
+		stat.Load = e.nodes[0].m.Load()
+	} else {
+		stat.Load = load
+	}
+	if e.cfg.RootSamples > 0 {
+		// The root's fan-out sampling gets a fresh stream derived from
+		// (seed, epoch): no shared mutable RNG state, so the samples do
+		// not depend on execution order.
+		mean := rootMean(e.leafTail, e.cfg.RootSamples, sim.DeriveRNG(e.cfg.Seed, e.epochIdx))
+		stat.RootMean = mean
+		stat.RootFrac = mean.Seconds() / e.slo.Seconds()
+		e.adjustTargets(t, mean)
+	}
+	if e.schd != nil {
+		stat.SchedQueue = e.schd.QueueDepth()
+		stat.SchedRunning = e.schd.Running()
+	}
+	res.Stat = stat
+
+	e.epochIdx++
+	e.t += e.epoch
+	return res
+}
+
+// adjustTargets is the centralized root controller (§5.3 future work):
+// convert root-level slack into looser per-node targets, and tighten
+// quickly when the root approaches its SLO.
+func (e *Engine) adjustTargets(t time.Duration, mean time.Duration) {
+	if !e.cfg.DynamicTargets || !e.cfg.Heracles {
+		return
+	}
+	if e.rootEWMA == 0 {
+		e.rootEWMA = mean.Seconds()
+	} else {
+		e.rootEWMA = 0.2*mean.Seconds() + 0.8*e.rootEWMA
+	}
+	if t-e.lastAdjust < e.cfg.AdjustPeriod {
+		return
+	}
+	e.lastAdjust = t
+	rootSlack := (e.slo.Seconds() - e.rootEWMA) / e.slo.Seconds()
+	switch {
+	case rootSlack < 0.05:
+		e.leafScale -= 0.05
+	case rootSlack > 0.15:
+		e.leafScale += 0.02
+	}
+	if e.leafScale < 0.5 {
+		e.leafScale = 0.5
+	}
+	if e.leafScale > 0.90 {
+		e.leafScale = 0.90
+	}
+	for _, n := range e.nodes {
+		n.m.SetSLOScale(e.leafScale)
+	}
+}
+
+// applyEvent applies one scenario event to the targeted nodes. BE churn
+// applies only to controller-managed nodes: the baseline configuration
+// models no colocation, so arrivals have nowhere to run. Scheduler-owned
+// tasks are off-limits to scripted departures — a scheduler (this
+// engine's or an external one) is the sole owner of its jobs' lifecycle,
+// otherwise a depart event would freeze a job's progress forever while
+// the scheduler still believes it is running.
+func (e *Engine) applyEvent(ev scenario.Event) {
+	for i, n := range e.nodes {
+		if ev.Leaf != scenario.AllLeaves && ev.Leaf != i {
+			continue
+		}
+		switch ev.Kind {
+		case scenario.EventBEArrive:
+			if n.ctl == nil {
+				continue
+			}
+			wl := e.lookupBE(ev.Workload)
+			// The arrival inherits the controller's current enablement so
+			// a task landing mid-emergency or mid-cooldown stays parked
+			// until the controller re-enables BE execution. The machine
+			// state covers the window before the controller's first
+			// enable, when construction-time BE tasks are running.
+			enabled := n.ctl.BEEnabled() || n.m.BEEnabled()
+			task := n.m.AddBE(wl, workload.PlaceDedicated)
+			task.Enabled = enabled
+			n.m.Partition(n.m.BECoreCount())
+		case scenario.EventBEDepart:
+			if n.ctl == nil {
+				continue
+			}
+			// Collect first: RemoveBE splices the live task list.
+			var departing []*machine.BETask
+			for _, be := range n.m.BEs() {
+				if _, owned := e.schedOwned[be]; owned {
+					continue
+				}
+				if be.WL.Spec.Name == ev.Workload {
+					departing = append(departing, be)
+				}
+			}
+			for _, be := range departing {
+				n.m.RemoveBE(be)
+			}
+			if len(departing) > 0 {
+				n.m.Partition(n.m.BECoreCount())
+			}
+		case scenario.EventLeafDegrade:
+			n.m.SetDegrade(ev.Factor)
+		case scenario.EventSLOScale:
+			n.m.SetSLOScale(ev.Factor)
+		}
+	}
+	switch ev.Kind {
+	case scenario.EventLoadScale:
+		if e.run != nil {
+			e.run.loadScale = ev.Factor
+		}
+	case scenario.EventSLOScale:
+		if ev.Leaf == scenario.AllLeaves {
+			e.leafScale = ev.Factor
+		}
+	}
+}
+
+// applySchedAction executes one scheduler instruction on the fleet:
+// dispatch installs the job's workload as a dedicated BE task, the stop
+// kinds retire it (CompleteBE banks goodput, RemoveBE charges the lost
+// work) and re-partition the freed cores back to the LC task.
+func (e *Engine) applySchedAction(a sched.Action) {
+	n := e.nodes[a.Node]
+	switch a.Kind {
+	case sched.ActionDispatch:
+		// The scheduler filters eligibility before placement, so a
+		// dispatch onto a BE-disabled node is a scheduler bug, not a
+		// runtime condition: fail loudly (the invariant the tests pin).
+		if n.ctl == nil || !n.ctl.BEEnabled() {
+			panic(fmt.Sprintf("engine: scheduler dispatched job %d to node %d whose controller has BE disabled", a.Job, a.Node))
+		}
+		task := n.m.AddBE(e.lookupBE(a.Workload), workload.PlaceDedicated)
+		task.Enabled = true
+		n.m.Partition(n.m.BECoreCount())
+		e.schedTasks[a.Job] = schedTask{node: a.Node, task: task}
+		e.schedOwned[task] = a.Job
+	case sched.ActionEvict, sched.ActionFail, sched.ActionComplete:
+		st, ok := e.schedTasks[a.Job]
+		if !ok {
+			return
+		}
+		if a.Kind == sched.ActionComplete {
+			n.m.CompleteBE(st.task)
+		} else {
+			n.m.RemoveBE(st.task)
+		}
+		n.m.Partition(n.m.BECoreCount())
+		delete(e.schedTasks, a.Job)
+		delete(e.schedOwned, st.task)
+	}
+}
+
+// rootMean estimates the mean fan-out latency: each request's latency is
+// the maximum over per-node samples drawn from the nodes' latency
+// distributions (approximated as lognormal matching each node's measured
+// p50/p99).
+func rootMean(leafStats []lat.EpochStats, samples int, rng *sim.RNG) time.Duration {
+	var sum float64
+	for s := 0; s < samples; s++ {
+		var worst float64
+		for _, ls := range leafStats {
+			v := sampleLeaf(ls, rng)
+			if v > worst {
+				worst = v
+			}
+		}
+		sum += worst
+	}
+	return time.Duration(sum / float64(samples) * float64(time.Second))
+}
+
+// sampleLeaf draws one response-time sample from a node's epoch stats.
+func sampleLeaf(ls lat.EpochStats, rng *sim.RNG) float64 {
+	p50 := ls.P50.Seconds()
+	p99 := ls.P99.Seconds()
+	if p50 <= 0 {
+		return 0
+	}
+	if p99 < p50 {
+		p99 = p50
+	}
+	// Lognormal with median p50 and 99th percentile p99:
+	// sigma = ln(p99/p50)/z99.
+	sigma := 0.0
+	if p99 > p50 {
+		sigma = math.Log(p99/p50) / 2.326
+	}
+	return p50 * math.Exp(rng.Norm(0, sigma))
+}
+
+// rootLatencyAt computes the baseline root mean latency at the given load.
+func rootLatencyAt(cfg Config, load float64, rng *sim.RNG) time.Duration {
+	stats := make([]lat.EpochStats, cfg.Nodes)
+	m := machine.New(cfg.HW)
+	m.SetLC(cfg.LC)
+	m.SetLoad(load)
+	var tel machine.Telemetry
+	for i := 0; i < 8; i++ {
+		tel = m.Step()
+	}
+	for i := range stats {
+		stats[i] = tel.Lat
+	}
+	return rootMean(stats, cfg.RootSamples, rng)
+}

@@ -1,0 +1,191 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"heracles/internal/hw"
+	"heracles/internal/sim"
+	"heracles/internal/workload"
+)
+
+// Snapshot is the machine's complete serializable state: every field a
+// restored machine needs to continue a run bit-identically to one that
+// was never interrupted. Workloads travel by name — calibrated LC/BE
+// objects are environment, not state, and the restoring side resolves
+// them against its own catalogue (the same convention scenario events
+// use). The telemetry ring travels oldest-first so the controller's
+// windowed TailLatency polls see exactly the history they would have.
+//
+// Snapshots assume the default analytic latency engine, which is
+// stateless; a machine built with machine.WithEngine(lat.NewDES(...))
+// carries queue state the snapshot does not capture.
+type Snapshot struct {
+	HW    hw.Config     `json:"hw"`
+	Epoch time.Duration `json:"epoch_ns"`
+	Now   time.Duration `json:"now_ns"`
+
+	LC  *LCSnapshot  `json:"lc,omitempty"`
+	BEs []BESnapshot `json:"bes,omitempty"`
+
+	BENetCeilGBs float64 `json:"be_net_ceil_gbs,omitempty"`
+	SLOScale     float64 `json:"slo_scale,omitempty"`
+	Degrade      float64 `json:"degrade,omitempty"`
+	BEGoodCPUSec float64 `json:"be_good_cpu_s,omitempty"`
+	BELostCPUSec float64 `json:"be_lost_cpu_s,omitempty"`
+	LastService  float64 `json:"last_service_s,omitempty"`
+
+	Recent []Telemetry `json:"recent,omitempty"`
+}
+
+// LCSnapshot is the serialized latency-critical task.
+type LCSnapshot struct {
+	Workload string  `json:"workload"`
+	Load     float64 `json:"load"`
+	Cores    []int   `json:"cores"`
+	Ways     int     `json:"ways,omitempty"`
+	OSShared bool    `json:"os_shared,omitempty"`
+}
+
+// BESnapshot is one serialized best-effort task.
+type BESnapshot struct {
+	Workload   string                 `json:"workload"`
+	Placement  workload.PlacementKind `json:"placement"`
+	Enabled    bool                   `json:"enabled"`
+	Cores      []int                  `json:"cores,omitempty"`
+	Ways       int                    `json:"ways,omitempty"`
+	FreqCapGHz float64                `json:"freq_cap_ghz,omitempty"`
+	LastRate   float64                `json:"last_rate,omitempty"`
+	LastNorm   float64                `json:"last_norm,omitempty"`
+	LastHit    float64                `json:"last_hit,omitempty"`
+	CPUSec     float64                `json:"cpu_s,omitempty"`
+}
+
+// Snapshot captures the machine's state. Every slice is deep-copied, so
+// the snapshot stays valid while the machine continues to step (the ring
+// reuses its slots in place).
+func (m *Machine) Snapshot() Snapshot {
+	s := Snapshot{
+		HW:           m.cfg,
+		Epoch:        m.epoch,
+		Now:          m.clock.Now(),
+		BENetCeilGBs: m.beNetCeilGBs,
+		SLOScale:     m.sloScale,
+		Degrade:      m.degrade,
+		BEGoodCPUSec: m.beGoodCPUSec,
+		BELostCPUSec: m.beLostCPUSec,
+		LastService:  m.lastService,
+	}
+	if m.lc != nil {
+		s.LC = &LCSnapshot{
+			Workload: m.lc.WL.Spec.Name,
+			Load:     m.lc.Load,
+			Cores:    append([]int(nil), m.lc.Cores...),
+			Ways:     m.lc.Ways,
+			OSShared: m.lc.OSShared,
+		}
+	}
+	for _, be := range m.bes {
+		s.BEs = append(s.BEs, BESnapshot{
+			Workload:   be.WL.Spec.Name,
+			Placement:  be.Placement,
+			Enabled:    be.Enabled,
+			Cores:      append([]int(nil), be.Cores...),
+			Ways:       be.Ways,
+			FreqCapGHz: be.FreqCapGHz,
+			LastRate:   be.LastRate,
+			LastNorm:   be.LastNorm,
+			LastHit:    be.LastHit,
+			CPUSec:     be.CPUSec,
+		})
+	}
+	s.Recent = make([]Telemetry, m.recentN)
+	for j := 0; j < m.recentN; j++ {
+		s.Recent[j] = cloneTelemetry(m.telAt(j))
+	}
+	return s
+}
+
+// cloneTelemetry deep-copies one ring entry.
+func cloneTelemetry(t *Telemetry) Telemetry {
+	out := *t
+	out.SocketPowerW = append([]float64(nil), t.SocketPowerW...)
+	out.DRAMSocketUtil = append([]float64(nil), t.DRAMSocketUtil...)
+	out.PerCoreDRAMGBs = append([]float64(nil), t.PerCoreDRAMGBs...)
+	return out
+}
+
+// RestoreMachine rebuilds a machine from a snapshot. lcByName and
+// beByName resolve the snapshot's workload names against the caller's
+// calibrated catalogue; a resolver returning nil for a referenced name is
+// an error. The restored machine steps bit-identically to the one the
+// snapshot was taken from.
+func RestoreMachine(s Snapshot, lcByName func(string) *workload.LC, beByName func(string) *workload.BE, opts ...Option) (*Machine, error) {
+	if err := s.HW.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: snapshot hardware config: %w", err)
+	}
+	epoch := s.Epoch
+	if epoch <= 0 {
+		epoch = time.Second
+	}
+	m := New(s.HW, append([]Option{WithEpoch(epoch)}, opts...)...)
+	m.clock = sim.NewClock(s.Now)
+
+	if s.LC != nil {
+		var wl *workload.LC
+		if lcByName != nil {
+			wl = lcByName(s.LC.Workload)
+		}
+		if wl == nil {
+			return nil, fmt.Errorf("machine: snapshot references unknown LC workload %q", s.LC.Workload)
+		}
+		lc := m.SetLC(wl)
+		lc.Load = s.LC.Load
+		lc.Cores = append([]int(nil), s.LC.Cores...)
+		lc.Ways = s.LC.Ways
+		lc.OSShared = s.LC.OSShared
+	}
+	for _, bs := range s.BEs {
+		var wl *workload.BE
+		if beByName != nil {
+			wl = beByName(bs.Workload)
+		}
+		if wl == nil {
+			return nil, fmt.Errorf("machine: snapshot references unknown BE workload %q", bs.Workload)
+		}
+		be := m.AddBE(wl, bs.Placement)
+		be.Enabled = bs.Enabled
+		be.Cores = append([]int(nil), bs.Cores...)
+		be.Ways = bs.Ways
+		be.FreqCapGHz = bs.FreqCapGHz
+		be.LastRate = bs.LastRate
+		be.LastNorm = bs.LastNorm
+		be.LastHit = bs.LastHit
+		be.CPUSec = bs.CPUSec
+	}
+
+	m.beNetCeilGBs = s.BENetCeilGBs
+	m.sloScale = s.SLOScale
+	m.degrade = s.Degrade
+	m.beGoodCPUSec = s.BEGoodCPUSec
+	m.beLostCPUSec = s.BELostCPUSec
+	m.lastService = s.LastService
+
+	// Rebuild the telemetry ring oldest-first with head 0: logically
+	// identical to the source ring for every telAt/TailLatency read, and
+	// claimSlot keeps the same reuse behaviour once it wraps.
+	if n := len(s.Recent); n > 0 {
+		if n > m.recentMax {
+			s.Recent = s.Recent[n-m.recentMax:]
+			n = m.recentMax
+		}
+		m.recent = make([]Telemetry, n)
+		for j := range s.Recent {
+			m.recent[j] = cloneTelemetry(&s.Recent[j])
+		}
+		m.recentN = n
+		m.head = 0
+		m.tel = m.recent[n-1]
+	}
+	return m, nil
+}

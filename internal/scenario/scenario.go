@@ -339,3 +339,20 @@ func (c *Cursor) Due(now time.Duration) []Event {
 
 // Remaining returns the number of events not yet delivered.
 func (c *Cursor) Remaining() int { return len(c.events) - c.next }
+
+// Delivered returns the number of events already handed out by Due — the
+// cursor position a checkpoint records.
+func (c *Cursor) Delivered() int { return c.next }
+
+// Skip discards the next n events without delivering them, fast-
+// forwarding a fresh cursor to a checkpointed position. Skipping past
+// the end of the schedule is clamped.
+func (c *Cursor) Skip(n int) {
+	c.next += n
+	if c.next > len(c.events) {
+		c.next = len(c.events)
+	}
+	if c.next < 0 {
+		c.next = 0
+	}
+}

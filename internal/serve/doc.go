@@ -8,22 +8,23 @@
 //   - REST endpoints (/api/v1/instances...) to create, list, inspect and
 //     delete machine instances, change load targets and SLOs mid-flight,
 //     attach and remove best-effort tasks, inject service degradation,
-//     and drive an instance by a declarative scenario (the same
-//     load-shape + timed-event language the cluster and fleet simulators
-//     interpret, carried as JSON).
+//     drive an instance by a declarative scenario (carried as JSON), and
+//     checkpoint/restore an instance's full simulation state (pause,
+//     fast-forward, or migrate it to another registry).
 //   - A Server-Sent-Events stream per instance delivering per-epoch
 //     telemetry, controller decisions and lifecycle transitions.
 //   - A Prometheus-format /metrics endpoint aggregating EMU, tail
 //     latency and SLO slack, resource allocations and controller
 //     actuation counts across every live instance.
 //
-// Determinism is preserved by construction: each instance's machine and
-// controller are touched only by its driver goroutine, and every API
-// mutation is a closure enqueued through Instance.Do and applied between
-// epochs. The tick loop feeds the exact Machine.Step path the offline
-// experiments use, so a served instance replays bit-identically to a
-// batch run with the same spec and command sequence, for any number of
-// concurrent instances and clients.
+// Determinism is true by construction: each instance's driver goroutine
+// advances an engine.Engine — the same canonical epoch loop the batch
+// cluster and fleet runs drive (see internal/engine and DESIGN.md §9,
+// §11) — and every API mutation is a closure enqueued through
+// Instance.Do and applied between engine Steps. There is no serve-side
+// copy of the scenario or stepping logic, so a served instance replays
+// bit-identically to a batch run with the same spec and command
+// sequence, for any number of concurrent instances and clients.
 //
 // cmd/heraclesd is the thin daemon over this package; the route table in
 // server.go is the single source of truth for the HTTP surface and is

@@ -423,6 +423,91 @@ func TestE2EConcurrentClients(t *testing.T) {
 	doReq(t, client, "DELETE", base, nil, 200)
 }
 
+// TestE2ECheckpointAndRestore drives the pause/migrate flow over HTTP:
+// snapshot a live instance with POST .../checkpoint, create a new
+// instance from the returned document via the create route's "restore"
+// field, and watch the restored simulation continue past the snapshot
+// epoch with the same workload.
+func TestE2ECheckpointAndRestore(t *testing.T) {
+	s := New(Config{Lab: testLab})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	body := doReq(t, client, "POST", ts.URL+"/api/v1/instances",
+		jsonBody(t, InstanceSpec{
+			BEs: []BEAttachment{{Workload: "brain"}}, Load: 0.4, Speed: SpeedMax, MaxEpochs: 80,
+		}), 201)
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the park so the checkpoint epoch is deterministic.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+st.ID, nil, 200)
+		st = Status{}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("instance never parked: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	body = doReq(t, client, "POST", ts.URL+"/api/v1/instances/"+st.ID+"/checkpoint", nil, 200)
+	var cp InstanceCheckpoint
+	if err := json.Unmarshal(body, &cp); err != nil {
+		t.Fatalf("checkpoint payload: %v; %s", err, body)
+	}
+	if cp.Engine == nil || cp.Engine.Epoch != 80 || cp.LC != "websearch" {
+		t.Fatalf("checkpoint = version %d, epoch %v, lc %q", cp.Version, cp.Engine, cp.LC)
+	}
+	doReq(t, client, "POST", ts.URL+"/api/v1/instances/nosuch/checkpoint", nil, 404)
+
+	// Restore conflicts with state-bearing fields.
+	doReq(t, client, "POST", ts.URL+"/api/v1/instances",
+		jsonBody(t, map[string]any{"restore": cp, "lc": "websearch"}), 400)
+
+	// Restore into a fresh instance (the migration path), extending the
+	// horizon so it runs on past the snapshot.
+	body = doReq(t, client, "POST", ts.URL+"/api/v1/instances",
+		jsonBody(t, map[string]any{"restore": cp, "max_epochs": 160, "speed": float64(SpeedMax)}), 201)
+	var restored Status
+	if err := json.Unmarshal(body, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.ID == st.ID || restored.LC != "websearch" || restored.Epoch < 80 {
+		t.Fatalf("restored status = %+v", restored)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+restored.ID, nil, 200)
+		restored = Status{}
+		if err := json.Unmarshal(body, &restored); err != nil {
+			t.Fatal(err)
+		}
+		if restored.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restored instance never finished: %+v", restored)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if restored.Epoch != 160 {
+		t.Fatalf("restored instance parked at epoch %d, want 160", restored.Epoch)
+	}
+	if len(restored.BEs) == 0 || restored.BEs[0] != "brain" {
+		t.Fatalf("restored instance lost its BE tasks: %+v", restored.BEs)
+	}
+}
+
 // TestE2EScenarioDrivesTelemetry installs a scenario at creation and
 // checks the load shape actually drives the machine.
 func TestE2EScenarioDrivesTelemetry(t *testing.T) {

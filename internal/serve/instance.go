@@ -9,9 +9,11 @@ import (
 	"time"
 
 	"heracles/internal/core"
+	"heracles/internal/engine"
 	"heracles/internal/experiment"
 	"heracles/internal/machine"
 	"heracles/internal/scenario"
+	"heracles/internal/sched"
 	"heracles/internal/workload"
 )
 
@@ -52,7 +54,8 @@ type InstanceSpec struct {
 	SLOScale float64 `json:"slo_scale,omitempty"`
 	// Speed is the tick rate in simulated seconds per wall-clock second:
 	// 1 is real time, 60 compresses a minute into a second, SpeedMax (-1)
-	// free-runs. 0 selects the server default.
+	// free-runs. 0 selects the server default (or, when restoring from a
+	// checkpoint, the checkpointed instance's speed).
 	Speed float64 `json:"speed,omitempty"`
 	// MaxEpochs stops the simulation after that many epochs (the
 	// instance stays inspectable until deleted); 0 runs until deleted.
@@ -62,6 +65,15 @@ type InstanceSpec struct {
 	Compact bool `json:"compact,omitempty"`
 	// Scenario, when set, drives the instance declaratively from epoch 0.
 	Scenario *ScenarioSpec `json:"scenario,omitempty"`
+
+	// Restore rebuilds the instance from a checkpoint taken with
+	// POST /api/v1/instances/{id}/checkpoint: the simulation (machine,
+	// controller, scenario position) continues bit-identically from the
+	// snapshot, which is how instances pause/resume and migrate between
+	// registries. LC, BEs, Load, SLOScale and Scenario must be unset —
+	// that state comes from the checkpoint; Name, Speed and MaxEpochs
+	// may override the checkpointed values.
+	Restore *InstanceCheckpoint `json:"restore,omitempty"`
 
 	// EpochHook, when set, runs in the driver goroutine after every
 	// resolved epoch — the embedding daemon uses it to mirror actuations
@@ -114,8 +126,8 @@ type ControllerUpdate struct {
 }
 
 // LifecycleUpdate marks an instance state transition on the event stream:
-// "scenario" (installed), "scenario-done", "done" (MaxEpochs reached) or
-// "deleted".
+// "scenario" (installed), "scenario-done", "restored" (created from a
+// checkpoint), "done" (MaxEpochs reached) or "deleted".
 type LifecycleUpdate struct {
 	Instance string `json:"instance"`
 	State    string `json:"state"`
@@ -155,27 +167,21 @@ type command struct {
 	errc chan error
 }
 
-// runState is the active declarative scenario, owned by the driver
-// goroutine.
-type runState struct {
-	sc        scenario.Scenario
-	cursor    *scenario.Cursor
-	t0        time.Duration // sim time when the scenario was installed
-	loadScale float64
-}
-
 // Instance is one live simulated machine with its Heracles controller,
 // advanced by a dedicated driver goroutine on a real-time or accelerated
-// tick. All machine and controller mutation happens in that goroutine —
-// HTTP handlers enqueue closures through Do — so the simulation follows
-// the exact same single-threaded Machine.Step path as the offline
-// experiments and stays bit-identical for any number of concurrent
-// instances and API clients.
+// tick. The driver advances an engine.Engine — the same canonical epoch
+// loop the batch cluster runs drive — under a command mailbox: all
+// machine and controller mutation happens in the driver goroutine (HTTP
+// handlers enqueue closures through Do), between engine Steps, so the
+// live simulation is bit-identical to a batch run by construction.
 type Instance struct {
-	id   string
-	name string
-	lab  *experiment.Lab
+	id      string
+	name    string
+	lcName  string
+	compact bool
+	lab     *experiment.Lab
 
+	eng *engine.Engine
 	m   *machine.Machine
 	ctl *core.Controller
 	hub *Hub
@@ -190,62 +196,107 @@ type Instance struct {
 	donec    chan struct{}
 	stopOnce sync.Once
 
-	// Driver-goroutine-only state (schedOwned is also touched from Do
-	// closures, which run in the driver goroutine by construction).
-	epoch       uint64
-	run         *runState
-	doneRunning bool
-	// schedOwned marks BE tasks installed by the fleet scheduler: only
-	// the scheduler may remove them, so the detach route and scenario
-	// depart events cannot pull a running job's task out from under it.
-	schedOwned map[*machine.BETask]struct{}
+	// Driver-goroutine-only state (also touched from Do closures, which
+	// run in the driver goroutine by construction).
+	doneRunning  bool
+	scenarioSpec *ScenarioSpec // JSON form of the active scenario, for checkpoints
 
 	mu      sync.Mutex
 	status  Status
 	actions map[actionKey]int64
 }
 
+// engineConfig is the single-node engine configuration every instance
+// (fresh or restored) runs on.
+func engineConfig(lab *experiment.Lab, lcName string) engine.Config {
+	return engine.Config{
+		Nodes:    1,
+		HW:       lab.Cfg,
+		LC:       lab.LC(lcName),
+		Heracles: true,
+		Model:    lab.DRAMModel(lcName),
+		LookupBE: lab.BE,
+		Workers:  1,
+	}
+}
+
 // newInstance builds and starts an instance. The caller has validated the
-// spec (workload names, placement names, numeric ranges) and resolved the
-// lab for the requested hardware generation; speed is the resolved tick
-// rate (SpeedMax for free-running).
+// spec (workload names, placement names, numeric ranges, checkpoint
+// contents) and resolved the lab for the requested hardware generation;
+// speed is the resolved tick rate (SpeedMax for free-running).
 func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float64) (*Instance, error) {
 	lcName := spec.LC
 	if lcName == "" {
 		lcName = "websearch"
 	}
-	i := &Instance{
-		id:         id,
-		name:       spec.Name,
-		lab:        lab,
-		hub:        NewHub(),
-		speed:      speed,
-		maxEpochs:  uint64(max(spec.MaxEpochs, 0)),
-		epochHook:  spec.EpochHook,
-		cmds:       make(chan command),
-		stopc:      make(chan struct{}),
-		donec:      make(chan struct{}),
-		actions:    make(map[actionKey]int64),
-		schedOwned: make(map[*machine.BETask]struct{}),
-	}
-
-	i.m = machine.New(lab.Cfg)
-	i.m.SetLC(lab.LC(lcName))
-	bes := make([]string, 0, len(spec.BEs))
-	for _, att := range spec.BEs {
-		pk, err := placementByName(att.Placement)
-		if err != nil {
-			return nil, err
+	maxEpochs := spec.MaxEpochs
+	name := spec.Name
+	compact := spec.Compact
+	var restoredFrom string
+	if cp := spec.Restore; cp != nil {
+		lcName = cp.LC
+		compact = cp.Compact
+		if name == "" {
+			name = cp.Name
 		}
-		i.m.AddBE(lab.BE(att.Workload), pk)
-		bes = append(bes, att.Workload)
+		if maxEpochs == 0 {
+			maxEpochs = cp.MaxEpochs
+		}
+		restoredFrom = fmt.Sprintf("epoch %d", cp.Engine.Epoch)
 	}
-	i.m.SetLoad(spec.Load)
-	if spec.SLOScale > 0 {
-		i.m.SetSLOScale(spec.SLOScale)
+	i := &Instance{
+		id:        id,
+		name:      name,
+		lcName:    lcName,
+		compact:   compact,
+		lab:       lab,
+		hub:       NewHub(),
+		speed:     speed,
+		maxEpochs: uint64(max(maxEpochs, 0)),
+		epochHook: spec.EpochHook,
+		cmds:      make(chan command),
+		stopc:     make(chan struct{}),
+		donec:     make(chan struct{}),
+		actions:   make(map[actionKey]int64),
 	}
 
-	i.ctl = core.New(i.m, lab.DRAMModel(lcName), core.DefaultConfig())
+	if cp := spec.Restore; cp != nil {
+		var sc *scenario.Scenario
+		if cp.Scenario != nil {
+			built, err := cp.Scenario.Build()
+			if err != nil {
+				return nil, fmt.Errorf("restore scenario: %w", err)
+			}
+			i.warmScenarioWorkloads(built)
+			sc = &built
+			spec2 := *cp.Scenario
+			i.scenarioSpec = &spec2
+		}
+		eng, err := engine.Restore(engineConfig(lab, lcName), cp.Engine, sc)
+		if err != nil {
+			return nil, fmt.Errorf("restore: %w", err)
+		}
+		i.eng = eng
+	} else {
+		cfg := engineConfig(lab, lcName)
+		cfg.Load = spec.Load
+		cfg.SLOScale = spec.SLOScale
+		if len(spec.BEs) > 0 {
+			atts := make([]engine.BEAttach, 0, len(spec.BEs))
+			for _, att := range spec.BEs {
+				pk, err := placementByName(att.Placement)
+				if err != nil {
+					return nil, err
+				}
+				atts = append(atts, engine.BEAttach{WL: lab.BE(att.Workload), Placement: pk})
+			}
+			cfg.InitialBEs = func(int) []engine.BEAttach { return atts }
+		}
+		i.eng = engine.New(cfg)
+	}
+	i.m = i.eng.Machine(0)
+	i.ctl = i.eng.Controller(0)
+
 	i.ctl.OnEvent(i.onControllerEvent)
 	if spec.Trace != nil {
 		i.ctl.OnEvent(spec.Trace)
@@ -260,27 +311,50 @@ func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float6
 
 	i.status = Status{
 		ID:        id,
-		Name:      spec.Name,
+		Name:      name,
 		LC:        lcName,
-		BEs:       bes,
-		Compact:   spec.Compact,
+		Compact:   compact,
 		State:     StateRunning,
 		Speed:     speed,
-		MaxEpochs: spec.MaxEpochs,
-		Last:      EpochUpdate{Instance: id, SLOMs: 1e3 * i.m.SLO().Seconds(), Load: spec.Load},
+		Epoch:     i.eng.Epoch(),
+		MaxEpochs: maxEpochs,
+		Scenario:  i.eng.ScenarioName(),
+		Last:      EpochUpdate{Instance: id, SLOMs: 1e3 * i.m.SLO().Seconds(), Load: i.m.Load()},
+	}
+	i.status.BEs = beNames(i.m)
+	if spec.Restore != nil {
+		// Seed Last from the checkpointed telemetry so status is
+		// meaningful before the first post-restore epoch resolves.
+		i.status.Last = i.epochUpdate(i.m.Last(), i.eng.Epoch())
+		if i.maxEpochs > 0 && i.eng.Epoch() >= i.maxEpochs {
+			i.doneRunning = true
+			i.status.State = StateDone
+		}
 	}
 
-	if spec.Scenario != nil {
+	if spec.Restore == nil && spec.Scenario != nil {
 		sc, err := spec.Scenario.Build()
 		if err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 		i.warmScenarioWorkloads(sc)
-		i.installScenario(sc)
+		i.installScenario(sc, spec.Scenario)
 	}
 
 	go i.loop()
+	if restoredFrom != "" {
+		i.publishLifecycle("restored", restoredFrom)
+	}
 	return i, nil
+}
+
+// beNames lists the machine's BE task workload names.
+func beNames(m *machine.Machine) []string {
+	names := make([]string, 0, len(m.BEs()))
+	for _, be := range m.BEs() {
+		names = append(names, be.WL.Spec.Name)
+	}
+	return names
 }
 
 // placementByName parses a BE placement name.
@@ -337,10 +411,11 @@ func (i *Instance) Stop() {
 	<-i.donec
 }
 
-// Do runs fn in the driver goroutine, between epochs, and returns its
-// error. This is the only mutation path: it serialises API writes with
-// the simulation so telemetry seen before and after the call is causally
-// consistent. Returns ErrStopped if the instance has been stopped.
+// Do runs fn in the driver goroutine, between engine Steps, and returns
+// its error. This is the only mutation path: it serialises API writes
+// with the simulation so telemetry seen before and after the call is
+// causally consistent. Returns ErrStopped if the instance has been
+// stopped.
 func (i *Instance) Do(fn func() error) error {
 	c := command{fn: fn, errc: make(chan error, 1)}
 	select {
@@ -421,10 +496,12 @@ func (i *Instance) DetachBE(name string) (int, error) {
 // next epoch, replacing any active scenario. BE workloads referenced by
 // arrival events are resolved (calibrating on first use) in the caller's
 // goroutine, so a be-arrive firing mid-run never stalls the tick loop.
-func (i *Instance) InstallScenario(sc scenario.Scenario) error {
+// spec, when non-nil, is the scenario's JSON form, persisted into
+// checkpoints so a restored instance can rebuild the cursor.
+func (i *Instance) InstallScenario(sc scenario.Scenario, spec *ScenarioSpec) error {
 	i.warmScenarioWorkloads(sc)
 	return i.Do(func() error {
-		i.installScenario(sc)
+		i.installScenario(sc, spec)
 		return nil
 	})
 }
@@ -441,8 +518,14 @@ func (i *Instance) warmScenarioWorkloads(sc scenario.Scenario) {
 
 // installScenario runs in the driver goroutine (or during construction,
 // before the loop starts).
-func (i *Instance) installScenario(sc scenario.Scenario) {
-	i.run = &runState{sc: sc, cursor: sc.Cursor(), t0: i.m.Clock().Now(), loadScale: 1}
+func (i *Instance) installScenario(sc scenario.Scenario, spec *ScenarioSpec) {
+	i.eng.InstallScenario(sc)
+	if spec != nil {
+		spec2 := *spec
+		i.scenarioSpec = &spec2
+	} else {
+		i.scenarioSpec = nil
+	}
 	i.mu.Lock()
 	i.status.Scenario = sc.Name
 	i.mu.Unlock()
@@ -455,7 +538,7 @@ func (i *Instance) installScenario(sc scenario.Scenario) {
 func (i *Instance) removeBEByName(name string) int {
 	var departing []*machine.BETask
 	for _, be := range i.m.BEs() {
-		if _, owned := i.schedOwned[be]; owned {
+		if i.eng.OwnedBE(be) {
 			continue
 		}
 		if be.WL.Spec.Name == name {
@@ -474,17 +557,15 @@ func (i *Instance) removeBEByName(name string) int {
 
 // refreshBEs rebuilds the status BE name list; driver goroutine only.
 func (i *Instance) refreshBEs() {
-	names := make([]string, 0, len(i.m.BEs()))
-	for _, be := range i.m.BEs() {
-		names = append(names, be.WL.Spec.Name)
-	}
+	names := beNames(i.m)
 	i.mu.Lock()
 	i.status.BEs = names
 	i.mu.Unlock()
 }
 
 // onControllerEvent counts the decision and publishes it to subscribers.
-// It runs inside ctl.Step, in the driver goroutine.
+// It runs inside the controller's Step — in the driver goroutine, during
+// an engine Step.
 func (i *Instance) onControllerEvent(e core.Event) {
 	i.mu.Lock()
 	i.actions[actionKey{e.Loop, e.Action}]++
@@ -502,7 +583,7 @@ func (i *Instance) onControllerEvent(e core.Event) {
 	if err != nil {
 		return
 	}
-	i.hub.Publish(Message{Event: "controller", ID: i.epoch, Data: data})
+	i.hub.Publish(Message{Event: "controller", ID: i.eng.Epoch(), Data: data})
 }
 
 // publishLifecycle may be called from the driver goroutine or, for the
@@ -529,6 +610,7 @@ func (i *Instance) publishLifecycle(state, detail string) {
 func (i *Instance) loop() {
 	defer close(i.donec)
 	defer i.hub.Close()
+	defer i.eng.Close()
 
 	if i.interval <= 0 {
 		for {
@@ -556,6 +638,10 @@ func (i *Instance) loop() {
 	tk := time.NewTicker(i.interval)
 	defer tk.Stop()
 	tick := tk.C
+	if i.doneRunning {
+		tk.Stop()
+		tick = nil
+	}
 	for {
 		select {
 		case <-i.stopc:
@@ -572,39 +658,12 @@ func (i *Instance) loop() {
 	}
 }
 
-// step resolves one epoch: scenario events and load first (in schedule
-// order, exactly like the cluster interpreter), then Machine.Step, the
-// controller, the status snapshot and the event stream.
-func (i *Instance) step() {
-	if i.run != nil {
-		st := i.m.Clock().Now() - i.run.t0
-		if st >= i.run.sc.Duration {
-			name := i.run.sc.Name
-			i.run = nil
-			i.mu.Lock()
-			i.status.Scenario = ""
-			i.mu.Unlock()
-			i.publishLifecycle("scenario-done", name)
-		} else {
-			for _, ev := range i.run.cursor.Due(st) {
-				i.applyScenarioEvent(ev)
-			}
-			load := i.run.sc.LoadAt(st) * i.run.loadScale
-			if load > 1 {
-				load = 1
-			}
-			i.m.SetLoad(load)
-		}
-	}
-
-	tel := i.m.Step()
-	i.ctl.Step(i.m.Clock().Now())
-	i.epoch++
-
+// epochUpdate renders one epoch's telemetry as the wire summary.
+func (i *Instance) epochUpdate(tel machine.Telemetry, epoch uint64) EpochUpdate {
 	slo := i.m.SLO().Seconds()
 	up := EpochUpdate{
 		Instance:     i.id,
-		Epoch:        i.epoch,
+		Epoch:        epoch,
 		SimSeconds:   i.m.Clock().Now().Seconds(),
 		Load:         tel.LCLoad,
 		TailMs:       1e3 * tel.TailLatency.Seconds(),
@@ -625,10 +684,32 @@ func (i *Instance) step() {
 	if slo > 0 {
 		up.Slack = (slo - tel.TailLatency.Seconds()) / slo
 	}
+	return up
+}
 
-	done := i.maxEpochs > 0 && i.epoch >= i.maxEpochs
+// step advances the engine by one epoch — scenario events, the offered
+// load, Machine.Step and the controller all resolve inside engine.Step,
+// in exactly the order the batch layers use — then publishes the status
+// snapshot and the event stream.
+func (i *Instance) step() {
+	er := i.eng.Step()
+	tel := er.Tel[0]
+
+	if er.ScenarioDone != "" {
+		i.scenarioSpec = nil
+		i.mu.Lock()
+		i.status.Scenario = ""
+		i.mu.Unlock()
+		i.publishLifecycle("scenario-done", er.ScenarioDone)
+	}
+	if er.EventsApplied > 0 {
+		i.refreshBEs()
+	}
+
+	up := i.epochUpdate(tel, er.Epoch)
+	done := i.maxEpochs > 0 && er.Epoch >= i.maxEpochs
 	i.mu.Lock()
-	i.status.Epoch = i.epoch
+	i.status.Epoch = er.Epoch
 	i.status.Last = up
 	if done {
 		i.status.State = StateDone
@@ -640,7 +721,7 @@ func (i *Instance) step() {
 	}
 	if i.hub.HasSubscribers() {
 		if data, err := json.Marshal(up); err == nil {
-			i.hub.Publish(Message{Event: "epoch", ID: i.epoch, Data: data})
+			i.hub.Publish(Message{Event: "epoch", ID: er.Epoch, Data: data})
 		}
 	}
 	if done {
@@ -655,34 +736,18 @@ func (i *Instance) step() {
 // the fleet. Every hook funnels through Do, so scheduler activity obeys
 // the same between-epochs mutation contract as the rest of the API.
 
-// schedProbeResult is the scheduler's per-tick view of one instance.
-type schedProbeResult struct {
-	state      string
-	beAllowed  bool
-	slack      float64
-	emu        float64
-	load       float64
-	maxBECores int
-}
-
-// schedProbe reads the node state the dispatch loop keys on.
-func (i *Instance) schedProbe() (schedProbeResult, error) {
-	var pr schedProbeResult
+// schedProbe reads the node state the dispatch loop keys on — the same
+// slack/EMU advertisement the engine's own scheduler tick uses.
+func (i *Instance) schedProbe() (sched.NodeState, string, error) {
+	var ns sched.NodeState
 	err := i.Do(func() error {
-		tel := i.m.Last()
-		pr.beAllowed = i.ctl.BEEnabled()
-		pr.emu = tel.EMU
-		pr.load = i.m.Load()
-		pr.maxBECores = i.m.MaxBECores()
-		if slo := i.m.SLO(); slo > 0 && tel.Time > 0 {
-			pr.slack = (slo.Seconds() - tel.TailLatency.Seconds()) / slo.Seconds()
-		}
+		ns = i.eng.NodeState(0)
 		return nil
 	})
 	i.mu.Lock()
-	pr.state = i.status.State
+	state := i.status.State
 	i.mu.Unlock()
-	return pr, err
+	return ns, state, err
 }
 
 // startSchedTask installs a scheduler-dispatched BE task. It re-checks
@@ -690,7 +755,9 @@ func (i *Instance) schedProbe() (schedProbeResult, error) {
 // enforcement of the never-dispatch-while-disabled invariant, since the
 // controller may have flipped between the snapshot and the apply — and
 // returns an error (the driver aborts the dispatch) instead of parking
-// the job on a machine that will not run it.
+// the job on a machine that will not run it. The task is marked
+// engine-owned so scripted depart events and name-based detaches cannot
+// pull it out from under the scheduler.
 func (i *Instance) startSchedTask(wlName string) (*machine.BETask, error) {
 	wl := i.lab.BE(wlName) // calibrate outside the mailbox
 	var task *machine.BETask
@@ -700,7 +767,7 @@ func (i *Instance) startSchedTask(wlName string) (*machine.BETask, error) {
 		}
 		task = i.m.AddBE(wl, workload.PlaceDedicated)
 		task.Enabled = true
-		i.schedOwned[task] = struct{}{}
+		i.eng.OwnBE(task)
 		i.m.Partition(i.m.BECoreCount())
 		i.refreshBEs()
 		return nil
@@ -719,7 +786,7 @@ func (i *Instance) stopSchedTask(task *machine.BETask, completed bool) (float64,
 		} else {
 			i.m.RemoveBE(task)
 		}
-		delete(i.schedOwned, task)
+		i.eng.DisownBE(task)
 		i.m.Partition(i.m.BECoreCount())
 		i.refreshBEs()
 		return nil
@@ -753,27 +820,4 @@ func (i *Instance) publishScheduler(up SchedulerUpdate) {
 	ep := i.status.Epoch
 	i.mu.Unlock()
 	i.hub.Publish(Message{Event: "scheduler", ID: ep, Data: data})
-}
-
-// applyScenarioEvent mirrors the cluster interpreter on a single machine;
-// driver goroutine only.
-func (i *Instance) applyScenarioEvent(ev scenario.Event) {
-	switch ev.Kind {
-	case scenario.EventBEArrive:
-		enabled := i.ctl.BEEnabled() || i.m.BEEnabled()
-		task := i.m.AddBE(i.lab.BE(ev.Workload), workload.PlaceDedicated)
-		task.Enabled = enabled
-		i.m.Partition(i.m.BECoreCount())
-		i.refreshBEs()
-	case scenario.EventBEDepart:
-		i.removeBEByName(ev.Workload)
-	case scenario.EventLeafDegrade:
-		i.m.SetDegrade(ev.Factor)
-	case scenario.EventSLOScale:
-		i.m.SetSLOScale(ev.Factor)
-	case scenario.EventLoadScale:
-		if i.run != nil {
-			i.run.loadScale = ev.Factor
-		}
-	}
 }

@@ -29,8 +29,8 @@ type ScenarioSpec struct {
 //	flashcrowd — StartS, RiseS, HoldS, FallS, Amp (additive; use in a sum)
 //	sum        — Terms, added pointwise
 //
-// An optional Clamp bounds the composed shape; the instance additionally
-// clamps offered load to [0, 1] like every other scenario interpreter.
+// An optional Clamp bounds the composed shape; the engine's epoch loop
+// additionally clamps offered load to [0, 1].
 type ShapeSpec struct {
 	Kind string `json:"kind"`
 

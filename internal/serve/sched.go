@@ -165,18 +165,12 @@ func (d *schedDriver) tick() {
 		if !ok {
 			continue
 		}
-		pr, err := in.schedProbe()
-		if err != nil || pr.state != StateRunning {
+		ns, state, err := in.schedProbe()
+		if err != nil || state != StateRunning {
 			continue
 		}
-		nodes = append(nodes, sched.NodeState{
-			ID:         id,
-			BEAllowed:  pr.beAllowed,
-			Slack:      pr.slack,
-			EMU:        pr.emu,
-			Load:       pr.load,
-			MaxBECores: pr.maxBECores,
-		})
+		ns.ID = id
+		nodes = append(nodes, ns)
 		byID[id] = in
 	}
 

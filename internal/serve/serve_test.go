@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -201,8 +202,9 @@ func TestRoutesUniqueAndDocumentedInTable(t *testing.T) {
 	}
 }
 
-// telPoint is the scalar slice of one epoch compared by the determinism
-// test.
+// telPoint is the scalar slice of one epoch compared by the checkpoint
+// test. (Batch-vs-live determinism itself is pinned at the engine level,
+// in internal/engine, which every instance's driver goroutine advances.)
 type telPoint struct {
 	tail    time.Duration
 	emu     float64
@@ -213,14 +215,67 @@ type telPoint struct {
 	power   float64
 }
 
-// TestInstanceFanOutDeterminism runs the same scenario-driven spec on
-// several concurrent free-running instances and requires bit-identical
-// telemetry: the control plane must not perturb the simulation path.
-func TestInstanceFanOutDeterminism(t *testing.T) {
-	s := testServer(t)
-	const n = 4
-	const epochs = 240
+func pointOf(tel machine.Telemetry) telPoint {
+	return telPoint{
+		tail:    tel.TailLatency,
+		emu:     tel.EMU,
+		load:    tel.LCLoad,
+		beCores: tel.BECores,
+		beWays:  tel.BEWays,
+		dram:    tel.DRAMUtil,
+		power:   tel.PowerFracTDP,
+	}
+}
 
+// runToPark creates a free-running instance that parks at maxEpochs,
+// recording every epoch's telemetry, and waits for it to finish.
+func runToPark(t *testing.T, s *Server, spec InstanceSpec, maxEpochs int) (*Instance, []telPoint) {
+	t.Helper()
+	var trace []telPoint
+	done := make(chan struct{})
+	var once sync.Once
+	spec.Speed = SpeedMax
+	spec.MaxEpochs = maxEpochs
+	prevHook := spec.EpochHook
+	spec.EpochHook = func(m *machine.Machine, tel machine.Telemetry) {
+		if prevHook != nil {
+			prevHook(m, tel)
+		}
+		trace = append(trace, pointOf(tel))
+		if len(trace) == maxEpochs-prestepped(spec) {
+			once.Do(func() { close(done) })
+		}
+	}
+	inst, err := s.CreateInstance(spec)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("instance %s resolved %d epochs, want %d", inst.ID(), len(trace), maxEpochs)
+	}
+	return inst, trace
+}
+
+// prestepped returns how many epochs a spec's instance starts at (its
+// checkpoint's epoch when restoring, 0 otherwise).
+func prestepped(spec InstanceSpec) int {
+	if spec.Restore != nil {
+		return int(spec.Restore.Engine.Epoch)
+	}
+	return 0
+}
+
+// TestCheckpointRestoreContinuesBitIdentical is the live layer's
+// checkpoint round-trip: run an instance to epoch k, checkpoint it over
+// the JSON wire form, restore into a fresh instance (as a migration
+// would), run the remainder, and require telemetry bit-identical to an
+// instance that ran the full horizon uninterrupted — scenario cursor,
+// controller latches and telemetry ring all restored mid-flight.
+func TestCheckpointRestoreContinuesBitIdentical(t *testing.T) {
+	s := testServer(t)
+	const k, total = 120, 240
 	scSpec := &ScenarioSpec{
 		Name:      "det",
 		DurationS: 200,
@@ -230,8 +285,81 @@ func TestInstanceFanOutDeterminism(t *testing.T) {
 		}},
 		Events: []EventSpec{
 			{AtS: 40, Kind: "be-arrive", Workload: "streetview"},
-			{AtS: 120, Kind: "slo-scale", Factor: 0.7},
+			{AtS: 100, Kind: "slo-scale", Factor: 0.7},
 			{AtS: 160, Kind: "be-depart", Workload: "streetview"},
+		},
+	}
+	spec := InstanceSpec{
+		BEs:      []BEAttachment{{Workload: "brain"}},
+		Load:     0.35,
+		Scenario: scSpec,
+	}
+
+	// The uninterrupted reference.
+	_, want := runToPark(t, s, spec, total)
+
+	// Interrupted run: park at k, checkpoint, restore, run the rest.
+	instA, prefix := runToPark(t, s, spec, k)
+	for i := range prefix {
+		if prefix[i] != want[i] {
+			t.Fatalf("prefix diverged at epoch %d before the checkpoint", i)
+		}
+	}
+	cp, err := instA.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	wire, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded InstanceCheckpoint
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Engine.Epoch != k {
+		t.Fatalf("checkpoint records epoch %d, want %d", decoded.Engine.Epoch, k)
+	}
+	if decoded.Scenario == nil {
+		t.Fatal("checkpoint lost the active scenario spec")
+	}
+
+	instB, rest := runToPark(t, s, InstanceSpec{Restore: &decoded}, total)
+	if st := instB.Status(); st.LC != "websearch" || st.Epoch != total {
+		t.Fatalf("restored instance status: %+v", st)
+	}
+	if len(rest) != total-k {
+		t.Fatalf("restored run resolved %d epochs, want %d", len(rest), total-k)
+	}
+	for i := range rest {
+		if rest[i] != want[k+i] {
+			t.Fatalf("restored run diverged at epoch %d (%d after restore):\n%+v\nvs\n%+v",
+				k+i, i, want[k+i], rest[i])
+		}
+	}
+}
+
+// TestConcurrentInstancesDoNotPerturbEachOther runs the same spec on
+// several concurrent free-running instances and requires bit-identical
+// telemetry: engines are per-instance, but the lab, registry and hub
+// plumbing are shared, and none of it may leak into the simulation
+// (the docs/API.md determinism contract promises this "for any number
+// of concurrent instances").
+func TestConcurrentInstancesDoNotPerturbEachOther(t *testing.T) {
+	s := testServer(t)
+	const n = 3
+	const epochs = 200
+	spec := InstanceSpec{
+		BEs:   []BEAttachment{{Workload: "brain"}},
+		Load:  0.35,
+		Speed: SpeedMax,
+		Scenario: &ScenarioSpec{
+			Name: "det", DurationS: 180,
+			Load: &ShapeSpec{Kind: "ramp", From: 0.3, To: 0.7, EndS: 150},
+			Events: []EventSpec{
+				{AtS: 60, Kind: "be-arrive", Workload: "streetview"},
+				{AtS: 120, Kind: "slo-scale", Factor: 0.8},
+			},
 		},
 	}
 
@@ -241,28 +369,15 @@ func TestInstanceFanOutDeterminism(t *testing.T) {
 		k := k
 		dones[k] = make(chan struct{})
 		var once sync.Once
-		spec := InstanceSpec{
-			BEs:       []BEAttachment{{Workload: "brain"}},
-			Load:      0.35,
-			Speed:     SpeedMax,
-			MaxEpochs: epochs,
-			Scenario:  scSpec,
-			EpochHook: func(_ *machine.Machine, tel machine.Telemetry) {
-				traces[k] = append(traces[k], telPoint{
-					tail:    tel.TailLatency,
-					emu:     tel.EMU,
-					load:    tel.LCLoad,
-					beCores: tel.BECores,
-					beWays:  tel.BEWays,
-					dram:    tel.DRAMUtil,
-					power:   tel.PowerFracTDP,
-				})
-				if len(traces[k]) == epochs {
-					once.Do(func() { close(dones[k]) })
-				}
-			},
+		sp := spec
+		sp.MaxEpochs = epochs
+		sp.EpochHook = func(_ *machine.Machine, tel machine.Telemetry) {
+			traces[k] = append(traces[k], pointOf(tel))
+			if len(traces[k]) == epochs {
+				once.Do(func() { close(dones[k]) })
+			}
 		}
-		if _, err := s.CreateInstance(spec); err != nil {
+		if _, err := s.CreateInstance(sp); err != nil {
 			t.Fatalf("create %d: %v", k, err)
 		}
 	}
@@ -270,19 +385,84 @@ func TestInstanceFanOutDeterminism(t *testing.T) {
 		select {
 		case <-dones[k]:
 		case <-time.After(30 * time.Second):
-			t.Fatalf("instance %d did not finish %d epochs", k, epochs)
+			t.Fatalf("instance %d resolved %d/%d epochs", k, len(traces[k]), epochs)
 		}
 	}
 	for k := 1; k < n; k++ {
-		if len(traces[k]) < epochs {
-			t.Fatalf("instance %d recorded %d epochs", k, len(traces[k]))
-		}
 		for e := 0; e < epochs; e++ {
 			if traces[k][e] != traces[0][e] {
 				t.Fatalf("instance %d diverges from instance 0 at epoch %d:\n%+v\nvs\n%+v",
 					k, e, traces[k][e], traces[0][e])
 			}
 		}
+	}
+}
+
+// TestCompactCheckpointRestore: a compact-generation instance restores
+// onto the compact lab (the checkpoint carries the hardware generation).
+func TestCompactCheckpointRestore(t *testing.T) {
+	s := testServer(t)
+	inst, trace := runToPark(t, s, InstanceSpec{Load: 0.3, Compact: true}, 30)
+	cp, err := inst.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Compact {
+		t.Fatal("checkpoint lost the hardware generation")
+	}
+	restored, rest := runToPark(t, s, InstanceSpec{Restore: cp}, 60)
+	if st := restored.Status(); !st.Compact || st.Epoch != 60 {
+		t.Fatalf("restored compact instance status: %+v", st)
+	}
+	_, full := runToPark(t, s, InstanceSpec{Load: 0.3, Compact: true}, 60)
+	for i := range rest {
+		if rest[i] != full[len(trace)+i] {
+			t.Fatalf("compact restore diverged at epoch %d", len(trace)+i)
+		}
+	}
+}
+
+// TestRestoreSpecValidation: restore conflicts with the state-bearing
+// spec fields, and broken checkpoints are rejected at create time.
+func TestRestoreSpecValidation(t *testing.T) {
+	s := testServer(t)
+	inst, err := s.CreateInstance(InstanceSpec{Speed: SpeedMax, MaxEpochs: 5, Load: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for inst.Status().State != StateDone {
+		if time.Now().After(deadline) {
+			t.Fatal("instance never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cp, err := inst.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := validateSpec(InstanceSpec{Restore: cp, LC: "websearch"}); err == nil {
+		t.Error("restore+lc accepted")
+	}
+	if err := validateSpec(InstanceSpec{Restore: cp, Load: 0.5}); err == nil {
+		t.Error("restore+load accepted")
+	}
+	if err := validateSpec(InstanceSpec{Restore: cp, Compact: true}); err == nil {
+		t.Error("restore+compact accepted")
+	}
+	bad := *cp
+	bad.Version = 42
+	if err := validateSpec(InstanceSpec{Restore: &bad}); err == nil {
+		t.Error("bad version accepted")
+	}
+	noEngine := *cp
+	noEngine.Engine = nil
+	if err := validateSpec(InstanceSpec{Restore: &noEngine}); err == nil {
+		t.Error("missing engine state accepted")
+	}
+	if err := validateSpec(InstanceSpec{Restore: cp}); err != nil {
+		t.Errorf("valid checkpoint rejected: %v", err)
 	}
 }
 

@@ -114,10 +114,19 @@ func (s *Server) CreateInstance(spec InstanceSpec) (*Instance, error) {
 		return nil, errTooMany
 	}
 	speed := spec.Speed
+	compact := spec.Compact
+	if spec.Restore != nil {
+		// The checkpoint knows its own hardware generation and tick
+		// rate; validateSpec has already rejected conflicting fields.
+		compact = spec.Restore.Compact
+		if speed == 0 {
+			speed = spec.Restore.Speed
+		}
+	}
 	if speed == 0 {
 		speed = s.cfg.DefaultSpeed
 	}
-	inst, err := newInstance(id, spec, s.labFor(spec.Compact), speed)
+	inst, err := newInstance(id, spec, s.labFor(compact), speed)
 	if err != nil {
 		s.reg.Unreserve()
 		return nil, err
@@ -154,6 +163,14 @@ var errTooMany = errors.New("serve: instance cap reached")
 // validateSpec rejects a create request with unknown workload names or
 // out-of-range numbers before any simulation state is built.
 func validateSpec(spec InstanceSpec) error {
+	if spec.Restore != nil {
+		if spec.LC != "" || len(spec.BEs) > 0 || spec.Load != 0 || spec.SLOScale != 0 || spec.Scenario != nil || spec.Compact {
+			return fmt.Errorf("restore conflicts with lc/bes/load/slo_scale/scenario/compact: that state comes from the checkpoint")
+		}
+		if err := validateCheckpoint(spec.Restore); err != nil {
+			return fmt.Errorf("restore: %w", err)
+		}
+	}
 	if spec.LC != "" {
 		if _, ok := workload.LCByName(spec.LC); !ok {
 			return fmt.Errorf("unknown LC workload %q", spec.LC)
@@ -207,6 +224,7 @@ var routeTable = []Route{
 	{"POST", "/api/v1/instances/{id}/bes", "attach a best-effort task", (*Server).handleAttachBE},
 	{"DELETE", "/api/v1/instances/{id}/bes/{workload}", "detach best-effort tasks by workload name", (*Server).handleDetachBE},
 	{"POST", "/api/v1/instances/{id}/scenario", "drive the instance by a declarative scenario", (*Server).handleScenario},
+	{"POST", "/api/v1/instances/{id}/checkpoint", "snapshot the instance's full simulation state for restore or migration", (*Server).handleCheckpoint},
 	{"GET", "/api/v1/instances/{id}/stream", "SSE stream of epoch telemetry, controller and scheduler events", (*Server).handleStream},
 	{"GET", "/api/v1/scheduler", "fleet scheduler status and goodput accounting", (*Server).handleSchedStatus},
 	{"GET", "/api/v1/jobs", "list best-effort jobs", (*Server).handleJobsList},
@@ -444,7 +462,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if !doErr(w, inst.InstallScenario(sc)) {
+	if !doErr(w, inst.InstallScenario(sc, &spec)) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -452,6 +470,18 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		"duration_s": sc.Duration.Seconds(),
 		"events":     len(sc.Events),
 	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	cp, err := inst.Checkpoint()
+	if !doErr(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
