@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-baseline bench-check fmt-check docs-check ci
+.PHONY: all build vet test test-race chaos bench bench-smoke bench-baseline bench-check fmt-check docs-check ci
 
 all: build
 
@@ -32,6 +32,16 @@ docs-check:
 test-race:
 	$(GO) test -race -short ./...
 
+# Chaos soak under -race: >= 20 injected faults (driver panics, leaf
+# crashes, telemetry blackouts, slowdowns) against a live control plane
+# with jobs in flight — every instance must restart from checkpoint and
+# the scheduler's goodput ledger must balance. The fault determinism
+# and supervisor unit tests ride along.
+chaos:
+	$(GO) test -race -run 'Chaos|Quarantine|DriverPanic|Fault|Stale|Kill|Generate|Validate|KindNames' \
+		./internal/fault/ ./internal/core/ ./internal/sched/ \
+		./internal/engine/ ./internal/serve/
+
 # Full benchmark suite (prints every figure/table on the first iteration).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -52,4 +62,4 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/benchbaseline -quick -check BENCH_baseline.json -tol 1.5
 
-ci: build vet fmt-check docs-check test test-race bench-smoke bench-check
+ci: build vet fmt-check docs-check test test-race chaos bench-smoke bench-check

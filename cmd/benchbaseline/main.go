@@ -32,6 +32,7 @@ import (
 
 	"heracles/internal/engine"
 	"heracles/internal/experiment"
+	"heracles/internal/fault"
 	"heracles/internal/machine"
 	"heracles/internal/scenario"
 	"heracles/internal/sched"
@@ -172,6 +173,28 @@ func main() {
 					b.Fatal(err)
 				}
 				r.Close()
+			}
+		}},
+		{"FaultInjectTick", true, func(b *testing.B) {
+			// The fault path's per-epoch cost: each iteration injects one
+			// leaf-crash into a warmed 8-node engine and resolves the epoch
+			// that applies it — validation, schedule insertion, the
+			// crash/restore bookkeeping and the down-node epoch itself.
+			eng := engine.New(benchEngineConfig(lab))
+			defer eng.Close()
+			eng.InstallScenario(benchScenario())
+			for i := 0; i < 120; i++ {
+				eng.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.InjectFault(fault.Fault{
+					Kind: fault.LeafCrash, Node: i % 8, Duration: time.Second,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				eng.Step()
 			}
 		}},
 		{"ColocateSweep/sequential", true, func(b *testing.B) {

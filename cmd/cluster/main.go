@@ -11,10 +11,17 @@
 // hours, step, seed) as the run that wrote the checkpoint: the scenario
 // is regenerated from them, while the checkpoint carries the state.
 //
+// The fault flags inject a deterministic failure schedule (leaf crashes,
+// telemetry blackouts, slow machines, actuation failures, BE kills) that
+// both arms replay identically, so the baseline/Heracles comparison
+// isolates the controller's resilience; see internal/fault.
+//
 // Usage:
 //
 //	cluster [-leaves 20] [-hours 12] [-step 1s] [-seed 42] [-workers 0]
 //	        [-checkpoint ckpt.json -checkpoint-at 6h] [-resume ckpt.json]
+//	        [-crashes N] [-blackouts N] [-slowdowns N] [-actfails N]
+//	        [-bekills N] [-fault-seed 7]
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"heracles/internal/cluster"
 	"heracles/internal/engine"
 	"heracles/internal/experiment"
+	"heracles/internal/fault"
 	"heracles/internal/scenario"
 	"heracles/internal/trace"
 )
@@ -39,6 +47,12 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "write a simulation checkpoint of the Heracles run to this file")
 	ckptAt := flag.Duration("checkpoint-at", 6*time.Hour, "simulated time at which -checkpoint snapshots")
 	resume := flag.String("resume", "", "resume the Heracles run from this checkpoint file (skips the baseline arm)")
+	crashes := flag.Int("crashes", 0, "leaf crashes to inject over the run (deterministic schedule from -fault-seed)")
+	blackouts := flag.Int("blackouts", 0, "telemetry blackouts to inject")
+	slowdowns := flag.Int("slowdowns", 0, "slow-machine episodes to inject")
+	actfails := flag.Int("actfails", 0, "actuation failures to inject")
+	bekills := flag.Int("bekills", 0, "BE-task kills to inject")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed of the injected fault schedule (0 = use -seed)")
 	flag.Parse()
 
 	lab := experiment.DefaultLab()
@@ -47,6 +61,29 @@ func main() {
 		Step:     *step,
 		Seed:     *seed,
 	})
+
+	// The fault schedule is generated once and shared by both arms, so the
+	// baseline and Heracles runs absorb the identical failure history and
+	// the comparison isolates the controller.
+	var faults []fault.Fault
+	if *crashes+*blackouts+*slowdowns+*actfails+*bekills > 0 {
+		fs := *faultSeed
+		if fs == 0 {
+			fs = *seed
+		}
+		plan := fault.Generate(fault.GenConfig{
+			Seed:           fs,
+			Nodes:          *leaves,
+			Horizon:        time.Duration(*hours * float64(time.Hour)),
+			Crashes:        *crashes,
+			Blackouts:      *blackouts,
+			Slowdowns:      *slowdowns,
+			ActuationFails: *actfails,
+			BEKills:        *bekills,
+		})
+		faults = plan.Faults
+		fmt.Printf("injecting %d fault(s) (seed %d)\n", len(faults), fs)
+	}
 
 	baseCfg := func(heraclesOn bool) cluster.Config {
 		return cluster.Config{
@@ -59,12 +96,17 @@ func main() {
 			Seed:     *seed,
 			Model:    lab.DRAMModel("websearch"),
 			Workers:  *workers,
+			Faults:   faults,
 		}
 	}
 	report := func(mode string, s cluster.Summary) {
-		fmt.Printf("%-8s  SLO(µ/30s)=%v  meanEMU=%5.1f%%  minEMU=%5.1f%%  meanLatency=%5.1f%%SLO  maxWindow=%5.1f%%SLO  violations=%d\n",
+		fmt.Printf("%-8s  SLO(µ/30s)=%v  meanEMU=%5.1f%%  minEMU=%5.1f%%  meanLatency=%5.1f%%SLO  maxWindow=%5.1f%%SLO  violations=%d",
 			mode, s.SLO.Round(time.Microsecond), 100*s.MeanEMU, 100*s.MinEMU,
 			100*s.MeanRootFrac, 100*s.MaxRootFrac, s.Violations)
+		if s.DownEpochs > 0 {
+			fmt.Printf("  downEpochs=%d maxDown=%d", s.DownEpochs, s.MaxDown)
+		}
+		fmt.Println()
 	}
 
 	if *resume != "" {

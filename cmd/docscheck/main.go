@@ -7,6 +7,8 @@
 //     story `go doc` tells), or
 //   - a control-plane route registered in internal/serve is not
 //     documented in docs/API.md,
+//   - a Prometheus metric family the exposition can emit
+//     (serve.MetricNames) is not documented in docs/API.md,
 //   - or a Go source comment references a DESIGN.md section anchor
 //     ("DESIGN.md §N") that does not exist as a "## §N" heading — the
 //     architecture pointers in package comments must not rot as
@@ -39,6 +41,7 @@ func main() {
 	problems = append(problems, checkMarkdownLinks(*root)...)
 	problems = append(problems, checkPackageComments(*root)...)
 	problems = append(problems, checkRouteDocs(*root)...)
+	problems = append(problems, checkMetricDocs(*root)...)
 	problems = append(problems, checkDesignAnchors(*root)...)
 
 	if len(problems) > 0 {
@@ -48,7 +51,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: markdown links, package comments, API route docs and DESIGN anchors all OK")
+	fmt.Println("docscheck: markdown links, package comments, API route/metric docs and DESIGN anchors all OK")
 }
 
 // linkRE matches [text](target) markdown links; targets with nested
@@ -218,6 +221,26 @@ func checkDesignAnchors(root string) []string {
 	})
 	if err != nil {
 		problems = append(problems, fmt.Sprintf("walking %s: %v", root, err))
+	}
+	return problems
+}
+
+// checkMetricDocs requires docs/API.md to name every Prometheus metric
+// family the exposition can emit (serve.MetricNames, which a test keeps
+// in lockstep with the renderers).
+func checkMetricDocs(root string) []string {
+	apiPath := filepath.Join(root, "docs", "API.md")
+	data, err := os.ReadFile(apiPath)
+	if err != nil {
+		return []string{fmt.Sprintf("reading %s: %v", apiPath, err)}
+	}
+	text := string(data)
+	var problems []string
+	for _, name := range serve.MetricNames() {
+		if !strings.Contains(text, name) {
+			problems = append(problems,
+				fmt.Sprintf("docs/API.md: metric family %q is undocumented", name))
+		}
 	}
 	return problems
 }

@@ -25,11 +25,14 @@
 //
 // -checkpoint-dir enables crash recovery: every -checkpoint-every
 // (default 30s) the daemon snapshots each live instance's full
-// simulation state into <dir>/<id>.json (atomically, write-then-rename).
-// On startup the daemon restores every checkpoint found in the
-// directory — each resumes bit-identically from its snapshot epoch —
-// and skips the flag-bootstrapped instance when it restored at least
-// one. Restored instances get fresh ids; the superseded files are
+// simulation state into <dir>/<id>.json (atomically, write-then-rename,
+// wrapped in a checksummed envelope; the previous generation rotates to
+// <id>.json.1). On startup the daemon restores every checkpoint found
+// in the directory — each resumes bit-identically from its snapshot
+// epoch — and skips the flag-bootstrapped instance when it restored at
+// least one. A file that fails its checksum (crash mid-write, disk
+// corruption) is refused and the rotated previous generation restores
+// instead. Restored instances get fresh ids; the superseded files are
 // removed once their replacements are written.
 //
 // Usage:
@@ -42,7 +45,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -219,7 +221,17 @@ func main() {
 
 	exitCode := 0
 	if serving {
-		httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+		// No WriteTimeout: the SSE event streams are long-lived responses
+		// that would be severed by one. Slow-client protection comes from
+		// the header/read timeouts plus the per-request body limits the
+		// API applies to mutating routes.
+		httpSrv := &http.Server{
+			Addr:              *addr,
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		errc := make(chan error, 1)
 		go func() { errc <- httpSrv.ListenAndServe() }()
 		log.Printf("heraclesd: control plane listening on %s (API under /api/v1, SSE per instance, Prometheus /metrics)", *addr)
@@ -283,17 +295,15 @@ func restoreCheckpoints(srv *serve.Server, dir string, speed float64, maxEpochs 
 				log.Printf("heraclesd: %v", err)
 			}
 		}
-		data, err := os.ReadFile(path)
+		cp, src, err := serve.ReadCheckpointFallback(path)
 		if err != nil {
-			log.Printf("heraclesd: reading %s: %v", path, err)
-			continue
-		}
-		var cp serve.InstanceCheckpoint
-		if err := json.Unmarshal(data, &cp); err != nil {
 			fail(err)
 			continue
 		}
-		inst, err := srv.CreateInstance(serve.InstanceSpec{Restore: &cp, Speed: speed, MaxEpochs: maxEpochs})
+		if src != path {
+			log.Printf("heraclesd: %s failed verification, falling back to previous generation %s", path, src)
+		}
+		inst, err := srv.CreateInstance(serve.InstanceSpec{Restore: cp, Speed: speed, MaxEpochs: maxEpochs})
 		if err != nil {
 			fail(err)
 			continue
@@ -322,29 +332,21 @@ func startCheckpointer(srv *serve.Server, dir string, every time.Duration) func(
 			if err != nil {
 				continue // instance stopped mid-pass
 			}
-			data, err := json.MarshalIndent(cp, "", " ")
-			if err != nil {
-				log.Printf("heraclesd: checkpoint %s: %v", inst.ID(), err)
-				continue
-			}
 			path := filepath.Join(dir, inst.ID()+".json")
-			tmp := path + ".tmp"
-			if err := os.WriteFile(tmp, data, 0o644); err != nil {
-				log.Printf("heraclesd: checkpoint %s: %v", inst.ID(), err)
-				continue
-			}
-			if err := os.Rename(tmp, path); err != nil {
+			if err := serve.WriteCheckpointFile(path, cp); err != nil {
 				log.Printf("heraclesd: checkpoint %s: %v", inst.ID(), err)
 				continue
 			}
 			live[inst.ID()+".json"] = true
 		}
 		// Drop files for instances that no longer exist so a restart does
-		// not resurrect deleted machines.
+		// not resurrect deleted machines; their rotated previous
+		// generations go with them.
 		if paths, err := filepath.Glob(filepath.Join(dir, "*.json")); err == nil {
 			for _, p := range paths {
 				if !live[filepath.Base(p)] {
 					os.Remove(p)
+					os.Remove(p + ".1")
 				}
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"heracles/internal/core"
 	"heracles/internal/engine"
+	"heracles/internal/fault"
 	"heracles/internal/hw"
 	"heracles/internal/scenario"
 	"heracles/internal/sched"
@@ -76,6 +77,15 @@ type Config struct {
 	// streams internally).
 	Sched *sched.Config
 
+	// Faults is a deterministic fault schedule injected during the run:
+	// leaf crashes, telemetry blackouts, slow machines, actuation
+	// failures and BE kills fire at their scheduled times (see
+	// internal/fault). The schedule is part of the experiment's identity —
+	// run the same schedule with Heracles on and off to measure resilience
+	// paired, exactly like the load trace. Invalid faults panic at
+	// construction (programmer error, like malformed scenarios).
+	Faults []fault.Fault
+
 	// CheckpointAt, together with OnCheckpoint, snapshots the run: at the
 	// first completed epoch whose simulated time reaches CheckpointAt the
 	// engine's full state is serialized and handed to OnCheckpoint.
@@ -139,6 +149,7 @@ func (cfg Config) engineConfig() engine.Config {
 		DynamicTargets: cfg.Heracles && cfg.DynamicLeafTargets,
 		AdjustPeriod:   cfg.AdjustPeriod,
 		Workers:        cfg.Workers,
+		Faults:         cfg.Faults,
 	}
 	if cfg.Heracles {
 		ecfg.SLOScale = cfg.LeafTargetFrac
@@ -235,6 +246,12 @@ type Summary struct {
 	MaxRootFrac  float64
 	Violations   int // epochs with root latency above the SLO
 
+	// DownEpochs counts post-warmup epochs with at least one crashed
+	// leaf, and MaxDown the worst simultaneous crash count — both zero
+	// without a fault schedule.
+	DownEpochs int
+	MaxDown    int
+
 	// SchedPolicy and Sched carry the job scheduler's policy name and
 	// goodput accounting when the run had one (nil otherwise).
 	SchedPolicy string
@@ -262,6 +279,12 @@ func (r Result) Summarize() Summary {
 			continue
 		}
 		n++
+		if e.Down > 0 {
+			s.DownEpochs++
+			if e.Down > s.MaxDown {
+				s.MaxDown = e.Down
+			}
+		}
 		s.MeanEMU += e.EMU
 		if e.EMU < s.MinEMU {
 			s.MinEMU = e.EMU

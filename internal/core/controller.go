@@ -91,6 +91,15 @@ type Config struct {
 	InitialWaysFrac  float64 // BE LLC fraction on enable (0.10)
 	KeepBECores      int     // cores BE keeps after a slack panic (2)
 	BenefitThreshold float64 // min relative BE rate gain to keep growing cache
+
+	// Stale-telemetry degradation: when the latency monitor stops
+	// returning data (a blackout, a wedged collector), the controller
+	// must not keep steering on its last belief. After StaleGrace
+	// without telemetry it latches cautious (growth disallowed); after
+	// StaleEmergency it disables BE outright until data returns. Zero
+	// selects 2x and 4x PollInterval respectively.
+	StaleGrace     time.Duration
+	StaleEmergency time.Duration
 }
 
 // DefaultConfig returns the constants used in the paper.
@@ -113,6 +122,33 @@ func DefaultConfig() Config {
 		InitialWaysFrac:   0.10,
 		KeepBECores:       2,
 		BenefitThreshold:  0.01,
+	}
+}
+
+// StaleState is the telemetry-freshness latch of the graceful-degradation
+// path: StaleOK while data flows, StaleCautious after StaleGrace without
+// it (growth disallowed), StaleEmergency after StaleEmergency (BE
+// disabled until telemetry returns).
+type StaleState int
+
+const (
+	// StaleOK means telemetry is fresh.
+	StaleOK StaleState = iota
+	// StaleCautious latches growth off while telemetry is missing.
+	StaleCautious
+	// StaleEmergency has disabled BE for want of telemetry.
+	StaleEmergency
+)
+
+// String names the latch.
+func (s StaleState) String() string {
+	switch s {
+	case StaleCautious:
+		return "cautious"
+	case StaleEmergency:
+		return "emergency"
+	default:
+		return "ok"
 	}
 }
 
@@ -155,6 +191,10 @@ type Controller struct {
 	slack        float64
 	latency      time.Duration
 
+	// Telemetry-freshness latch (graceful degradation under blackouts).
+	lastTelemetry time.Duration
+	staleState    StaleState
+
 	// Core & memory subcontroller state.
 	state        GrowState
 	lastBW       float64
@@ -180,6 +220,12 @@ type Controller struct {
 // the controller treats LC bandwidth as total minus the BE counters (what
 // §4.2 says becomes possible once per-core DRAM accounting exists).
 func New(env Env, model DRAMModel, cfg Config) *Controller {
+	if cfg.StaleGrace <= 0 {
+		cfg.StaleGrace = 2 * cfg.PollInterval
+	}
+	if cfg.StaleEmergency <= 0 {
+		cfg.StaleEmergency = 4 * cfg.PollInterval
+	}
 	c := &Controller{cfg: cfg, env: env, model: model, enabled: false}
 	return c
 }
@@ -213,6 +259,9 @@ func (c *Controller) State() GrowState { return c.state }
 
 // BEEnabled reports whether the controller currently allows BE execution.
 func (c *Controller) BEEnabled() bool { return c.enabled }
+
+// TelemetryState returns the stale-telemetry latch.
+func (c *Controller) TelemetryState() StaleState { return c.staleState }
 
 func (c *Controller) emit(at time.Duration, loop, action, detail string) {
 	e := Event{At: at, Loop: loop, Action: action, Detail: detail}

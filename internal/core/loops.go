@@ -13,8 +13,17 @@ import (
 func (c *Controller) topLevel(now time.Duration) {
 	slo := c.env.SLO()
 	latency, ok := c.env.TailLatency(c.cfg.PollInterval)
-	if !ok || slo <= 0 {
+	if slo <= 0 {
 		return
+	}
+	if !ok {
+		c.staleTelemetry(now)
+		return
+	}
+	c.lastTelemetry = now
+	if c.staleState != StaleOK {
+		c.staleState = StaleOK
+		c.emit(now, "top", "telemetry-restored", "latency monitor back, resuming normal control")
 	}
 	load := c.env.Load()
 	slack := (slo.Seconds() - latency.Seconds()) / slo.Seconds()
@@ -50,6 +59,33 @@ func (c *Controller) topLevel(now time.Duration) {
 		// enablement, still steer growth by slack.
 		if c.enabled {
 			c.steerGrowth(now, slack)
+		}
+	}
+}
+
+// staleTelemetry is the graceful-degradation path: the latency monitor
+// returned no data, so the controller must not steer on its last belief.
+// A short gap is tolerated (the monitor needs a window of epochs); past
+// StaleGrace growth latches off, and past StaleEmergency BE is disabled
+// outright — flying blind, the safe state is the LC workload alone. The
+// latch clears when topLevel next sees fresh data.
+func (c *Controller) staleTelemetry(now time.Duration) {
+	if c.cfg.StaleGrace <= 0 {
+		return // freshness tracking disabled (no poll interval configured)
+	}
+	age := now - c.lastTelemetry
+	switch {
+	case age >= c.cfg.StaleEmergency:
+		if c.staleState != StaleEmergency {
+			c.staleState = StaleEmergency
+			c.disable(now)
+			c.emit(now, "top", "stale-emergency", fmt.Sprintf("no telemetry for %v, BE disabled", age))
+		}
+	case age >= c.cfg.StaleGrace:
+		if c.staleState == StaleOK {
+			c.staleState = StaleCautious
+			c.growAllowed = false
+			c.emit(now, "top", "stale-cautious", fmt.Sprintf("no telemetry for %v, growth disallowed", age))
 		}
 	}
 }

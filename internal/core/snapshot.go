@@ -15,6 +15,12 @@ type ControllerState struct {
 	Slack        float64       `json:"slack"`
 	Latency      time.Duration `json:"latency_ns"`
 
+	// Telemetry-freshness latch. Omitted (zero) in checkpoints taken
+	// before the stale-telemetry path existed, which restores as "fresh
+	// at t=0" — conservative, and corrected at the first poll.
+	LastTelemetry time.Duration `json:"last_telemetry_ns,omitempty"`
+	StaleState    StaleState    `json:"stale_state,omitempty"`
+
 	State        GrowState     `json:"state"`
 	LastBW       float64       `json:"last_bw"`
 	BWDerivative float64       `json:"bw_derivative"`
@@ -32,22 +38,24 @@ type ControllerState struct {
 // Snapshot captures the controller's state. Safe to call between Steps.
 func (c *Controller) Snapshot() ControllerState {
 	return ControllerState{
-		Enabled:      c.enabled,
-		GrowAllowed:  c.growAllowed,
-		CooldownTill: c.cooldownTill,
-		Slack:        c.slack,
-		Latency:      c.latency,
-		State:        c.state,
-		LastBW:       c.lastBW,
-		BWDerivative: c.bwDerivative,
-		PendingWays:  c.pendingWays,
-		PendingCheck: c.pendingCheck,
-		RateBefore:   c.rateBefore,
-		LastGrow:     c.lastGrow,
-		NextTop:      c.nextTop,
-		NextCore:     c.nextCore,
-		NextPower:    c.nextPower,
-		NextNet:      c.nextNet,
+		Enabled:       c.enabled,
+		GrowAllowed:   c.growAllowed,
+		CooldownTill:  c.cooldownTill,
+		Slack:         c.slack,
+		Latency:       c.latency,
+		LastTelemetry: c.lastTelemetry,
+		StaleState:    c.staleState,
+		State:         c.state,
+		LastBW:        c.lastBW,
+		BWDerivative:  c.bwDerivative,
+		PendingWays:   c.pendingWays,
+		PendingCheck:  c.pendingCheck,
+		RateBefore:    c.rateBefore,
+		LastGrow:      c.lastGrow,
+		NextTop:       c.nextTop,
+		NextCore:      c.nextCore,
+		NextPower:     c.nextPower,
+		NextNet:       c.nextNet,
 	}
 }
 
@@ -61,6 +69,8 @@ func (c *Controller) Restore(st ControllerState) {
 	c.cooldownTill = st.CooldownTill
 	c.slack = st.Slack
 	c.latency = st.Latency
+	c.lastTelemetry = st.LastTelemetry
+	c.staleState = st.StaleState
 	c.state = st.State
 	c.lastBW = st.LastBW
 	c.bwDerivative = st.BWDerivative

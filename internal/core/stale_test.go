@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStaleTelemetryLatch walks the graceful-degradation path: fresh
+// telemetry keeps StaleOK, a gap past StaleGrace latches growth off
+// (cautious), past StaleEmergency BE is disabled outright, and the first
+// fresh poll clears the latch.
+func TestStaleTelemetryLatch(t *testing.T) {
+	f := newFakeEnv()
+	c := newTestController(f)
+	cfg := DefaultConfig()
+	poll := cfg.PollInterval
+
+	c.Step(0)
+	if c.TelemetryState() != StaleOK {
+		t.Fatalf("state after fresh poll = %v, want StaleOK", c.TelemetryState())
+	}
+	if !f.beEnabled {
+		t.Fatal("BE not enabled under fresh telemetry at low load")
+	}
+
+	// The latency monitor goes dark.
+	f.tailOK = false
+	c.Step(poll)
+	if st := c.TelemetryState(); st != StaleOK {
+		t.Fatalf("state one poll into the blackout = %v, want StaleOK (within grace)", st)
+	}
+	c.Step(2 * poll) // age = StaleGrace (2x poll by default)
+	if st := c.TelemetryState(); st != StaleCautious {
+		t.Fatalf("state at grace = %v, want StaleCautious", st)
+	}
+	if !f.beEnabled {
+		t.Fatal("cautious latch should not disable BE yet")
+	}
+	c.Step(4 * poll) // age = StaleEmergency (4x poll by default)
+	if st := c.TelemetryState(); st != StaleEmergency {
+		t.Fatalf("state at emergency threshold = %v, want StaleEmergency", st)
+	}
+	if f.beEnabled {
+		t.Fatal("emergency latch must disable BE")
+	}
+
+	// Data returns: the next poll clears the latch.
+	f.tailOK = true
+	c.Step(5 * poll)
+	if st := c.TelemetryState(); st != StaleOK {
+		t.Fatalf("state after telemetry returned = %v, want StaleOK", st)
+	}
+
+	// The latch state and freshness stamp survive snapshot/restore.
+	f.tailOK = false
+	c.Step(9 * poll) // age 4x poll from the 5x-poll refresh: emergency again
+	if c.TelemetryState() != StaleEmergency {
+		t.Fatalf("state before snapshot = %v, want StaleEmergency", c.TelemetryState())
+	}
+	st := c.Snapshot()
+	c2 := newTestController(newFakeEnv())
+	c2.Restore(st)
+	if c2.TelemetryState() != StaleEmergency {
+		t.Fatalf("restored state = %v, want StaleEmergency", c2.TelemetryState())
+	}
+}
+
+// TestStaleTrackingDisabledWithoutPollInterval: with no poll interval
+// configured the freshness window defaults to zero and the latch never
+// engages, preserving behaviour for bare-config callers.
+func TestStaleTrackingDisabledWithoutPollInterval(t *testing.T) {
+	f := newFakeEnv()
+	cfg := DefaultConfig()
+	cfg.PollInterval = 0
+	c := New(f, nil, cfg)
+	c.Step(0)
+	f.tailOK = false
+	for i := 1; i <= 10; i++ {
+		c.Step(time.Duration(i) * time.Minute)
+	}
+	if st := c.TelemetryState(); st != StaleOK {
+		t.Fatalf("state with freshness tracking disabled = %v, want StaleOK", st)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"heracles/internal/core"
+	"heracles/internal/fault"
 	"heracles/internal/machine"
 	"heracles/internal/scenario"
 	"heracles/internal/sched"
@@ -48,6 +49,29 @@ type Checkpoint struct {
 
 	Sched         *sched.State   `json:"sched,omitempty"`
 	SchedBindings []SchedBinding `json:"sched_bindings,omitempty"`
+
+	// Faults carries the fault schedule with its cursor and the open
+	// per-node fault windows. Omitted entirely on fault-free engines, so
+	// pre-fault checkpoints restore unchanged.
+	Faults *FaultState `json:"faults,omitempty"`
+}
+
+// FaultState is the engine's serialized fault-injection state.
+type FaultState struct {
+	Schedule []fault.Fault    `json:"schedule,omitempty"`
+	Next     int              `json:"next"`
+	Applied  int              `json:"applied"`
+	Pending  []fault.Fault    `json:"pending,omitempty"`
+	Nodes    []NodeFaultState `json:"nodes,omitempty"`
+}
+
+// NodeFaultState is one node's open fault windows (absolute deadlines in
+// simulated time; zero = closed).
+type NodeFaultState struct {
+	DownUntil     time.Duration `json:"down_until_ns,omitempty"`
+	BlackoutUntil time.Duration `json:"blackout_until_ns,omitempty"`
+	ActFailUntil  time.Duration `json:"act_fail_until_ns,omitempty"`
+	SlowUntil     time.Duration `json:"slow_until_ns,omitempty"`
 }
 
 // ScenarioState is the active scenario's cursor position.
@@ -132,6 +156,26 @@ func (e *Engine) Snapshot() *Checkpoint {
 			cp.SchedBindings = append(cp.SchedBindings, SchedBinding{Job: id, Node: st.node, Task: idx})
 		}
 	}
+	if len(e.faults) > 0 || e.faultCount > 0 || len(e.pendingFaults) > 0 || e.nf != nil {
+		fs := &FaultState{
+			Next:    e.faultNext,
+			Applied: e.faultCount,
+		}
+		fs.Schedule = append([]fault.Fault(nil), e.faults...)
+		fs.Pending = append([]fault.Fault(nil), e.pendingFaults...)
+		if e.nf != nil {
+			fs.Nodes = make([]NodeFaultState, len(e.nf))
+			for i, nf := range e.nf {
+				fs.Nodes[i] = NodeFaultState{
+					DownUntil:     nf.downUntil,
+					BlackoutUntil: nf.blackoutUntil,
+					ActFailUntil:  nf.actFailUntil,
+					SlowUntil:     nf.slowUntil,
+				}
+			}
+		}
+		cp.Faults = fs
+	}
 	return cp
 }
 
@@ -178,17 +222,16 @@ func Restore(cfg Config, cp *Checkpoint, sc *scenario.Scenario) (*Engine, error)
 		if err != nil {
 			return nil, err
 		}
-		var ctl *core.Controller
+		n := buildNode(m, &cfg)
 		if i < len(cp.Controllers) && cp.Controllers[i] != nil {
-			if !cfg.Heracles {
+			if n.ctl == nil {
 				return nil, fmt.Errorf("engine: checkpoint node %d has controller state but Config.Heracles is false", i)
 			}
-			ctl = core.New(m, cfg.Model, core.DefaultConfig())
-			ctl.Restore(*cp.Controllers[i])
-		} else if cfg.Heracles {
+			n.ctl.Restore(*cp.Controllers[i])
+		} else if n.ctl != nil {
 			return nil, fmt.Errorf("engine: Config.Heracles is true but checkpoint node %d has no controller state", i)
 		}
-		e.nodes[i] = &node{m: m, ctl: ctl}
+		e.nodes[i] = n
 	}
 
 	e.epoch = e.nodes[0].m.Epoch()
@@ -228,6 +271,38 @@ func Restore(cfg Config, cp *Checkpoint, sc *scenario.Scenario) (*Engine, error)
 			task := bes[b.Task]
 			e.schedTasks[b.Job] = schedTask{node: b.Node, task: task}
 			e.schedOwned[task] = b.Job
+		}
+	}
+
+	if cp.Faults != nil {
+		fs := cp.Faults
+		if fs.Next < 0 || fs.Next > len(fs.Schedule) {
+			return nil, fmt.Errorf("engine: checkpoint fault cursor %d outside its %d-entry schedule", fs.Next, len(fs.Schedule))
+		}
+		e.faults = append([]fault.Fault(nil), fs.Schedule...)
+		e.faultNext = fs.Next
+		e.faultCount = fs.Applied
+		e.pendingFaults = append([]fault.Fault(nil), fs.Pending...)
+		if len(fs.Nodes) > 0 {
+			if len(fs.Nodes) != len(e.nodes) {
+				return nil, fmt.Errorf("engine: checkpoint fault state covers %d nodes of a %d-node fleet", len(fs.Nodes), len(e.nodes))
+			}
+			e.nf = make([]nodeFault, len(e.nodes))
+			for i, ns := range fs.Nodes {
+				e.nf[i] = nodeFault{
+					downUntil:     ns.DownUntil,
+					blackoutUntil: ns.BlackoutUntil,
+					actFailUntil:  ns.ActFailUntil,
+					slowUntil:     ns.SlowUntil,
+				}
+				// Re-arm the interposition flags for windows still open at
+				// the restore point; SlowMachine needs nothing here (the
+				// degrade factor travels in the machine snapshot).
+				if fe := e.nodes[i].fenv; fe != nil {
+					fe.SetBlackout(ns.BlackoutUntil > e.t)
+					fe.SetActuationFail(ns.ActFailUntil > e.t)
+				}
+			}
 		}
 	}
 	return e, nil

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"heracles/internal/core"
+	"heracles/internal/fault"
 	"heracles/internal/hw"
 	"heracles/internal/lat"
 	"heracles/internal/machine"
@@ -76,6 +77,12 @@ type Config struct {
 	// a controller disables BE, and account goodput vs wasted CPU time.
 	// A zero Sched.Seed inherits Config.Seed.
 	Sched *sched.Config
+
+	// Faults is the scenario-schedule fault plan: each entry fires at the
+	// first epoch whose start time reaches its At. Invalid entries panic at
+	// construction, like scenario events. Ignored when restoring from a
+	// checkpoint (the checkpoint carries the schedule and its progress).
+	Faults []fault.Fault
 }
 
 // EpochStat is the engine's per-epoch statistic — the cluster layer
@@ -89,6 +96,7 @@ type EpochStat struct {
 	EMU        float64       // mean effective machine utilisation over nodes
 	LeafWorst  float64       // worst per-node tail latency / workload SLO
 	Violations int           // nodes violating the workload SLO this epoch
+	Down       int           // nodes inside a crash outage this epoch
 
 	// Scheduler depths at this epoch (zero without Config.Sched).
 	SchedQueue   int
@@ -105,15 +113,22 @@ type EpochResult struct {
 	Tel   []machine.Telemetry
 	// EventsApplied counts the scenario events that fired this epoch.
 	EventsApplied int
+	// FaultsApplied counts the faults (scheduled or injected) that fired
+	// this epoch.
+	FaultsApplied int
 	// ScenarioDone carries the scenario's name on the epoch its horizon
 	// elapsed; the load freezes at its final value.
 	ScenarioDone string
 }
 
-// node couples one machine with its (optional) controller.
+// node couples one machine with its (optional) controller. The fault
+// environment sits between them: the controller monitors and actuates
+// through fenv, which forwards to the machine except inside telemetry
+// blackout or actuation-failure windows.
 type node struct {
-	m   *machine.Machine
-	ctl *core.Controller
+	m    *machine.Machine
+	ctl  *core.Controller
+	fenv *fault.Env
 }
 
 // runState is the active scenario, owned by the stepping goroutine.
@@ -147,6 +162,15 @@ type Engine struct {
 	schedTasks map[int]schedTask       // job id -> live task
 	schedOwned map[*machine.BETask]int // task -> owning job id (externOwner for live-fleet tasks)
 	nodeStates []sched.NodeState
+
+	// Fault state: the sorted schedule with its cursor, live injections
+	// awaiting the next Step, the lifetime applied count, and the lazily
+	// allocated per-node window table.
+	faults        []fault.Fault
+	faultNext     int
+	pendingFaults []fault.Fault
+	faultCount    int
+	nf            []nodeFault
 
 	pool     *parallel.Pool
 	leafEMU  []float64
@@ -222,13 +246,10 @@ func newEngine(cfg *Config, construct bool) *Engine {
 			if cfg.SLOScale > 0 {
 				m.SetSLOScale(cfg.SLOScale)
 			}
-			var ctl *core.Controller
-			if cfg.Heracles {
-				ctl = core.New(m, cfg.Model, core.DefaultConfig())
-			}
-			e.nodes[i] = &node{m: m, ctl: ctl}
+			e.nodes[i] = buildNode(m, cfg)
 		}
 		e.epoch = e.nodes[0].m.Epoch()
+		e.installFaults(cfg.Faults)
 
 		// Root SLO: mean fan-out latency at 95% load with a small margin
 		// for noise above the nominal crest (the paper sets the target as
@@ -356,6 +377,11 @@ func (e *Engine) OwnedBE(task *machine.BETask) bool {
 // nodes through this.
 func (e *Engine) NodeState(i int) sched.NodeState {
 	n := e.nodes[i]
+	if e.NodeDown(i) {
+		// A crashed node advertises nothing: no BE admission, no slack.
+		// Its running jobs were already force-evicted at crash time.
+		return sched.NodeState{ID: i, MaxBECores: n.m.MaxBECores()}
+	}
 	tel := n.m.Last()
 	slack := 0.0
 	if slo := n.m.SLO(); slo > 0 && tel.Time > 0 {
@@ -378,6 +404,11 @@ func (e *Engine) NodeState(i int) sched.NodeState {
 func (e *Engine) Step() EpochResult {
 	t := e.t
 	res := EpochResult{Epoch: e.epochIdx + 1, At: t, Tel: e.telBuf}
+
+	// Faults resolve first in the sequential window: a crash firing this
+	// epoch must evict its jobs before the scheduler tick observes the
+	// node, and a blackout must blind the controller before it polls.
+	res.FaultsApplied = e.stepFaults(t)
 
 	load := math.NaN() // NaN = manual mode, leave each machine's load alone
 	if e.run != nil {
@@ -421,6 +452,17 @@ func (e *Engine) Step() EpochResult {
 	manual := math.IsNaN(load)
 	e.pool.ForEach(len(e.nodes), func(i int) {
 		n := e.nodes[i]
+		if e.nf != nil && e.nf[i].downUntil > t {
+			// The node is dark: its wall clock still advances, but it
+			// serves nothing and reports nothing. Requests routed to it
+			// fail upward — the reduction below books it as a violation.
+			n.m.Clock().Advance(e.epoch)
+			e.telBuf[i] = machine.Telemetry{}
+			e.leafEMU[i] = 0
+			e.leafFrac[i] = 0
+			e.leafTail[i] = lat.EpochStats{}
+			return
+		}
 		if !manual {
 			n.m.SetLoad(load)
 		}
@@ -438,8 +480,19 @@ func (e *Engine) Step() EpochResult {
 		emu   float64
 		worst float64
 		viol  int
+		down  int
 	)
 	for i := range e.nodes {
+		if e.nf != nil && e.nf[i].downUntil > t {
+			// A dark node is the worst possible violation: count it as
+			// one, and pin LeafWorst at least to "at the SLO".
+			down++
+			viol++
+			if worst < 1 {
+				worst = 1
+			}
+			continue
+		}
 		emu += e.leafEMU[i]
 		if e.leafFrac[i] > worst {
 			worst = e.leafFrac[i]
@@ -453,6 +506,7 @@ func (e *Engine) Step() EpochResult {
 		EMU:        emu / float64(len(e.nodes)),
 		LeafWorst:  worst,
 		Violations: viol,
+		Down:       down,
 	}
 	if manual {
 		stat.Load = e.nodes[0].m.Load()

@@ -1,0 +1,217 @@
+// Package fault is the deterministic fault layer: a typed model of the
+// failures a Heracles deployment must absorb — leaf crashes, telemetry
+// blackouts, slow machines, actuation that silently does not land, and
+// best-effort task kills — plus a seeded schedule generator whose output
+// is bit-identical for a given seed regardless of worker count or how
+// many times it runs. Faults are plain serializable data: the engine
+// applies them in its sequential per-epoch window (so batch cluster and
+// fleet arms can run one schedule with and without Heracles and the
+// comparison isolates the controller), carries their state inside its
+// checkpoint, and accepts them live through the control-plane API.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"heracles/internal/sim"
+)
+
+// Kind enumerates the fault model.
+type Kind int
+
+const (
+	// LeafCrash takes a node down for Duration: its machine serves
+	// nothing, every BE task on it dies (scheduler jobs evict through the
+	// normal retry-budget path), and the controller restarts cold when
+	// the node returns.
+	LeafCrash Kind = iota
+	// TelemetryBlackout hides the latency monitor from the node's
+	// controller for Duration: polls return no data, exercising the
+	// stale-telemetry degradation latches. The machine itself keeps
+	// serving.
+	TelemetryBlackout
+	// SlowMachine inflates the node's LC service time by Factor for
+	// Duration — a degraded disk, a thermal throttle, a noisy neighbour
+	// below the virtualisation line.
+	SlowMachine
+	// ActuationFail makes the controller's isolation actions silently
+	// not land for Duration: the controller believes it moved cores,
+	// ways, frequency or network ceilings, but the machine keeps its
+	// allocation.
+	ActuationFail
+	// BEKill kills best-effort tasks on the node (all of them, or only
+	// those running Workload): scheduler-owned jobs evict and consume
+	// retry budget, unmanaged tasks are removed as lost work.
+	BEKill
+)
+
+// String names the kind with the wire spelling used by the JSON API.
+func (k Kind) String() string {
+	switch k {
+	case LeafCrash:
+		return "leaf-crash"
+	case TelemetryBlackout:
+		return "telemetry-blackout"
+	case SlowMachine:
+		return "slow-machine"
+	case ActuationFail:
+		return "actuation-fail"
+	case BEKill:
+		return "be-kill"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KindByName parses the wire spelling.
+func KindByName(name string) (Kind, bool) {
+	for _, k := range []Kind{LeafCrash, TelemetryBlackout, SlowMachine, ActuationFail, BEKill} {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// AllNodes targets a fault at every node of the fleet.
+const AllNodes = -1
+
+// Fault is one scheduled failure. At is simulated time relative to the
+// engine's start; Node selects the target (AllNodes hits the whole
+// fleet). Duration bounds the window kinds; Factor is the SlowMachine
+// inflation; Workload narrows a BEKill ("" kills every BE task).
+type Fault struct {
+	At       time.Duration `json:"at_ns"`
+	Kind     Kind          `json:"kind"`
+	Node     int           `json:"node"`
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	Factor   float64       `json:"factor,omitempty"`
+	Workload string        `json:"workload,omitempty"`
+}
+
+// Validate checks the fault against a fleet of the given size (nodes <= 0
+// skips the upper bound, for callers that validate before sizing).
+func (f Fault) Validate(nodes int) error {
+	if f.At < 0 {
+		return fmt.Errorf("fault: negative time %v", f.At)
+	}
+	if f.Node != AllNodes && (f.Node < 0 || (nodes > 0 && f.Node >= nodes)) {
+		return fmt.Errorf("fault: %s targets node %d of a %d-node fleet", f.Kind, f.Node, nodes)
+	}
+	switch f.Kind {
+	case LeafCrash, TelemetryBlackout, ActuationFail:
+		if f.Duration <= 0 {
+			return fmt.Errorf("fault: %s needs a positive duration", f.Kind)
+		}
+	case SlowMachine:
+		if f.Duration <= 0 {
+			return fmt.Errorf("fault: %s needs a positive duration", f.Kind)
+		}
+		if f.Factor < 1 {
+			return fmt.Errorf("fault: %s factor %.2f must be >= 1", f.Kind, f.Factor)
+		}
+	case BEKill:
+		// Workload is optional; an instantaneous fault has no duration.
+	default:
+		return fmt.Errorf("fault: unknown kind %d", int(f.Kind))
+	}
+	return nil
+}
+
+// Plan is a complete fault schedule, sorted by time.
+type Plan struct {
+	Seed   uint64  `json:"seed"`
+	Faults []Fault `json:"faults"`
+}
+
+// GenConfig parameterises Generate. Zero counts draw no faults of that
+// kind; zero means/factors select the documented defaults.
+type GenConfig struct {
+	Seed    uint64
+	Nodes   int           // fleet size faults target (>= 1)
+	Horizon time.Duration // fault times are uniform over [0, Horizon)
+
+	Crashes        int // LeafCrash count
+	Blackouts      int // TelemetryBlackout count
+	Slowdowns      int // SlowMachine count
+	ActuationFails int // ActuationFail count
+	BEKills        int // BEKill count
+
+	MeanOutage    time.Duration // mean LeafCrash duration (default 30s)
+	MeanBlackout  time.Duration // mean TelemetryBlackout duration (default 45s)
+	MeanSlowdown  time.Duration // mean SlowMachine duration (default 60s)
+	MeanActFail   time.Duration // mean ActuationFail duration (default 30s)
+	MaxSlowFactor float64       // SlowMachine factor is uniform in [1.2, MaxSlowFactor] (default 2.5)
+}
+
+// Generate draws a fault schedule. Every fault i draws from its own
+// sim.DeriveRNG(Seed, i) stream, so the schedule depends only on the
+// config — never on evaluation order or worker count — and two runs with
+// the same seed replay the identical failure history.
+func Generate(cfg GenConfig) Plan {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.MeanOutage <= 0 {
+		cfg.MeanOutage = 30 * time.Second
+	}
+	if cfg.MeanBlackout <= 0 {
+		cfg.MeanBlackout = 45 * time.Second
+	}
+	if cfg.MeanSlowdown <= 0 {
+		cfg.MeanSlowdown = 60 * time.Second
+	}
+	if cfg.MeanActFail <= 0 {
+		cfg.MeanActFail = 30 * time.Second
+	}
+	if cfg.MaxSlowFactor < 1.2 {
+		cfg.MaxSlowFactor = 2.5
+	}
+
+	var faults []Fault
+	idx := uint64(0)
+	draw := func(count int, mk func(rng *sim.RNG) Fault) {
+		for k := 0; k < count; k++ {
+			rng := sim.DeriveRNG(cfg.Seed, idx)
+			idx++
+			faults = append(faults, mk(rng))
+		}
+	}
+	at := func(rng *sim.RNG) time.Duration {
+		return time.Duration(rng.Float64() * float64(cfg.Horizon))
+	}
+	dur := func(rng *sim.RNG, mean time.Duration) time.Duration {
+		d := time.Duration(rng.Exp(mean.Seconds()) * float64(time.Second))
+		if d < 2*time.Second {
+			d = 2 * time.Second
+		}
+		return d
+	}
+
+	draw(cfg.Crashes, func(rng *sim.RNG) Fault {
+		return Fault{At: at(rng), Kind: LeafCrash, Node: rng.Intn(cfg.Nodes), Duration: dur(rng, cfg.MeanOutage)}
+	})
+	draw(cfg.Blackouts, func(rng *sim.RNG) Fault {
+		return Fault{At: at(rng), Kind: TelemetryBlackout, Node: rng.Intn(cfg.Nodes), Duration: dur(rng, cfg.MeanBlackout)}
+	})
+	draw(cfg.Slowdowns, func(rng *sim.RNG) Fault {
+		return Fault{
+			At: at(rng), Kind: SlowMachine, Node: rng.Intn(cfg.Nodes),
+			Duration: dur(rng, cfg.MeanSlowdown),
+			Factor:   1.2 + rng.Float64()*(cfg.MaxSlowFactor-1.2),
+		}
+	})
+	draw(cfg.ActuationFails, func(rng *sim.RNG) Fault {
+		return Fault{At: at(rng), Kind: ActuationFail, Node: rng.Intn(cfg.Nodes), Duration: dur(rng, cfg.MeanActFail)}
+	})
+	draw(cfg.BEKills, func(rng *sim.RNG) Fault {
+		return Fault{At: at(rng), Kind: BEKill, Node: rng.Intn(cfg.Nodes)}
+	})
+
+	// Stable by time: faults of the same instant keep their generation
+	// order, which is fixed by kind then index.
+	sort.SliceStable(faults, func(a, b int) bool { return faults[a].At < faults[b].At })
+	return Plan{Seed: cfg.Seed, Faults: faults}
+}

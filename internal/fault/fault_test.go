@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func genCfg(seed uint64) GenConfig {
+	return GenConfig{
+		Seed: seed, Nodes: 8, Horizon: time.Hour,
+		Crashes: 5, Blackouts: 4, Slowdowns: 3, ActuationFails: 2, BEKills: 2,
+	}
+}
+
+// TestGenerateDeterministic pins the schedule generator's contract: the
+// plan is a pure function of the config, so two calls with one seed are
+// bit-identical and a different seed moves the schedule.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(genCfg(42))
+	b := Generate(genCfg(42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%+v\nvs\n%+v", a, b)
+	}
+	if want := 5 + 4 + 3 + 2 + 2; len(a.Faults) != want {
+		t.Fatalf("plan has %d faults, want %d", len(a.Faults), want)
+	}
+	c := Generate(genCfg(43))
+	if reflect.DeepEqual(a.Faults, c.Faults) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestGenerateSortedAndValid: the plan is sorted by time and every fault
+// passes validation against the fleet it was drawn for.
+func TestGenerateSortedAndValid(t *testing.T) {
+	cfg := genCfg(7)
+	plan := Generate(cfg)
+	for i, f := range plan.Faults {
+		if i > 0 && f.At < plan.Faults[i-1].At {
+			t.Fatalf("fault %d at %v precedes fault %d at %v", i, f.At, i-1, plan.Faults[i-1].At)
+		}
+		if err := f.Validate(cfg.Nodes); err != nil {
+			t.Fatalf("generated fault %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Fault
+	}{
+		{"negative time", Fault{At: -time.Second, Kind: LeafCrash, Duration: time.Second}},
+		{"node out of range", Fault{Kind: LeafCrash, Node: 8, Duration: time.Second}},
+		{"negative node", Fault{Kind: LeafCrash, Node: -2, Duration: time.Second}},
+		{"crash without duration", Fault{Kind: LeafCrash, Node: 0}},
+		{"blackout without duration", Fault{Kind: TelemetryBlackout, Node: 0}},
+		{"slow factor below one", Fault{Kind: SlowMachine, Node: 0, Duration: time.Second, Factor: 0.5}},
+		{"unknown kind", Fault{Kind: Kind(99), Node: 0}},
+	}
+	for _, c := range cases {
+		if err := c.f.Validate(8); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.f)
+		}
+	}
+	ok := []Fault{
+		{Kind: LeafCrash, Node: AllNodes, Duration: time.Second},
+		{Kind: BEKill, Node: 3, Workload: "brain"},
+		{Kind: SlowMachine, Node: 7, Duration: time.Minute, Factor: 2},
+	}
+	for _, f := range ok {
+		if err := f.Validate(8); err != nil {
+			t.Errorf("Validate rejected valid fault %+v: %v", f, err)
+		}
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range []Kind{LeafCrash, TelemetryBlackout, SlowMachine, ActuationFail, BEKill} {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindByName("meteor-strike"); ok {
+		t.Error("KindByName accepted an unknown name")
+	}
+}

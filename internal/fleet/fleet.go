@@ -7,6 +7,7 @@ import (
 
 	"heracles/internal/cluster"
 	"heracles/internal/experiment"
+	"heracles/internal/fault"
 	"heracles/internal/hw"
 	"heracles/internal/parallel"
 	"heracles/internal/scenario"
@@ -43,6 +44,12 @@ type ClusterSpec struct {
 	// per comparison arm.
 	Jobs        []sched.JobSpec
 	SchedPolicy string
+
+	// Faults is a deterministic fault schedule applied to every replica
+	// of this spec. Both arms of each instance (baseline and Heracles,
+	// and every policy arm) run the identical schedule, so resilience
+	// differences are paired the same way load is.
+	Faults []fault.Fault
 }
 
 // Config describes a fleet experiment.
@@ -155,6 +162,15 @@ func expand(cfg Config) (map[hw.Config]*experiment.Lab, []instance) {
 		if err := spec.Scenario.Validate(); err != nil {
 			panic(fmt.Sprintf("fleet: spec %q: %v", spec.Name, err))
 		}
+		leaves := spec.Leaves
+		if leaves <= 0 {
+			leaves = 8
+		}
+		for _, f := range spec.Faults {
+			if err := f.Validate(leaves); err != nil {
+				panic(fmt.Sprintf("fleet: spec %q: %v", spec.Name, err))
+			}
+		}
 		if len(spec.Jobs) > 0 && spec.SchedPolicy != "" {
 			if _, err := sched.PolicyByName(spec.SchedPolicy); err != nil {
 				panic(fmt.Sprintf("fleet: spec %q: %v", spec.Name, err))
@@ -200,6 +216,7 @@ func runInstance(cfg Config, inst instance, lab *experiment.Lab, pairSeed uint64
 		// fan-out is the parallelism.
 		Seed:    pairSeed,
 		Workers: 1,
+		Faults:  spec.Faults,
 	}
 	if heracles && len(spec.Jobs) > 0 {
 		if policy == "" {

@@ -296,6 +296,27 @@ func (s *Scheduler) Cancel(id int, now time.Duration, accrued float64) bool {
 	return true
 }
 
+// Kill force-evicts a running job — the fault layer's BE-kill and the
+// crash paths use it when a task dies out from under the scheduler. The
+// accrued CPU time (the caller reads it before the task is destroyed) is
+// charged as wasted and the job goes through the normal eviction path:
+// retry budget is consumed exactly like a controller-driven eviction,
+// failing the job when the budget is spent. Returns the executor actions
+// to apply, or nil if the job is not running.
+func (s *Scheduler) Kill(id int, now time.Duration, accrued float64, reason string) []Action {
+	if id < 1 || id > len(s.jobs) {
+		return nil
+	}
+	j := s.jobs[id-1]
+	if j.State != JobRunning {
+		return nil
+	}
+	j.CPUSec = accrued
+	var actions []Action
+	s.evict(j, now, reason, &actions)
+	return actions
+}
+
 // Abort returns a job the executor failed to start (the node refused the
 // dispatch) to the queue without charging its retry budget.
 func (s *Scheduler) Abort(id int, now time.Duration) {

@@ -18,10 +18,10 @@ import (
 // (pause/fast-forward) or a different one (migration).
 //
 // Tasks dispatched by the fleet job scheduler are captured as plain
-// machine state: the restored instance keeps running them, but their
-// jobs stay with the origin server's scheduler, which evicts them when
-// the origin instance disappears. Cancel such orphans with the BE detach
-// route if they should not continue.
+// machine state and indexed by FleetTasks; a restore prunes them. Their
+// jobs stay with the origin server's scheduler — which evicts and
+// requeues them when the origin instance crashes or disappears — so
+// keeping the tasks alive would silently double-run the same work.
 type InstanceCheckpoint struct {
 	Version   int           `json:"version"`
 	Name      string        `json:"name,omitempty"`
@@ -30,6 +30,10 @@ type InstanceCheckpoint struct {
 	Speed     float64       `json:"speed,omitempty"`
 	MaxEpochs int           `json:"max_epochs,omitempty"`
 	Scenario  *ScenarioSpec `json:"scenario,omitempty"`
+
+	// FleetTasks indexes the machine's BE task list at snapshot time,
+	// marking tasks owned by the fleet job scheduler.
+	FleetTasks []int `json:"fleet_tasks,omitempty"`
 
 	Engine *engine.Checkpoint `json:"engine"`
 }
@@ -41,24 +45,36 @@ type InstanceCheckpoint struct {
 func (i *Instance) Checkpoint() (*InstanceCheckpoint, error) {
 	var cp *InstanceCheckpoint
 	err := i.Do(func() error {
-		var spec *ScenarioSpec
-		if i.scenarioSpec != nil {
-			s := *i.scenarioSpec
-			spec = &s
-		}
-		cp = &InstanceCheckpoint{
-			Version:   engine.CheckpointVersion,
-			Name:      i.name,
-			LC:        i.lcName,
-			Compact:   i.compact,
-			Speed:     i.speed,
-			MaxEpochs: int(i.maxEpochs),
-			Scenario:  spec,
-			Engine:    i.eng.Snapshot(),
-		}
+		cp = i.buildCheckpoint()
 		return nil
 	})
 	return cp, err
+}
+
+// buildCheckpoint assembles the checkpoint; driver goroutine only (the
+// supervisor also calls it directly, on its restart-checkpoint cadence).
+func (i *Instance) buildCheckpoint() *InstanceCheckpoint {
+	var spec *ScenarioSpec
+	if i.scenarioSpec != nil {
+		s := *i.scenarioSpec
+		spec = &s
+	}
+	cp := &InstanceCheckpoint{
+		Version:   engine.CheckpointVersion,
+		Name:      i.name,
+		LC:        i.lcName,
+		Compact:   i.compact,
+		Speed:     i.speed,
+		MaxEpochs: int(i.maxEpochs),
+		Scenario:  spec,
+		Engine:    i.eng.Snapshot(),
+	}
+	for idx, be := range i.m.BEs() {
+		if i.eng.OwnedBE(be) {
+			cp.FleetTasks = append(cp.FleetTasks, idx)
+		}
+	}
+	return cp
 }
 
 // validateCheckpoint rejects a restore request whose checkpoint is
@@ -89,6 +105,11 @@ func validateCheckpoint(cp *InstanceCheckpoint) error {
 	for _, be := range m.BEs {
 		if err := checkBEName(be.Workload); err != nil {
 			return err
+		}
+	}
+	for _, idx := range cp.FleetTasks {
+		if idx < 0 || idx >= len(m.BEs) {
+			return fmt.Errorf("checkpoint fleet task index %d outside the machine's %d BE tasks", idx, len(m.BEs))
 		}
 	}
 	if cp.Engine.Sched != nil {

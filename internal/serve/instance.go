@@ -25,6 +25,12 @@ var ErrStopped = errors.New("serve: instance stopped")
 const (
 	StateRunning = "running"
 	StateDone    = "done"
+	// StateCrashed: the driver panicked; the supervisor is restarting it
+	// from the last checkpoint.
+	StateCrashed = "crashed"
+	// StateQuarantined: the supervisor's circuit breaker opened after
+	// repeated crashes; the instance is inspectable but frozen.
+	StateQuarantined = "quarantined"
 )
 
 // SpeedMax requests free-running simulation: the driver advances epochs
@@ -127,7 +133,9 @@ type ControllerUpdate struct {
 
 // LifecycleUpdate marks an instance state transition on the event stream:
 // "scenario" (installed), "scenario-done", "restored" (created from a
-// checkpoint), "done" (MaxEpochs reached) or "deleted".
+// checkpoint, or restarted from one after a crash), "done" (MaxEpochs
+// reached), "crashed" (driver panic), "quarantined" (circuit breaker
+// opened) or "deleted".
 type LifecycleUpdate struct {
 	Instance string `json:"instance"`
 	State    string `json:"state"`
@@ -158,6 +166,12 @@ type Status struct {
 	Last          EpochUpdate   `json:"last"`
 	Actions       []ActionCount `json:"actions,omitempty"`
 	DroppedEvents int64         `json:"dropped_events"`
+
+	// Supervisor health summary (see HealthStatus for the full view).
+	Health         string `json:"health"`
+	Crashes        int    `json:"crashes,omitempty"`
+	Restarts       int    `json:"restarts,omitempty"`
+	FaultsInjected int64  `json:"faults_injected,omitempty"`
 }
 
 type actionKey struct{ loop, action string }
@@ -196,14 +210,35 @@ type Instance struct {
 	donec    chan struct{}
 	stopOnce sync.Once
 
+	// Supervision wiring, fixed at construction.
+	sup     supervisorConfig
+	supSeed uint64
+	trace   func(core.Event) // re-attached to the fresh controller on restart
+
 	// Driver-goroutine-only state (also touched from Do closures, which
 	// run in the driver goroutine by construction).
-	doneRunning  bool
-	scenarioSpec *ScenarioSpec // JSON form of the active scenario, for checkpoints
+	doneRunning        bool
+	scenarioSpec       *ScenarioSpec // JSON form of the active scenario, for checkpoints
+	panicNext          bool          // armed by the driver-panic fault
+	lastCP             *InstanceCheckpoint
+	epochsSinceRestart int
 
 	mu      sync.Mutex
 	status  Status
 	actions map[actionKey]int64
+
+	// Supervisor health, mu-guarded. crashc is the crash gate: replaced
+	// on every restart, closed while crashed so Do callers parked on the
+	// mailbox fail fast instead of deadlocking against a dead driver.
+	crashed        bool
+	crashc         chan struct{}
+	healthState    string
+	crashes        int
+	restarts       int
+	consec         int
+	lastErr        string
+	lastCrashEpoch uint64
+	faultsInjected int64
 }
 
 // engineConfig is the single-node engine configuration every instance
@@ -223,8 +258,9 @@ func engineConfig(lab *experiment.Lab, lcName string) engine.Config {
 // newInstance builds and starts an instance. The caller has validated the
 // spec (workload names, placement names, numeric ranges, checkpoint
 // contents) and resolved the lab for the requested hardware generation;
-// speed is the resolved tick rate (SpeedMax for free-running).
-func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float64) (*Instance, error) {
+// speed is the resolved tick rate (SpeedMax for free-running), sup the
+// crash-supervision tunables.
+func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float64, sup supervisorConfig) (*Instance, error) {
 	lcName := spec.LC
 	if lcName == "" {
 		lcName = "websearch"
@@ -258,6 +294,12 @@ func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float6
 		stopc:     make(chan struct{}),
 		donec:     make(chan struct{}),
 		actions:   make(map[actionKey]int64),
+
+		sup:         sup.withDefaults(),
+		supSeed:     fnvHash(id),
+		trace:       spec.Trace,
+		crashc:      make(chan struct{}),
+		healthState: HealthHealthy,
 	}
 
 	if cp := spec.Restore; cp != nil {
@@ -276,6 +318,9 @@ func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float6
 		if err != nil {
 			return nil, fmt.Errorf("restore: %w", err)
 		}
+		// Tasks the origin fleet scheduler owned do not survive a restore:
+		// their jobs stay with (and were requeued by) that scheduler.
+		pruneFleetTasks(eng, cp)
 		i.eng = eng
 	} else {
 		cfg := engineConfig(lab, lcName)
@@ -341,6 +386,11 @@ func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float6
 		i.installScenario(sc, spec.Scenario)
 	}
 
+	// Seed the supervisor's restart checkpoint before the driver starts:
+	// even a crash on the very first epoch has a state to restart from.
+	i.status.Health = i.healthState
+	i.lastCP = i.buildCheckpoint()
+
 	go i.loop()
 	if restoredFrom != "" {
 		i.publishLifecycle("restored", restoredFrom)
@@ -382,6 +432,10 @@ func (i *Instance) Status() Status {
 	s := i.status
 	s.BEs = append([]string(nil), i.status.BEs...)
 	s.Actions = sortedActions(i.actions)
+	s.Health = i.healthState
+	s.Crashes = i.crashes
+	s.Restarts = i.restarts
+	s.FaultsInjected = i.faultsInjected
 	i.mu.Unlock()
 	s.DroppedEvents = i.hub.Dropped()
 	return s
@@ -415,11 +469,25 @@ func (i *Instance) Stop() {
 // its error. This is the only mutation path: it serialises API writes
 // with the simulation so telemetry seen before and after the call is
 // causally consistent. Returns ErrStopped if the instance has been
-// stopped.
+// stopped, ErrCrashed while the supervisor restarts a crashed driver,
+// and ErrQuarantined once the circuit breaker has opened.
 func (i *Instance) Do(fn func() error) error {
+	i.mu.Lock()
+	if i.crashed {
+		err := i.crashErrLocked()
+		i.mu.Unlock()
+		return err
+	}
+	gate := i.crashc
+	i.mu.Unlock()
+
 	c := command{fn: fn, errc: make(chan error, 1)}
 	select {
 	case i.cmds <- c:
+	case <-gate:
+		// The driver crashed while this call was parked on the mailbox;
+		// fail instead of waiting out the restart backoff.
+		return i.crashErr()
 	case <-i.donec:
 		return ErrStopped
 	}
@@ -603,31 +671,59 @@ func (i *Instance) publishLifecycle(state, detail string) {
 	i.hub.Publish(Message{Event: "lifecycle", ID: ep, Data: data})
 }
 
-// loop is the driver goroutine: it applies enqueued commands immediately
-// and advances one simulated epoch per tick (or continuously when
-// free-running). When MaxEpochs is reached the loop parks — still serving
-// commands and status queries — until the instance is deleted.
+// loop is the driver goroutine under supervision: run drives the tick
+// loop until it stops cleanly or panics; a panic books a crash and — if
+// the circuit breaker allows — restarts the engine from the last
+// checkpoint and re-enters run. A quarantined instance parks, still
+// answering (with errors) so callers never hang.
 func (i *Instance) loop() {
 	defer close(i.donec)
 	defer i.hub.Close()
-	defer i.eng.Close()
+	defer func() { i.eng.Close() }() // the engine may have been swapped by a restart
+
+	for {
+		v := i.run()
+		if v == nil {
+			return
+		}
+		i.noteCrash(v)
+		if i.superviseRestart() {
+			continue
+		}
+		i.mu.Lock()
+		q := i.healthState == HealthQuarantined
+		i.mu.Unlock()
+		if q {
+			i.parkQuarantined()
+		}
+		return
+	}
+}
+
+// run applies enqueued commands immediately and advances one simulated
+// epoch per tick (or continuously when free-running). When MaxEpochs is
+// reached it parks — still serving commands and status queries — until
+// the instance is deleted. A nil return means clean stop; anything else
+// is the recovered panic of a driver crash.
+func (i *Instance) run() (panicked any) {
+	defer func() { panicked = recover() }()
 
 	if i.interval <= 0 {
 		for {
 			select {
 			case <-i.stopc:
-				return
+				return nil
 			case c := <-i.cmds:
-				c.errc <- c.fn()
+				i.apply(c)
 				continue
 			default:
 			}
 			if i.doneRunning {
 				select {
 				case <-i.stopc:
-					return
+					return nil
 				case c := <-i.cmds:
-					c.errc <- c.fn()
+					i.apply(c)
 				}
 				continue
 			}
@@ -645,9 +741,9 @@ func (i *Instance) loop() {
 	for {
 		select {
 		case <-i.stopc:
-			return
+			return nil
 		case c := <-i.cmds:
-			c.errc <- c.fn()
+			i.apply(c)
 		case <-tick:
 			i.step()
 			if i.doneRunning {
@@ -656,6 +752,21 @@ func (i *Instance) loop() {
 			}
 		}
 	}
+}
+
+// apply runs one mailbox command, always replying on errc even when the
+// closure panics: the waiting Do caller gets an error immediately, then
+// the panic resumes so the supervisor books the crash. Without the
+// reply, a panicking closure would leave its caller parked on errc until
+// the restart finished.
+func (i *Instance) apply(c command) {
+	defer func() {
+		if v := recover(); v != nil {
+			c.errc <- fmt.Errorf("serve: instance %s driver panicked: %v", i.id, v)
+			panic(v)
+		}
+	}()
+	c.errc <- c.fn()
 }
 
 // epochUpdate renders one epoch's telemetry as the wire summary.
@@ -692,6 +803,10 @@ func (i *Instance) epochUpdate(tel machine.Telemetry, epoch uint64) EpochUpdate 
 // in exactly the order the batch layers use — then publishes the status
 // snapshot and the event stream.
 func (i *Instance) step() {
+	if i.panicNext {
+		i.panicNext = false
+		panic(fmt.Sprintf("injected driver panic on %s", i.id))
+	}
 	er := i.eng.Step()
 	tel := er.Tel[0]
 
@@ -702,7 +817,7 @@ func (i *Instance) step() {
 		i.mu.Unlock()
 		i.publishLifecycle("scenario-done", er.ScenarioDone)
 	}
-	if er.EventsApplied > 0 {
+	if er.EventsApplied > 0 || er.FaultsApplied > 0 {
 		i.refreshBEs()
 	}
 
@@ -711,10 +826,19 @@ func (i *Instance) step() {
 	i.mu.Lock()
 	i.status.Epoch = er.Epoch
 	i.status.Last = up
+	i.faultsInjected += int64(er.FaultsApplied)
 	if done {
 		i.status.State = StateDone
 	}
 	i.mu.Unlock()
+
+	// Supervisor bookkeeping: refresh the restart checkpoint on its
+	// cadence and close the stability window.
+	i.epochsSinceRestart++
+	if i.epochsSinceRestart%i.sup.ckptEvery == 0 {
+		i.lastCP = i.buildCheckpoint()
+	}
+	i.markStable()
 
 	if i.epochHook != nil {
 		i.epochHook(i.m, tel)

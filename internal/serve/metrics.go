@@ -90,6 +90,24 @@ func WriteMetrics(w io.Writer, sts []Status) {
 	metricFamily(w, "heracles_events_dropped_total", "counter",
 		"Event-stream messages lost to full subscriber buffers.", sts,
 		func(s Status) float64 { return float64(s.DroppedEvents) })
+	metricFamily(w, "heracles_instance_health", "gauge",
+		"Supervisor health: 0 healthy, 1 degraded (recent crash), 2 quarantined.", sts,
+		func(s Status) float64 {
+			switch s.Health {
+			case HealthDegraded:
+				return 1
+			case HealthQuarantined:
+				return 2
+			default:
+				return 0
+			}
+		})
+	metricFamily(w, "heracles_instance_restarts_total", "counter",
+		"Automatic restarts from the last checkpoint after a driver crash.", sts,
+		func(s Status) float64 { return float64(s.Restarts) })
+	metricFamily(w, "heracles_faults_injected_total", "counter",
+		"Faults applied to the instance, injected via the API or a scenario schedule.", sts,
+		func(s Status) float64 { return float64(s.FaultsInjected) })
 
 	fmt.Fprint(w, "# HELP heracles_controller_actions_total Controller decisions by loop and action.\n# TYPE heracles_controller_actions_total counter\n")
 	for _, s := range sts {
@@ -153,4 +171,50 @@ func WriteSchedMetrics(w io.Writer, st SchedulerStatus) {
 		"BE CPU-seconds discarded by evictions and cancellations.", fmtFloat(st.WastedCPUSec))
 	schedScalar(w, "heracles_sched_queue_delay_mean_seconds", "gauge",
 		"Mean dispatchable-to-dispatched wait.", fmtFloat(st.MeanQueueDelayS))
+	schedScalar(w, "heracles_sched_tick_panics_total", "counter",
+		"Dispatch-loop ticks that panicked and were recovered.", strconv.Itoa(st.TickPanics))
+}
+
+// MetricNames lists every metric family the exposition can emit, in
+// render order. The docs check uses it to keep docs/API.md complete, and
+// a test keeps it in lockstep with the actual renderers.
+func MetricNames() []string {
+	return []string{
+		"heracles_instances",
+		"heracles_instance_up",
+		"heracles_instance_epochs_total",
+		"heracles_instance_load",
+		"heracles_instance_slo_seconds",
+		"heracles_instance_tail_latency_seconds",
+		"heracles_instance_p95_latency_seconds",
+		"heracles_instance_slo_slack",
+		"heracles_instance_emu",
+		"heracles_instance_be_enabled",
+		"heracles_instance_be_cores",
+		"heracles_instance_be_ways",
+		"heracles_instance_dram_util",
+		"heracles_instance_power_frac_tdp",
+		"heracles_instance_link_util",
+		"heracles_events_dropped_total",
+		"heracles_instance_health",
+		"heracles_instance_restarts_total",
+		"heracles_faults_injected_total",
+		"heracles_controller_actions_total",
+		"heracles_fleet_emu_mean",
+		"heracles_fleet_slo_slack_min",
+		"heracles_sched_info",
+		"heracles_sched_queue_depth",
+		"heracles_sched_running_jobs",
+		"heracles_sched_jobs_submitted_total",
+		"heracles_sched_dispatches_total",
+		"heracles_sched_jobs_completed_total",
+		"heracles_sched_evictions_total",
+		"heracles_sched_jobs_failed_total",
+		"heracles_sched_jobs_cancelled_total",
+		"heracles_sched_dispatch_aborts_total",
+		"heracles_sched_goodput_cpu_seconds_total",
+		"heracles_sched_wasted_cpu_seconds_total",
+		"heracles_sched_queue_delay_mean_seconds",
+		"heracles_sched_tick_panics_total",
+	}
 }

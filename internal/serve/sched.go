@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -59,6 +61,8 @@ type SchedulerStatus struct {
 	GoodputFrac     float64 `json:"goodput_frac"`
 	MeanQueueDelayS float64 `json:"mean_queue_delay_s"`
 	MaxQueueDepth   int     `json:"max_queue_depth"`
+	TickPanics      int     `json:"tick_panics,omitempty"`
+	LastTickPanic   string  `json:"last_tick_panic,omitempty"`
 }
 
 // SchedulerUpdate is one scheduler decision published on the affected
@@ -91,9 +95,11 @@ type schedDriver struct {
 	interval time.Duration
 	start    time.Time
 
-	mu    sync.Mutex
-	s     *sched.Scheduler
-	tasks map[int]*taskRef
+	mu            sync.Mutex
+	s             *sched.Scheduler
+	tasks         map[int]*taskRef
+	tickPanics    int
+	lastTickPanic string
 
 	stopOnce sync.Once
 	stopc    chan struct{}
@@ -137,9 +143,96 @@ func (d *schedDriver) loop() {
 		case <-d.stopc:
 			return
 		case <-tk.C:
-			d.tick()
+			d.safeTick()
 		}
 	}
+}
+
+// safeTick isolates the dispatch loop from a panicking tick: the panic
+// is recorded and the loop keeps running on the next interval. tick's
+// deferred unlock releases d.mu on the way out, so the job API stays
+// live.
+func (d *schedDriver) safeTick() {
+	defer func() {
+		if v := recover(); v != nil {
+			d.mu.Lock()
+			d.tickPanics++
+			d.lastTickPanic = fmt.Sprint(v)
+			d.mu.Unlock()
+		}
+	}()
+	d.tick()
+}
+
+// evictCrashed force-evicts every running job whose task lives on inst.
+// Called by the supervisor from the crashed instance's driver goroutine
+// before the restart rebuilds the engine: the tasks are about to vanish
+// with the discarded machine, so the jobs go back through the normal
+// evict path (charging their retry budget) with the CPU time accrued so
+// far. The machine is frozen — its driver is the caller — so reading the
+// task counters directly is safe; no mailbox round-trip is possible or
+// needed.
+func (d *schedDriver) evictCrashed(inst *Instance) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var ids []int
+	for id, ref := range d.tasks {
+		if ref.inst == inst {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ref := d.tasks[id]
+		delete(d.tasks, id)
+		j, _ := d.s.Job(id)
+		acts := d.s.Kill(id, d.now(), ref.task.CPUSec, "instance driver crashed")
+		for _, a := range acts {
+			inst.publishScheduler(SchedulerUpdate{
+				Instance: inst.ID(), Job: a.Job, Name: j.Spec.Name, Workload: j.Spec.Workload,
+				Action: a.Kind.String(), Attempt: j.Attempts, CPUSec: ref.task.CPUSec,
+				Detail: "instance crashed",
+			})
+		}
+	}
+}
+
+// killJobsOn force-evicts running jobs on inst whose workload matches wl
+// (all of them when wl is empty), stopping their tasks through the
+// mailbox. Used by fault injection so a leaf-crash or be-kill consumes
+// the affected jobs' retry budgets instead of leaving them running
+// against tasks the fault is about to destroy. Returns the number of
+// jobs evicted.
+func (d *schedDriver) killJobsOn(inst *Instance, wl string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var ids []int
+	for id, ref := range d.tasks {
+		if ref.inst == inst && (wl == "" || ref.task.WL.Spec.Name == wl) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	killed := 0
+	for _, id := range ids {
+		ref := d.tasks[id]
+		delete(d.tasks, id)
+		cpu, err := ref.inst.stopSchedTask(ref.task, false)
+		if err != nil {
+			cpu = ref.task.CPUSec
+		}
+		j, _ := d.s.Job(id)
+		acts := d.s.Kill(id, d.now(), cpu, "killed by injected fault")
+		killed += len(acts)
+		for _, a := range acts {
+			inst.publishScheduler(SchedulerUpdate{
+				Instance: inst.ID(), Job: a.Job, Name: j.Spec.Name, Workload: j.Spec.Workload,
+				Action: a.Kind.String(), Attempt: j.Attempts, CPUSec: cpu,
+				Detail: "killed by injected fault",
+			})
+		}
+	}
+	return killed
 }
 
 // instIndex parses the registry id ("i7") into the scheduler's stable
@@ -317,6 +410,8 @@ func (d *schedDriver) Status() SchedulerStatus {
 		GoodputFrac:     a.GoodputFrac(),
 		MeanQueueDelayS: a.MeanQueueDelay().Seconds(),
 		MaxQueueDepth:   a.MaxQueueDepth,
+		TickPanics:      d.tickPanics,
+		LastTickPanic:   d.lastTickPanic,
 	}
 }
 

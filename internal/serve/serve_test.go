@@ -507,6 +507,41 @@ func TestDoAfterStopReturnsErrStopped(t *testing.T) {
 	}
 }
 
+// TestMetricNamesMatchRenderers keeps MetricNames — the registry the
+// docs check reads — in lockstep with what WriteMetrics and
+// WriteSchedMetrics actually emit.
+func TestMetricNamesMatchRenderers(t *testing.T) {
+	var b strings.Builder
+	WriteMetrics(&b, []Status{{
+		ID: "i1", State: StateRunning, Epoch: 3,
+		Health: HealthDegraded, Restarts: 1, FaultsInjected: 2,
+		Actions: []ActionCount{{Loop: "top", Action: "ENABLE_BE", Count: 1}},
+	}})
+	WriteSchedMetrics(&b, SchedulerStatus{Policy: "slack-greedy", TickPanics: 1})
+
+	rendered := map[string]bool{}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if f := strings.Fields(line); len(f) == 4 && f[1] == "TYPE" {
+			rendered[f[2]] = true
+		}
+	}
+	declared := map[string]bool{}
+	for _, name := range MetricNames() {
+		if declared[name] {
+			t.Errorf("MetricNames lists %q twice", name)
+		}
+		declared[name] = true
+		if !rendered[name] {
+			t.Errorf("MetricNames lists %q but the renderers never emit it", name)
+		}
+	}
+	for name := range rendered {
+		if !declared[name] {
+			t.Errorf("renderers emit %q but MetricNames does not list it", name)
+		}
+	}
+}
+
 func TestWriteMetricsRendersAllFamilies(t *testing.T) {
 	var b strings.Builder
 	sts := []Status{{

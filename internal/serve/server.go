@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"heracles/internal/experiment"
+	"heracles/internal/fault"
 	"heracles/internal/hw"
 	"heracles/internal/sched"
 	"heracles/internal/workload"
@@ -44,6 +45,22 @@ type Config struct {
 	SchedInterval time.Duration
 	// SchedSeed seeds the scheduler's deterministic choice streams.
 	SchedSeed uint64
+
+	// RestartBackoff is the supervisor's base restart delay after a
+	// driver crash; it doubles per consecutive crash (capped at 16x) with
+	// up to 50% deterministic jitter. 0 selects 250ms.
+	RestartBackoff time.Duration
+	// MaxCrashRestarts is the circuit breaker: an instance exceeding this
+	// many consecutive crashes is quarantined instead of restarted. 0
+	// selects 5; the counter clears after StableEpochs clean epochs.
+	MaxCrashRestarts int
+	// CheckpointEpochs is how often (in epochs) the supervisor refreshes
+	// each instance's in-memory restart checkpoint. 0 selects 30.
+	CheckpointEpochs int
+	// StableEpochs is how many crash-free epochs return a degraded
+	// instance to healthy and reset its consecutive-crash count. 0
+	// selects 120.
+	StableEpochs int
 }
 
 // Server owns the instance pool and the HTTP API over it.
@@ -126,7 +143,17 @@ func (s *Server) CreateInstance(spec InstanceSpec) (*Instance, error) {
 	if speed == 0 {
 		speed = s.cfg.DefaultSpeed
 	}
-	inst, err := newInstance(id, spec, s.labFor(compact), speed)
+	sup := supervisorConfig{
+		backoff:   s.cfg.RestartBackoff,
+		maxConsec: s.cfg.MaxCrashRestarts,
+		ckptEvery: s.cfg.CheckpointEpochs,
+		stable:    s.cfg.StableEpochs,
+		// A crash kills the fleet scheduler's tasks with the machine:
+		// evict their jobs (requeuing against the retry budget) before
+		// the instance restarts from its checkpoint.
+		onCrash: func(in *Instance) { s.sched.evictCrashed(in) },
+	}
+	inst, err := newInstance(id, spec, s.labFor(compact), speed, sup)
 	if err != nil {
 		s.reg.Unreserve()
 		return nil, err
@@ -225,6 +252,8 @@ var routeTable = []Route{
 	{"DELETE", "/api/v1/instances/{id}/bes/{workload}", "detach best-effort tasks by workload name", (*Server).handleDetachBE},
 	{"POST", "/api/v1/instances/{id}/scenario", "drive the instance by a declarative scenario", (*Server).handleScenario},
 	{"POST", "/api/v1/instances/{id}/checkpoint", "snapshot the instance's full simulation state for restore or migration", (*Server).handleCheckpoint},
+	{"GET", "/api/v1/instances/{id}/health", "supervisor health: crash and restart counters, circuit-breaker state", (*Server).handleInstanceHealth},
+	{"POST", "/api/v1/instances/{id}/faults", "inject a fault: leaf-crash, telemetry-blackout, slow-machine, actuation-fail, be-kill or driver-panic", (*Server).handleFaultInject},
 	{"GET", "/api/v1/instances/{id}/stream", "SSE stream of epoch telemetry, controller and scheduler events", (*Server).handleStream},
 	{"GET", "/api/v1/scheduler", "fleet scheduler status and goodput accounting", (*Server).handleSchedStatus},
 	{"GET", "/api/v1/jobs", "list best-effort jobs", (*Server).handleJobsList},
@@ -257,11 +286,33 @@ func apiError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// decodeBody strictly decodes a JSON request body into v.
+// Body limits on mutating routes: a misbehaving client must not be able
+// to stream an unbounded request into memory. Ordinary mutation bodies
+// are tiny; instance creation may carry a full restore checkpoint, so it
+// gets a larger allowance.
+const (
+	defaultBodyLimit = 1 << 20  // 1 MiB
+	restoreBodyLimit = 64 << 20 // 64 MiB: InstanceSpec.Restore checkpoints
+)
+
+// decodeBody strictly decodes a JSON request body into v, capped at the
+// default body limit.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
+	return decodeBodyLimit(w, r, v, defaultBodyLimit)
+}
+
+// decodeBodyLimit is decodeBody with an explicit size cap; an oversized
+// body answers 413 and closes the connection.
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			apiError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
 		apiError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -285,6 +336,10 @@ func doErr(w http.ResponseWriter, err error) bool {
 		return true
 	case errors.Is(err, ErrStopped):
 		apiError(w, http.StatusConflict, "instance stopped")
+	case errors.Is(err, ErrQuarantined):
+		apiError(w, http.StatusConflict, "instance quarantined after repeated crashes")
+	case errors.Is(err, ErrCrashed):
+		apiError(w, http.StatusServiceUnavailable, "instance crashed, restart in progress")
 	default:
 		apiError(w, http.StatusBadRequest, "%v", err)
 	}
@@ -310,7 +365,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var spec InstanceSpec
-	if !decodeBody(w, r, &spec) {
+	if !decodeBodyLimit(w, r, &spec, restoreBodyLimit) {
 		return
 	}
 	inst, err := s.CreateInstance(spec)
@@ -482,6 +537,43 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, cp)
+}
+
+func (s *Server) handleInstanceHealth(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, inst.Health())
+}
+
+func (s *Server) handleFaultInject(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	var req FaultRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.check(); err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Faults that kill BE tasks must go through the fleet scheduler's
+	// bookkeeping first, so the affected jobs evict (charging their retry
+	// budget) instead of lingering as running against dead tasks.
+	killed := 0
+	switch req.Kind {
+	case fault.LeafCrash.String():
+		killed = s.sched.killJobsOn(inst, "")
+	case fault.BEKill.String():
+		killed = s.sched.killJobsOn(inst, req.Workload)
+	}
+	if !doErr(w, inst.InjectFault(req)) {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"kind": req.Kind, "jobs_killed": killed})
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,410 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"heracles/internal/engine"
+	"heracles/internal/fault"
+	"heracles/internal/machine"
+	"heracles/internal/scenario"
+	"heracles/internal/sim"
+)
+
+// ErrCrashed is returned by mutation calls against an instance whose
+// driver has crashed and is restarting from its last checkpoint.
+var ErrCrashed = errors.New("serve: instance crashed, restart in progress")
+
+// ErrQuarantined is returned by mutation calls against an instance the
+// supervisor has given up restarting (the circuit breaker opened after
+// repeated consecutive crashes). Delete the instance or restore its
+// checkpoint into a fresh one.
+var ErrQuarantined = errors.New("serve: instance quarantined after repeated crashes")
+
+// Supervisor health states reported by GET /api/v1/instances/{id}/health.
+const (
+	// HealthHealthy: no crash since the last stability window.
+	HealthHealthy = "healthy"
+	// HealthDegraded: restarted after a crash, not yet stable again.
+	HealthDegraded = "degraded"
+	// HealthQuarantined: the circuit breaker opened; the driver is parked
+	// and every mutation fails with ErrQuarantined.
+	HealthQuarantined = "quarantined"
+)
+
+// supervisorConfig tunes an instance's crash supervision; the server
+// builds one per instance from its Config.
+type supervisorConfig struct {
+	backoff   time.Duration   // base restart delay, doubled per consecutive crash
+	maxConsec int             // quarantine when consecutive crashes exceed this
+	ckptEvery int             // epochs between restart-checkpoint refreshes
+	stable    int             // crash-free epochs that clear the degraded state
+	onCrash   func(*Instance) // crash callback (fleet scheduler eviction)
+}
+
+func (c supervisorConfig) withDefaults() supervisorConfig {
+	if c.backoff <= 0 {
+		c.backoff = 250 * time.Millisecond
+	}
+	if c.maxConsec <= 0 {
+		c.maxConsec = 5
+	}
+	if c.ckptEvery <= 0 {
+		c.ckptEvery = 30
+	}
+	if c.stable <= 0 {
+		c.stable = 120
+	}
+	return c
+}
+
+// HealthStatus is the wire form of GET /api/v1/instances/{id}/health.
+type HealthStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // healthy | degraded | quarantined
+	// Crashes counts driver crashes over the instance's lifetime;
+	// Restarts counts successful restarts from checkpoint.
+	Crashes  int `json:"crashes"`
+	Restarts int `json:"restarts"`
+	// ConsecutiveCrashes is the circuit breaker's position: it grows with
+	// each crash, resets after a stability window, and opens the breaker
+	// (quarantine) past the configured limit.
+	ConsecutiveCrashes int    `json:"consecutive_crashes"`
+	LastError          string `json:"last_error,omitempty"`
+	LastCrashEpoch     uint64 `json:"last_crash_epoch,omitempty"`
+	// FaultsInjected counts faults applied to this instance — engine
+	// faults and driver panics — via API injection or fault schedules.
+	FaultsInjected int64 `json:"faults_injected"`
+}
+
+// Health reports the supervisor's view of the instance. Safe to call
+// from any goroutine, in any health state.
+func (i *Instance) Health() HealthStatus {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return HealthStatus{
+		ID:                 i.id,
+		State:              i.healthState,
+		Crashes:            i.crashes,
+		Restarts:           i.restarts,
+		ConsecutiveCrashes: i.consec,
+		LastError:          i.lastErr,
+		LastCrashEpoch:     i.lastCrashEpoch,
+		FaultsInjected:     i.faultsInjected,
+	}
+}
+
+// FaultDriverPanic is the serve-layer fault kind: the next epoch tick
+// panics inside the driver goroutine, exercising the supervisor's
+// recover/restart path rather than the engine's simulated fault model.
+const FaultDriverPanic = "driver-panic"
+
+// FaultRequest is the JSON body of POST /api/v1/instances/{id}/faults.
+type FaultRequest struct {
+	// Kind is a fault.Kind wire name (leaf-crash, telemetry-blackout,
+	// slow-machine, actuation-fail, be-kill) or "driver-panic".
+	Kind string `json:"kind"`
+	// DurationS bounds window faults in simulated seconds (defaults:
+	// leaf-crash 30, telemetry-blackout 60, slow-machine 60,
+	// actuation-fail 30).
+	DurationS float64 `json:"duration_s,omitempty"`
+	// Factor is the slow-machine service-time inflation (default 1.5).
+	Factor float64 `json:"factor,omitempty"`
+	// Workload narrows be-kill to one workload name; empty kills every
+	// BE task.
+	Workload string `json:"workload,omitempty"`
+}
+
+// check validates the request without touching the instance.
+func (r FaultRequest) check() error {
+	if r.Kind == FaultDriverPanic {
+		return nil
+	}
+	if _, ok := fault.KindByName(r.Kind); !ok {
+		return fmt.Errorf("unknown fault kind %q", r.Kind)
+	}
+	if r.DurationS < 0 {
+		return fmt.Errorf("duration_s %v must not be negative", r.DurationS)
+	}
+	if r.Factor != 0 && r.Factor < 1 {
+		return fmt.Errorf("slow-machine factor %v must be >= 1", r.Factor)
+	}
+	return nil
+}
+
+// fault renders the request as an engine fault with the defaults filled
+// in. Only valid after check, for kinds other than driver-panic.
+func (r FaultRequest) fault() fault.Fault {
+	k, _ := fault.KindByName(r.Kind)
+	f := fault.Fault{Kind: k, Workload: r.Workload}
+	dur := func(def time.Duration) time.Duration {
+		if r.DurationS > 0 {
+			return time.Duration(r.DurationS * float64(time.Second))
+		}
+		return def
+	}
+	switch k {
+	case fault.LeafCrash:
+		f.Duration = dur(30 * time.Second)
+	case fault.TelemetryBlackout:
+		f.Duration = dur(60 * time.Second)
+	case fault.SlowMachine:
+		f.Duration = dur(60 * time.Second)
+		f.Factor = r.Factor
+		if f.Factor < 1 {
+			f.Factor = 1.5
+		}
+	case fault.ActuationFail:
+		f.Duration = dur(30 * time.Second)
+	}
+	return f
+}
+
+// InjectFault applies one fault to the instance at the next epoch
+// boundary: driver-panic arms the supervisor-level crash, every other
+// kind is handed to the engine's injection hook.
+func (i *Instance) InjectFault(req FaultRequest) error {
+	if err := req.check(); err != nil {
+		return err
+	}
+	if req.Kind == FaultDriverPanic {
+		return i.Do(func() error {
+			i.panicNext = true
+			i.mu.Lock()
+			i.faultsInjected++
+			i.mu.Unlock()
+			return nil
+		})
+	}
+	f := req.fault()
+	return i.Do(func() error { return i.eng.InjectFault(f) })
+}
+
+// fnvHash derives the instance's supervisor RNG seed from its id
+// (FNV-1a), so restart jitter is deterministic per instance but
+// uncorrelated across the fleet.
+func fnvHash(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// crashErr is the error Do returns while the driver is not serving:
+// quarantine wins over the transient crashed state.
+func (i *Instance) crashErr() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashErrLocked()
+}
+
+func (i *Instance) crashErrLocked() error {
+	if i.healthState == HealthQuarantined {
+		return ErrQuarantined
+	}
+	return ErrCrashed
+}
+
+// noteCrash records a driver panic: it flips the crash gate (unblocking
+// any Do parked on the mailbox), books the health transition, publishes
+// the "crashed" lifecycle event and runs the crash callback — all before
+// any restart, so the fleet scheduler sees a consistent world in which
+// the instance's tasks are dead.
+func (i *Instance) noteCrash(v any) {
+	msg := fmt.Sprint(v)
+	i.mu.Lock()
+	i.crashed = true
+	close(i.crashc)
+	i.crashes++
+	i.consec++
+	i.lastErr = msg
+	i.lastCrashEpoch = i.status.Epoch
+	if i.healthState == HealthHealthy {
+		i.healthState = HealthDegraded
+	}
+	i.status.State = StateCrashed
+	i.mu.Unlock()
+	i.publishLifecycle("crashed", msg)
+	if i.sup.onCrash != nil {
+		i.sup.onCrash(i)
+	}
+}
+
+// superviseRestart decides the crashed instance's fate: quarantine past
+// the consecutive-crash limit, otherwise wait out a jittered exponential
+// backoff (draining the mailbox so callers fail fast instead of
+// hanging) and rebuild from the last checkpoint. Returns true when the
+// driver should resume ticking.
+func (i *Instance) superviseRestart() bool {
+	i.mu.Lock()
+	consec, crashes := i.consec, i.crashes
+	i.mu.Unlock()
+	if consec > i.sup.maxConsec {
+		i.quarantine(fmt.Sprintf("%d consecutive crashes exceed the limit of %d", consec, i.sup.maxConsec))
+		return false
+	}
+
+	shift := consec - 1
+	if shift > 4 {
+		shift = 4
+	}
+	if shift < 0 {
+		shift = 0
+	}
+	delay := i.sup.backoff << uint(shift)
+	// Jitter from the instance's own derived stream: deterministic per
+	// (instance, crash count) yet uncorrelated across instances, so a
+	// correlated fleet-wide crash does not restart in lockstep.
+	delay += time.Duration(sim.DeriveRNG(i.supSeed, uint64(crashes)).Float64() * 0.5 * float64(delay))
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+wait:
+	for {
+		select {
+		case <-i.stopc:
+			return false
+		case c := <-i.cmds:
+			c.errc <- ErrCrashed
+		case <-timer.C:
+			break wait
+		}
+	}
+
+	if err := i.rebuildFromCheckpoint(); err != nil {
+		i.quarantine(fmt.Sprintf("restart failed: %v", err))
+		return false
+	}
+	return true
+}
+
+// quarantine opens the circuit breaker: the instance stays inspectable
+// (status, health, stream) but every mutation fails until it is deleted.
+func (i *Instance) quarantine(reason string) {
+	i.mu.Lock()
+	i.healthState = HealthQuarantined
+	i.status.State = StateQuarantined
+	i.mu.Unlock()
+	i.publishLifecycle("quarantined", reason)
+}
+
+// parkQuarantined drains the mailbox forever so callers never hang on a
+// quarantined instance.
+func (i *Instance) parkQuarantined() {
+	for {
+		select {
+		case <-i.stopc:
+			return
+		case c := <-i.cmds:
+			c.errc <- ErrQuarantined
+		}
+	}
+}
+
+// rebuildFromCheckpoint swaps in a fresh engine restored from the last
+// restart checkpoint. Runs on the driver goroutine with no concurrent
+// mailbox traffic (the crash gate fails Do callers fast).
+func (i *Instance) rebuildFromCheckpoint() error {
+	cp := i.lastCP
+	if cp == nil || cp.Engine == nil {
+		return errors.New("no checkpoint to restart from")
+	}
+	var sc *scenario.Scenario
+	if cp.Scenario != nil {
+		built, err := cp.Scenario.Build()
+		if err != nil {
+			return fmt.Errorf("rebuild scenario: %w", err)
+		}
+		i.warmScenarioWorkloads(built)
+		sc = &built
+	}
+	eng, err := engine.Restore(engineConfig(i.lab, i.lcName), cp.Engine, sc)
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	// The fleet scheduler's jobs died with the crash (noteCrash evicted
+	// them); resurrect the machine without their tasks or the restarted
+	// engine would silently double-run requeued work.
+	pruneFleetTasks(eng, cp)
+
+	old := i.eng
+	i.eng = eng
+	i.m = eng.Machine(0)
+	i.ctl = eng.Controller(0)
+	old.Close()
+
+	i.ctl.OnEvent(i.onControllerEvent)
+	if i.trace != nil {
+		i.ctl.OnEvent(i.trace)
+	}
+	if cp.Scenario != nil {
+		spec := *cp.Scenario
+		i.scenarioSpec = &spec
+	} else {
+		i.scenarioSpec = nil
+	}
+	i.doneRunning = i.maxEpochs > 0 && eng.Epoch() >= i.maxEpochs
+	i.epochsSinceRestart = 0
+	i.panicNext = false
+
+	up := i.epochUpdate(i.m.Last(), eng.Epoch())
+	i.mu.Lock()
+	i.crashed = false
+	i.crashc = make(chan struct{})
+	i.restarts++
+	i.status.State = StateRunning
+	if i.doneRunning {
+		i.status.State = StateDone
+	}
+	i.status.Epoch = eng.Epoch()
+	i.status.Scenario = eng.ScenarioName()
+	i.status.Last = up
+	i.status.BEs = beNames(i.m)
+	i.mu.Unlock()
+	i.publishLifecycle("restored", fmt.Sprintf("restarted from checkpoint at epoch %d after crash", eng.Epoch()))
+	return nil
+}
+
+// pruneFleetTasks removes the BE tasks a checkpoint marked as
+// fleet-scheduler-owned from a freshly restored engine: their jobs live
+// with the origin scheduler, which has already evicted and requeued
+// them.
+func pruneFleetTasks(eng *engine.Engine, cp *InstanceCheckpoint) {
+	if len(cp.FleetTasks) == 0 {
+		return
+	}
+	m := eng.Machine(0)
+	bes := m.BEs()
+	var dead []*machine.BETask
+	for _, idx := range cp.FleetTasks {
+		if idx >= 0 && idx < len(bes) {
+			dead = append(dead, bes[idx])
+		}
+	}
+	for _, be := range dead {
+		m.RemoveBE(be)
+	}
+	if len(dead) > 0 {
+		m.Partition(m.BECoreCount())
+	}
+}
+
+// markStable closes the circuit-breaker window: after enough crash-free
+// epochs the consecutive-crash counter resets and a degraded instance
+// reads healthy again. Driver goroutine only.
+func (i *Instance) markStable() {
+	if i.epochsSinceRestart < i.sup.stable {
+		return
+	}
+	i.mu.Lock()
+	if i.consec != 0 || i.healthState == HealthDegraded {
+		i.consec = 0
+		if i.healthState == HealthDegraded {
+			i.healthState = HealthHealthy
+		}
+	}
+	i.mu.Unlock()
+}
