@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race chaos bench bench-smoke bench-baseline bench-check fmt-check docs-check ci
+.PHONY: all build vet test test-race chaos churn bench bench-smoke bench-baseline bench-check fmt-check docs-check ci
 
 all: build
 
@@ -42,6 +42,12 @@ chaos:
 		./internal/fault/ ./internal/core/ ./internal/sched/ \
 		./internal/engine/ ./internal/serve/
 
+# Registry churn and leak detection under -race: concurrent
+# create/crash/delete churn against the shared epoch scheduler —
+# goroutines, heap and the scheduler queue must return to baseline.
+churn:
+	$(GO) test -race -run 'RegistryChurnNoLeaks|EpochScheduler|HundredThousand' ./internal/serve/
+
 # Full benchmark suite (prints every figure/table on the first iteration).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -62,4 +68,4 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/benchbaseline -quick -check BENCH_baseline.json -tol 1.5
 
-ci: build vet fmt-check docs-check test test-race chaos bench-smoke bench-check
+ci: build vet fmt-check docs-check test test-race chaos churn bench-smoke bench-check

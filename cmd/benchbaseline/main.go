@@ -36,6 +36,7 @@ import (
 	"heracles/internal/machine"
 	"heracles/internal/scenario"
 	"heracles/internal/sched"
+	"heracles/internal/serve"
 	"heracles/internal/sim"
 	"heracles/internal/workload"
 )
@@ -196,6 +197,15 @@ func main() {
 				}
 				eng.Step()
 			}
+		}},
+		{"InstanceSchedule", true, func(b *testing.B) {
+			// The serving core's dispatch overhead: schedule/pop/run cycles
+			// through the shared epoch scheduler's heap and worker pool,
+			// with 256 always-due tasks contending for 4 drivers — the
+			// per-slice cost every live instance pays on top of its engine
+			// step.
+			b.ReportAllocs()
+			serve.ScheduleBench(4, 256, b.N)
 		}},
 		{"ColocateSweep/sequential", true, func(b *testing.B) {
 			o := opts

@@ -40,6 +40,7 @@
 //	heraclesd [-addr :8080] [-lc websearch] [-be brain] [-load 0.4]
 //	          [-minutes 10] [-speed 0] [-fsroot /tmp/heracles-fs]
 //	          [-trace] [-noboot] [-sched-policy slack-greedy]
+//	          [-drivers 0] [-max-instances 64]
 //	          [-checkpoint-dir /var/lib/heracles] [-checkpoint-every 30s]
 package main
 
@@ -76,6 +77,8 @@ func main() {
 	traceFlag := flag.Bool("trace", true, "log controller decisions")
 	noboot := flag.Bool("noboot", false, "with -addr, start with an empty instance pool instead of bootstrapping one from the flags")
 	schedPolicy := flag.String("sched-policy", "slack-greedy", "fleet job scheduler placement policy (slack-greedy, bin-pack, spread, random)")
+	drivers := flag.Int("drivers", 0, "epoch-scheduler worker pool size: goroutines stepping instance epochs (0 = GOMAXPROCS)")
+	maxInstances := flag.Int("max-instances", 0, "instance pool cap; creates beyond it fail with 503 (0 = default 64)")
 	ckptDir := flag.String("checkpoint-dir", "", "periodically snapshot every instance into this directory and crash-resume from it on startup")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "wall-clock cadence of -checkpoint-dir snapshots")
 	flag.Parse()
@@ -94,7 +97,13 @@ func main() {
 		}
 	}
 
-	srv := serve.New(serve.Config{Lab: lab, DefaultSpeed: instSpeed, SchedPolicy: *schedPolicy})
+	srv := serve.New(serve.Config{
+		Lab:          lab,
+		DefaultSpeed: instSpeed,
+		SchedPolicy:  *schedPolicy,
+		Drivers:      *drivers,
+		MaxInstances: *maxInstances,
+	})
 	defer srv.Close()
 
 	var fs *actuate.FSActuator

@@ -14,12 +14,16 @@ import (
 )
 
 // injectRetry keeps re-submitting a fault until the instance accepts it —
-// injections race with crash/restart windows, during which mutations
-// fail fast with ErrCrashed.
+// injections race with crash/restart windows, during which mutations fail
+// fast with ErrCrashed. Between attempts it waits on the instance's
+// change notification, grabbed before each attempt so a restart landing
+// mid-attempt still wakes the retry.
 func injectRetry(t *testing.T, inst *Instance, req FaultRequest) {
 	t.Helper()
-	deadline := time.Now().Add(20 * time.Second)
+	deadline := time.NewTimer(20 * time.Second)
+	defer deadline.Stop()
 	for {
+		ch := inst.changed()
 		err := inst.InjectFault(req)
 		if err == nil {
 			return
@@ -27,22 +31,11 @@ func injectRetry(t *testing.T, inst *Instance, req FaultRequest) {
 		if !errors.Is(err, ErrCrashed) {
 			t.Fatalf("inject %s on %s: %v", req.Kind, inst.ID(), err)
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-ch:
+		case <-deadline.C:
 			t.Fatalf("inject %s on %s: still crashed after 20s: %v", req.Kind, inst.ID(), err)
 		}
-		time.Sleep(2 * time.Millisecond)
-	}
-}
-
-// waitFor polls cond until it holds or the deadline lapses.
-func waitFor(t *testing.T, what string, d time.Duration, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(d)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -108,7 +101,7 @@ func TestChaosSoak(t *testing.T) {
 	// restarted from checkpoint at least once (each took >= 3 panics).
 	for _, inst := range insts {
 		inst := inst
-		waitFor(t, "instance "+inst.ID()+" recovery", 30*time.Second, func() bool {
+		awaitInstance(t, inst, "recovery", func() bool {
 			st, h := inst.Status(), inst.Health()
 			return st.State == StateRunning && h.State != HealthQuarantined && h.Restarts >= 1
 		})
@@ -121,7 +114,7 @@ func TestChaosSoak(t *testing.T) {
 		}
 		// The restarted simulation keeps advancing.
 		e0 := inst.Status().Epoch
-		waitFor(t, "instance "+inst.ID()+" advancing after restart", 10*time.Second, func() bool {
+		awaitInstance(t, inst, "advancing after restart", func() bool {
 			return inst.Status().Epoch > e0
 		})
 	}
@@ -133,7 +126,7 @@ func TestChaosSoak(t *testing.T) {
 		js := s.sched.Submit(JobSubmission{Workload: "brain", WorkS: 5, Retries: &retries})
 		smallIDs = append(smallIDs, js.ID)
 	}
-	waitFor(t, "small jobs completing on the recovered fleet", 30*time.Second, func() bool {
+	awaitTicks(t, s.sched, "small jobs completing on the recovered fleet", func(int64) bool {
 		for _, id := range smallIDs {
 			j, ok := s.sched.Job(id)
 			if !ok || j.State != sched.JobCompleted.String() {
@@ -212,10 +205,10 @@ func TestDriverPanicRestartsFromCheckpoint(t *testing.T) {
 	}()
 
 	// Let it advance past a few checkpoint refreshes, then crash it.
-	waitFor(t, "warmup epochs", 10*time.Second, func() bool { return inst.Status().Epoch >= 12 })
+	awaitInstance(t, inst, "warmup epochs", func() bool { return inst.Status().Epoch >= 12 })
 	injectRetry(t, inst, FaultRequest{Kind: FaultDriverPanic})
 
-	waitFor(t, "restart", 10*time.Second, func() bool { return inst.Health().Restarts == 1 })
+	awaitInstance(t, inst, "restart", func() bool { return inst.Health().Restarts == 1 })
 	h := inst.Health()
 	// At SpeedMax the stability window may already have elapsed and reset
 	// the consecutive-crash counter, so only the cumulative count is
@@ -234,7 +227,7 @@ func TestDriverPanicRestartsFromCheckpoint(t *testing.T) {
 	}
 
 	// Degraded now, healthy after the stability window.
-	waitFor(t, "healthy after stability window", 10*time.Second, func() bool {
+	awaitInstance(t, inst, "healthy after stability window", func() bool {
 		h := inst.Health()
 		return h.State == HealthHealthy && h.ConsecutiveCrashes == 0
 	})
@@ -273,9 +266,9 @@ func TestQuarantineAfterRepeatedCrashes(t *testing.T) {
 	}
 
 	injectRetry(t, inst, FaultRequest{Kind: FaultDriverPanic})
-	waitFor(t, "first restart", 10*time.Second, func() bool { return inst.Health().Restarts == 1 })
+	awaitInstance(t, inst, "first restart", func() bool { return inst.Health().Restarts == 1 })
 	injectRetry(t, inst, FaultRequest{Kind: FaultDriverPanic})
-	waitFor(t, "quarantine", 10*time.Second, func() bool { return inst.Health().State == HealthQuarantined })
+	awaitInstance(t, inst, "quarantine", func() bool { return inst.Health().State == HealthQuarantined })
 
 	if st := inst.Status(); st.State != StateQuarantined {
 		t.Fatalf("status state = %q, want %q", st.State, StateQuarantined)
@@ -327,10 +320,17 @@ func TestFaultAndHealthRoutes(t *testing.T) {
 		jsonBody(t, FaultRequest{Kind: "slow-machine", Factor: 0.5}), 400)
 
 	// The injected fault shows up in the health counters.
-	waitFor(t, "fault counted in health", 5*time.Second, func() bool {
-		hb := doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+id+"/health", nil, 200)
-		return strings.Contains(string(hb), `"faults_injected": 1`)
+	live, ok := s.Registry().Get(id)
+	if !ok {
+		t.Fatalf("instance %s not in registry", id)
+	}
+	awaitInstance(t, live, "fault counted in health", func() bool {
+		return live.Health().FaultsInjected >= 1
 	})
+	hb = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+id+"/health", nil, 200)
+	if !strings.Contains(string(hb), `"faults_injected": 1`) {
+		t.Fatalf("health body = %s, want faults_injected 1", hb)
+	}
 
 	// Oversized mutating bodies are rejected with 413 before decoding.
 	huge := strings.NewReader(`{"workload":"` + strings.Repeat("x", defaultBodyLimit+1024) + `"}`)

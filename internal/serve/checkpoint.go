@@ -51,7 +51,7 @@ func (i *Instance) Checkpoint() (*InstanceCheckpoint, error) {
 	return cp, err
 }
 
-// buildCheckpoint assembles the checkpoint; driver goroutine only (the
+// buildCheckpoint assembles the checkpoint; stepMu must be held (the
 // supervisor also calls it directly, on its restart-checkpoint cadence).
 func (i *Instance) buildCheckpoint() *InstanceCheckpoint {
 	var spec *ScenarioSpec

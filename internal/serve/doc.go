@@ -1,7 +1,7 @@
 // Package serve is the Heracles control plane: a long-lived service that
 // owns a pool of live simulated machines — each with its own Heracles
-// controller, advanced by a dedicated driver goroutine on a real-time,
-// accelerated or free-running tick — and exposes them over HTTP.
+// controller, advanced on a real-time, accelerated or free-running tick
+// by one shared epoch scheduler — and exposes them over HTTP.
 //
 // The surface has three parts:
 //
@@ -15,16 +15,21 @@
 //     telemetry, controller decisions and lifecycle transitions.
 //   - A Prometheus-format /metrics endpoint aggregating EMU, tail
 //     latency and SLO slack, resource allocations and controller
-//     actuation counts across every live instance.
+//     actuation counts across every live instance, plus the epoch
+//     scheduler's own pool health.
 //
-// Determinism is true by construction: each instance's driver goroutine
-// advances an engine.Engine — the same canonical epoch loop the batch
-// cluster and fleet runs drive (see internal/engine and DESIGN.md §9,
-// §11) — and every API mutation is a closure enqueued through
-// Instance.Do and applied between engine Steps. There is no serve-side
-// copy of the scenario or stepping logic, so a served instance replays
+// Instances do not own goroutines or timers. The registry runs a single
+// event-driven epoch scheduler (DESIGN.md §13): a min-heap of next-due
+// wall-clock epochs and a bounded worker pool that pops due instances
+// and advances each one's engine.Engine — the same canonical epoch loop
+// the batch cluster and fleet runs drive (see internal/engine and
+// DESIGN.md §9, §11). Every API mutation is a closure run through
+// Instance.Do under the instance's mailbox lock, between engine Steps.
+// Driver cadence never reaches the engine, so a served instance replays
 // bit-identically to a batch run with the same spec and command
-// sequence, for any number of concurrent instances and clients.
+// sequence, for any number of concurrent instances and clients — which
+// is also why the scheduler may batch a stretched instance's epochs
+// without changing its telemetry.
 //
 // cmd/heraclesd is the thin daemon over this package; the route table in
 // server.go is the single source of truth for the HTTP surface and is

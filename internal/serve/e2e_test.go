@@ -444,21 +444,13 @@ func TestE2ECheckpointAndRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Wait for the park so the checkpoint epoch is deterministic.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+st.ID, nil, 200)
-		st = Status{}
-		if err := json.Unmarshal(body, &st); err != nil {
-			t.Fatal(err)
-		}
-		if st.State == StateDone {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("instance never parked: %+v", st)
-		}
-		time.Sleep(2 * time.Millisecond)
+	live, ok := s.Registry().Get(st.ID)
+	if !ok {
+		t.Fatalf("instance %s not in registry", st.ID)
 	}
+	awaitInstance(t, live, "instance parked", func() bool {
+		return live.Status().State == StateDone
+	})
 
 	body = doReq(t, client, "POST", ts.URL+"/api/v1/instances/"+st.ID+"/checkpoint", nil, 200)
 	var cp InstanceCheckpoint
@@ -485,20 +477,17 @@ func TestE2ECheckpointAndRestore(t *testing.T) {
 	if restored.ID == st.ID || restored.LC != "websearch" || restored.Epoch < 80 {
 		t.Fatalf("restored status = %+v", restored)
 	}
-	deadline = time.Now().Add(10 * time.Second)
-	for {
-		body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+restored.ID, nil, 200)
-		restored = Status{}
-		if err := json.Unmarshal(body, &restored); err != nil {
-			t.Fatal(err)
-		}
-		if restored.State == StateDone {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("restored instance never finished: %+v", restored)
-		}
-		time.Sleep(2 * time.Millisecond)
+	liveRestored, ok := s.Registry().Get(restored.ID)
+	if !ok {
+		t.Fatalf("restored instance %s not in registry", restored.ID)
+	}
+	awaitInstance(t, liveRestored, "restored instance done", func() bool {
+		return liveRestored.Status().State == StateDone
+	})
+	body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+restored.ID, nil, 200)
+	restored = Status{}
+	if err := json.Unmarshal(body, &restored); err != nil {
+		t.Fatal(err)
 	}
 	if restored.Epoch != 160 {
 		t.Fatalf("restored instance parked at epoch %d, want 160", restored.Epoch)
@@ -534,20 +523,17 @@ func TestE2EScenarioDrivesTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := st.ID
-	deadline := time.Now().Add(20 * time.Second)
-	for {
-		body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+id, nil, 200)
-		st = Status{} // omitempty fields must not survive across polls
-		if err := json.Unmarshal(body, &st); err != nil {
-			t.Fatal(err)
-		}
-		if st.State == StateDone {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("scenario instance never finished: %+v", st)
-		}
-		time.Sleep(2 * time.Millisecond)
+	live, ok := s.Registry().Get(id)
+	if !ok {
+		t.Fatalf("instance %s not in registry", id)
+	}
+	awaitInstance(t, live, "scenario instance done", func() bool {
+		return live.Status().State == StateDone
+	})
+	body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+id, nil, 200)
+	st = Status{} // omitempty fields must not survive the earlier decode
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
 	}
 	// After the ramp the offered load sits at the ramp's To value.
 	if st.Last.Load < 0.75 || st.Last.Load > 0.85 {

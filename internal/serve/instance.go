@@ -17,8 +17,8 @@ import (
 	"heracles/internal/workload"
 )
 
-// ErrStopped is returned by mutation calls against an instance whose
-// driver goroutine has exited (deleted instance or server shutdown).
+// ErrStopped is returned by mutation calls against an instance that has
+// been stopped (deleted instance or server shutdown).
 var ErrStopped = errors.New("serve: instance stopped")
 
 // Instance states reported in Status.State.
@@ -33,9 +33,27 @@ const (
 	StateQuarantined = "quarantined"
 )
 
-// SpeedMax requests free-running simulation: the driver advances epochs
-// as fast as the machine model resolves them, with no wall-clock pacing.
+// SpeedMax requests free-running simulation: the scheduler advances
+// epochs as fast as the machine model resolves them, with no wall-clock
+// pacing.
 const SpeedMax = -1
+
+// Cadence policy of the shared epoch scheduler (DESIGN.md §13).
+const (
+	// stretchMax caps how far a healthy, unobserved instance stretches
+	// its wakeup: up to stretchMax epochs run in one catch-up batch per
+	// slice, so the epoch rate — and therefore telemetry — is unchanged
+	// while wakeups get 8x cheaper.
+	stretchMax = 8
+	// freeRunBatch is how many epochs a free-running (SpeedMax) instance
+	// steps per slice before requeueing, so free-runners round-robin the
+	// worker pool instead of monopolising one driver.
+	freeRunBatch = 64
+	// cadenceSlackFloor: an instance whose SLO slack drops below this
+	// snaps back to every-epoch ticks — a controller close to violating
+	// must not be watched lazily.
+	cadenceSlackFloor = 0.1
+)
 
 // BEAttachment names one best-effort task to run on an instance.
 type BEAttachment struct {
@@ -81,9 +99,11 @@ type InstanceSpec struct {
 	// may override the checkpointed values.
 	Restore *InstanceCheckpoint `json:"restore,omitempty"`
 
-	// EpochHook, when set, runs in the driver goroutine after every
+	// EpochHook, when set, runs in the driver worker after every
 	// resolved epoch — the embedding daemon uses it to mirror actuations
-	// into kernel-format files. Not part of the JSON API.
+	// into kernel-format files. An instance with a hook always ticks
+	// every epoch (the cadence policy never stretches it). Not part of
+	// the JSON API.
 	EpochHook func(m *machine.Machine, tel machine.Telemetry) `json:"-"`
 	// Trace, when set, receives every controller decision synchronously
 	// (in addition to the SSE hub). Not part of the JSON API.
@@ -176,18 +196,16 @@ type Status struct {
 
 type actionKey struct{ loop, action string }
 
-type command struct {
-	fn   func() error
-	errc chan error
-}
-
 // Instance is one live simulated machine with its Heracles controller,
-// advanced by a dedicated driver goroutine on a real-time or accelerated
-// tick. The driver advances an engine.Engine — the same canonical epoch
-// loop the batch cluster runs drive — under a command mailbox: all
-// machine and controller mutation happens in the driver goroutine (HTTP
-// handlers enqueue closures through Do), between engine Steps, so the
-// live simulation is bit-identical to a batch run by construction.
+// advanced by the registry's shared epoch scheduler (DESIGN.md §13): a
+// worker pops the instance when its next epoch is due and steps an
+// engine.Engine — the same canonical epoch loop the batch cluster runs
+// drive — under stepMu, the instance's mailbox lock. All machine and
+// controller mutation happens under stepMu (HTTP handlers run closures
+// inline through Do), between engine Steps, so the live simulation is
+// bit-identical to a batch run by construction. An instance owns no
+// goroutine and no timer: parked states (done, quarantined, mid-backoff)
+// cost at most one heap entry.
 type Instance struct {
 	id      string
 	name    string
@@ -205,9 +223,10 @@ type Instance struct {
 	maxEpochs uint64
 	epochHook func(*machine.Machine, machine.Telemetry)
 
-	cmds     chan command
-	stopc    chan struct{}
-	donec    chan struct{}
+	sched *epochScheduler // the registry's shared pool
+	entry *schedEntry     // this instance's single heap entry (step, restart)
+
+	donec    chan struct{} // closed once Stop completes
 	stopOnce sync.Once
 
 	// Supervision wiring, fixed at construction.
@@ -215,23 +234,36 @@ type Instance struct {
 	supSeed uint64
 	trace   func(core.Event) // re-attached to the fresh controller on restart
 
-	// Driver-goroutine-only state (also touched from Do closures, which
-	// run in the driver goroutine by construction).
+	// stepMu is the mailbox: it serialises scheduler slices, Do closures
+	// and Stop against the engine. Go's starvation-mode mutex handoff
+	// keeps Do callers fair against a free-runner's batched slices.
+	stepMu  sync.Mutex
+	stopped bool // stepMu-guarded; terminal
+
+	// stepMu-guarded driver state.
 	doneRunning        bool
 	scenarioSpec       *ScenarioSpec // JSON form of the active scenario, for checkpoints
 	panicNext          bool          // armed by the driver-panic fault
 	lastCP             *InstanceCheckpoint
 	epochsSinceRestart int
+	stretch            int       // current cadence stretch factor (1..stretchMax)
+	batch              int       // epochs the next slice will step
+	nextAt             time.Time // the due time the next slice was scheduled for
+	recentFault        bool      // a fault applied in the last slice tightens cadence
 
 	mu      sync.Mutex
 	status  Status
 	actions map[actionKey]int64
+	// notec is the observable-change notification: closed and replaced
+	// whenever status or health changes, so tests wait on events instead
+	// of sleep-polling.
+	notec chan struct{}
 
-	// Supervisor health, mu-guarded. crashc is the crash gate: replaced
-	// on every restart, closed while crashed so Do callers parked on the
-	// mailbox fail fast instead of deadlocking against a dead driver.
+	// Supervisor health, mu-guarded. pendingRestart marks a scheduled
+	// restart slice; crashed gates Do with ErrCrashed until the restart
+	// rebuilds the engine.
 	crashed        bool
-	crashc         chan struct{}
+	pendingRestart bool
 	healthState    string
 	crashes        int
 	restarts       int
@@ -255,12 +287,13 @@ func engineConfig(lab *experiment.Lab, lcName string) engine.Config {
 	}
 }
 
-// newInstance builds and starts an instance. The caller has validated the
+// newInstance builds an instance and schedules its first slice on pool,
+// the registry's shared epoch scheduler. The caller has validated the
 // spec (workload names, placement names, numeric ranges, checkpoint
 // contents) and resolved the lab for the requested hardware generation;
 // speed is the resolved tick rate (SpeedMax for free-running), sup the
 // crash-supervision tunables.
-func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float64, sup supervisorConfig) (*Instance, error) {
+func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float64, sup supervisorConfig, pool *epochScheduler) (*Instance, error) {
 	lcName := spec.LC
 	if lcName == "" {
 		lcName = "websearch"
@@ -290,17 +323,19 @@ func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float6
 		speed:     speed,
 		maxEpochs: uint64(max(maxEpochs, 0)),
 		epochHook: spec.EpochHook,
-		cmds:      make(chan command),
-		stopc:     make(chan struct{}),
+		sched:     pool,
 		donec:     make(chan struct{}),
 		actions:   make(map[actionKey]int64),
+		notec:     make(chan struct{}),
 
 		sup:         sup.withDefaults(),
 		supSeed:     fnvHash(id),
 		trace:       spec.Trace,
-		crashc:      make(chan struct{}),
 		healthState: HealthHealthy,
+		stretch:     1,
+		batch:       1,
 	}
+	i.entry = pool.newEntry(i)
 
 	if cp := spec.Restore; cp != nil {
 		var sc *scenario.Scenario
@@ -386,14 +421,25 @@ func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float6
 		i.installScenario(sc, spec.Scenario)
 	}
 
-	// Seed the supervisor's restart checkpoint before the driver starts:
+	// Seed the supervisor's restart checkpoint before the first slice:
 	// even a crash on the very first epoch has a state to restart from.
 	i.status.Health = i.healthState
 	i.lastCP = i.buildCheckpoint()
 
-	go i.loop()
 	if restoredFrom != "" {
 		i.publishLifecycle("restored", restoredFrom)
+	}
+	// Schedule the first slice: paced instances tick after one interval
+	// (the old per-goroutine ticker's first-fire semantics), free-runners
+	// are due immediately. A restored-as-done instance parks without ever
+	// entering the heap.
+	if !i.doneRunning {
+		if i.interval > 0 {
+			i.nextAt = time.Now().Add(i.interval)
+			pool.schedule(i.entry, i.nextAt)
+		} else {
+			pool.schedule(i.entry, time.Now())
+		}
 	}
 	return i, nil
 }
@@ -458,45 +504,72 @@ func sortedActions(m map[actionKey]int64) []ActionCount {
 	return out
 }
 
-// Stop terminates the driver goroutine, closes the event hub and waits
-// for the loop to exit. Safe to call more than once.
+// Stop removes the instance from the epoch heap — cancelling any queued
+// step or mid-backoff restart slice — waits out an in-flight slice,
+// closes the event hub and the engine. Safe to call more than once.
 func (i *Instance) Stop() {
-	i.stopOnce.Do(func() { close(i.stopc) })
+	i.stopOnce.Do(func() {
+		i.sched.remove(i.entry)
+		i.stepMu.Lock()
+		i.stopped = true
+		i.stepMu.Unlock()
+		i.hub.Close()
+		i.eng.Close()
+		close(i.donec)
+	})
 	<-i.donec
 }
 
-// Do runs fn in the driver goroutine, between engine Steps, and returns
-// its error. This is the only mutation path: it serialises API writes
-// with the simulation so telemetry seen before and after the call is
-// causally consistent. Returns ErrStopped if the instance has been
-// stopped, ErrCrashed while the supervisor restarts a crashed driver,
-// and ErrQuarantined once the circuit breaker has opened.
+// Do runs fn under the instance's mailbox lock, between engine Steps,
+// and returns its error. This is the only mutation path: it serialises
+// API writes with the simulation so telemetry seen before and after the
+// call is causally consistent. Returns ErrStopped if the instance has
+// been stopped, ErrCrashed while a crashed instance waits out its
+// restart backoff, and ErrQuarantined once the circuit breaker has
+// opened. A panicking closure books a supervisor crash, exactly like a
+// panic inside an epoch step.
 func (i *Instance) Do(fn func() error) error {
+	i.stepMu.Lock()
+	if i.stopped {
+		i.stepMu.Unlock()
+		return ErrStopped
+	}
 	i.mu.Lock()
-	if i.crashed {
-		err := i.crashErrLocked()
-		i.mu.Unlock()
-		return err
-	}
-	gate := i.crashc
+	blocked := i.crashed || i.healthState == HealthQuarantined
 	i.mu.Unlock()
-
-	c := command{fn: fn, errc: make(chan error, 1)}
-	select {
-	case i.cmds <- c:
-	case <-gate:
-		// The driver crashed while this call was parked on the mailbox;
-		// fail instead of waiting out the restart backoff.
+	if blocked {
+		i.stepMu.Unlock()
 		return i.crashErr()
-	case <-i.donec:
-		return ErrStopped
 	}
-	select {
-	case err := <-c.errc:
-		return err
-	case <-i.donec:
-		return ErrStopped
+	var err error
+	crash := i.guard(func() { err = fn() })
+	i.stepMu.Unlock()
+	if crash != nil {
+		// Completed asynchronously: the fleet dispatch tick calls Do while
+		// holding the scheduler lock, and finishCrash's eviction callback
+		// needs that same lock — synchronous completion would self-deadlock.
+		// The crash gate is already closed (bookCrash ran under stepMu), so
+		// callers see ErrCrashed immediately either way.
+		go i.finishCrash(crash)
+		return fmt.Errorf("serve: instance %s driver panicked: %v", i.id, crash.msg)
 	}
+	return err
+}
+
+// changed returns a channel closed at the next observable state change
+// (epoch resolved, health or lifecycle transition). Waiters re-check
+// their predicate, then wait again — the event-driven replacement for
+// sleep-polling in tests.
+func (i *Instance) changed() <-chan struct{} {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.notec
+}
+
+// notifyLocked wakes changed waiters; i.mu is held.
+func (i *Instance) notifyLocked() {
+	close(i.notec)
+	i.notec = make(chan struct{})
 }
 
 // SetLoad changes the offered LC load target mid-flight.
@@ -584,8 +657,8 @@ func (i *Instance) warmScenarioWorkloads(sc scenario.Scenario) {
 	}
 }
 
-// installScenario runs in the driver goroutine (or during construction,
-// before the loop starts).
+// installScenario runs under stepMu (or during construction, before the
+// instance is scheduled).
 func (i *Instance) installScenario(sc scenario.Scenario, spec *ScenarioSpec) {
 	i.eng.InstallScenario(sc)
 	if spec != nil {
@@ -596,13 +669,14 @@ func (i *Instance) installScenario(sc scenario.Scenario, spec *ScenarioSpec) {
 	}
 	i.mu.Lock()
 	i.status.Scenario = sc.Name
+	i.notifyLocked()
 	i.mu.Unlock()
 	i.publishLifecycle("scenario", sc.Name)
 }
 
-// removeBEByName runs in the driver goroutine. Scheduler-owned tasks
-// are off-limits: jobs are cancelled through the job API, not detached
-// by workload name.
+// removeBEByName runs under stepMu. Scheduler-owned tasks are
+// off-limits: jobs are cancelled through the job API, not detached by
+// workload name.
 func (i *Instance) removeBEByName(name string) int {
 	var departing []*machine.BETask
 	for _, be := range i.m.BEs() {
@@ -623,17 +697,18 @@ func (i *Instance) removeBEByName(name string) int {
 	return len(departing)
 }
 
-// refreshBEs rebuilds the status BE name list; driver goroutine only.
+// refreshBEs rebuilds the status BE name list; stepMu is held.
 func (i *Instance) refreshBEs() {
 	names := beNames(i.m)
 	i.mu.Lock()
 	i.status.BEs = names
+	i.notifyLocked()
 	i.mu.Unlock()
 }
 
 // onControllerEvent counts the decision and publishes it to subscribers.
-// It runs inside the controller's Step — in the driver goroutine, during
-// an engine Step.
+// It runs inside the controller's Step — under stepMu, during an engine
+// Step.
 func (i *Instance) onControllerEvent(e core.Event) {
 	i.mu.Lock()
 	i.actions[actionKey{e.Loop, e.Action}]++
@@ -654,9 +729,10 @@ func (i *Instance) onControllerEvent(e core.Event) {
 	i.hub.Publish(Message{Event: "controller", ID: i.eng.Epoch(), Data: data})
 }
 
-// publishLifecycle may be called from the driver goroutine or, for the
-// "deleted" transition, from an HTTP goroutine — so it reads the epoch
-// from the mutex-guarded status snapshot, never from driver-only state.
+// publishLifecycle may be called with or without stepMu held (the
+// "deleted" transition comes straight from an HTTP goroutine), so it
+// reads the epoch from the mutex-guarded status snapshot, never from
+// stepMu-guarded driver state.
 func (i *Instance) publishLifecycle(state, detail string) {
 	if !i.hub.HasSubscribers() {
 		return
@@ -671,102 +747,136 @@ func (i *Instance) publishLifecycle(state, detail string) {
 	i.hub.Publish(Message{Event: "lifecycle", ID: ep, Data: data})
 }
 
-// loop is the driver goroutine under supervision: run drives the tick
-// loop until it stops cleanly or panics; a panic books a crash and — if
-// the circuit breaker allows — restarts the engine from the last
-// checkpoint and re-enters run. A quarantined instance parks, still
-// answering (with errors) so callers never hang.
-func (i *Instance) loop() {
-	defer close(i.donec)
-	defer i.hub.Close()
-	defer func() { i.eng.Close() }() // the engine may have been swapped by a restart
-
-	for {
-		v := i.run()
-		if v == nil {
-			return
-		}
-		i.noteCrash(v)
-		if i.superviseRestart() {
-			continue
-		}
-		i.mu.Lock()
-		q := i.healthState == HealthQuarantined
-		i.mu.Unlock()
-		if q {
-			i.parkQuarantined()
-		}
-		return
+// runSlice is the shared epoch scheduler's entry point (epochTask): it
+// advances the instance by one catch-up batch of epochs — or performs a
+// pending crash restart — under the mailbox lock, then reports when the
+// next slice is due. Returning ok=false parks the instance (stopped,
+// done, crashed or quarantined): no heap entry, no timer, no goroutine.
+func (i *Instance) runSlice() (time.Time, bool) {
+	i.stepMu.Lock()
+	if i.stopped {
+		i.stepMu.Unlock()
+		return time.Time{}, false
 	}
-}
+	i.mu.Lock()
+	restart := i.pendingRestart
+	i.pendingRestart = false
+	quarantined := i.healthState == HealthQuarantined
+	crashed := i.crashed
+	i.mu.Unlock()
 
-// run applies enqueued commands immediately and advances one simulated
-// epoch per tick (or continuously when free-running). When MaxEpochs is
-// reached it parks — still serving commands and status queries — until
-// the instance is deleted. A nil return means clean stop; anything else
-// is the recovered panic of a driver crash.
-func (i *Instance) run() (panicked any) {
-	defer func() { panicked = recover() }()
+	switch {
+	case quarantined:
+		i.stepMu.Unlock()
+		return time.Time{}, false
+	case restart:
+		if err := i.rebuildFromCheckpoint(); err != nil {
+			i.quarantine(fmt.Sprintf("restart failed: %v", err))
+			i.stepMu.Unlock()
+			return time.Time{}, false
+		}
+		// Resume ticking from the restored epoch on a fresh cadence; the
+		// first post-restore epoch lands one interval out, exactly like a
+		// fresh instance's first tick.
+		i.stretch, i.batch = 1, 1
+		if i.doneRunning {
+			i.stepMu.Unlock()
+			return time.Time{}, false
+		}
+		next := time.Now()
+		if i.interval > 0 {
+			next = next.Add(i.interval)
+		}
+		i.nextAt = next
+		i.stepMu.Unlock()
+		return next, true
+	case crashed:
+		// A stale step slice racing its own crash booking: the restart
+		// slice owns the entry now.
+		i.stepMu.Unlock()
+		return time.Time{}, false
+	case i.doneRunning:
+		i.stepMu.Unlock()
+		return time.Time{}, false
+	}
 
-	if i.interval <= 0 {
-		for {
-			select {
-			case <-i.stopc:
-				return nil
-			case c := <-i.cmds:
-				i.apply(c)
-				continue
-			default:
-			}
-			if i.doneRunning {
-				select {
-				case <-i.stopc:
-					return nil
-				case c := <-i.cmds:
-					i.apply(c)
-				}
-				continue
-			}
+	batch := i.batch
+	i.recentFault = false
+	stepped := 0
+	crash := i.guard(func() {
+		for k := 0; k < batch && !i.doneRunning; k++ {
 			i.step()
+			stepped++
 		}
+	})
+	if stepped > 0 {
+		i.sched.epochs.Add(int64(stepped))
 	}
-
-	tk := time.NewTicker(i.interval)
-	defer tk.Stop()
-	tick := tk.C
+	if crash != nil {
+		i.stepMu.Unlock()
+		i.finishCrash(crash)
+		return time.Time{}, false
+	}
 	if i.doneRunning {
-		tk.Stop()
-		tick = nil
+		i.stepMu.Unlock()
+		return time.Time{}, false
 	}
-	for {
-		select {
-		case <-i.stopc:
-			return nil
-		case c := <-i.cmds:
-			i.apply(c)
-		case <-tick:
-			i.step()
-			if i.doneRunning {
-				tk.Stop()
-				tick = nil
-			}
-		}
-	}
+	next := i.planNext()
+	i.stepMu.Unlock()
+	return next, true
 }
 
-// apply runs one mailbox command, always replying on errc even when the
-// closure panics: the waiting Do caller gets an error immediately, then
-// the panic resumes so the supervisor books the crash. Without the
-// reply, a panicking closure would leave its caller parked on errc until
-// the restart finished.
-func (i *Instance) apply(c command) {
-	defer func() {
-		if v := recover(); v != nil {
-			c.errc <- fmt.Errorf("serve: instance %s driver panicked: %v", i.id, v)
-			panic(v)
+// planNext picks the next due time and batch size; stepMu is held.
+// Free-runners requeue immediately with a fixed batch so they
+// round-robin the pool. Paced instances stretch their wakeup when
+// healthy and unobserved: a stretched slice steps `stretch` epochs in
+// one catch-up batch, so the epoch rate stays exactly 1/interval and
+// telemetry is bit-identical to an every-epoch ticker — only the wakeup
+// frequency drops.
+func (i *Instance) planNext() time.Time {
+	if i.interval <= 0 {
+		i.batch = freeRunBatch
+		return time.Now()
+	}
+	st := i.nextStretch()
+	i.batch = st
+	next := i.nextAt.Add(time.Duration(st) * i.interval)
+	if now := time.Now(); next.Before(now) {
+		// Lagging (the pool is overloaded): drop the deficit rather than
+		// accumulate catch-up debt, like a stalled time.Ticker dropping
+		// ticks.
+		next = now
+	}
+	i.nextAt = next
+	return next
+}
+
+// nextStretch updates the staleness-weighted cadence; stepMu is held.
+// Anything that wants tight observation — a subscriber on the stream, an
+// epoch hook, a controller out of its steady state, thin SLO slack, a
+// recent fault or crash — snaps the stretch back to every-epoch ticks;
+// otherwise it doubles per clean slice up to stretchMax.
+func (i *Instance) nextStretch() int {
+	tight := i.recentFault || i.epochHook != nil || i.hub.HasSubscribers()
+	if !tight {
+		i.mu.Lock()
+		healthy := i.healthState == HealthHealthy
+		slack := i.status.Last.Slack
+		i.mu.Unlock()
+		tight = !healthy || slack < cadenceSlackFloor
+	}
+	if !tight && i.ctl.TelemetryState() != core.StaleOK {
+		tight = true
+	}
+	if tight {
+		i.stretch = 1
+	} else if i.stretch < stretchMax {
+		i.stretch *= 2
+		if i.stretch > stretchMax {
+			i.stretch = stretchMax
 		}
-	}()
-	c.errc <- c.fn()
+	}
+	return i.stretch
 }
 
 // epochUpdate renders one epoch's telemetry as the wire summary.
@@ -801,7 +911,7 @@ func (i *Instance) epochUpdate(tel machine.Telemetry, epoch uint64) EpochUpdate 
 // step advances the engine by one epoch — scenario events, the offered
 // load, Machine.Step and the controller all resolve inside engine.Step,
 // in exactly the order the batch layers use — then publishes the status
-// snapshot and the event stream.
+// snapshot and the event stream. stepMu is held.
 func (i *Instance) step() {
 	if i.panicNext {
 		i.panicNext = false
@@ -821,6 +931,10 @@ func (i *Instance) step() {
 		i.refreshBEs()
 	}
 
+	if er.FaultsApplied > 0 {
+		i.recentFault = true
+	}
+
 	up := i.epochUpdate(tel, er.Epoch)
 	done := i.maxEpochs > 0 && er.Epoch >= i.maxEpochs
 	i.mu.Lock()
@@ -830,6 +944,7 @@ func (i *Instance) step() {
 	if done {
 		i.status.State = StateDone
 	}
+	i.notifyLocked()
 	i.mu.Unlock()
 
 	// Supervisor bookkeeping: refresh the restart checkpoint on its
@@ -929,9 +1044,8 @@ func (i *Instance) taskCPUSec(task *machine.BETask) (float64, error) {
 }
 
 // publishScheduler emits a scheduler decision on the instance's event
-// stream. Called from the scheduler driver's goroutine; like the
-// "deleted" lifecycle event, it reads the epoch from the mutex-guarded
-// snapshot.
+// stream. Called from the fleet dispatch tick; like the "deleted"
+// lifecycle event, it reads the epoch from the mutex-guarded snapshot.
 func (i *Instance) publishScheduler(up SchedulerUpdate) {
 	if !i.hub.HasSubscribers() {
 		return

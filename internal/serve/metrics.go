@@ -175,6 +175,22 @@ func WriteSchedMetrics(w io.Writer, st SchedulerStatus) {
 		"Dispatch-loop ticks that panicked and were recovered.", strconv.Itoa(st.TickPanics))
 }
 
+// WriteEpochSchedMetrics renders the shared epoch scheduler's exposition
+// block: pool size, heap depth, dispatch and epoch counters, and the
+// overload lag signal.
+func WriteEpochSchedMetrics(w io.Writer, st EpochSchedStatus) {
+	schedScalar(w, "heracles_epoch_sched_drivers", "gauge",
+		"Worker goroutines in the shared epoch-scheduler pool.", strconv.Itoa(st.Drivers))
+	schedScalar(w, "heracles_epoch_sched_queue_depth", "gauge",
+		"Entries queued in the epoch heap (scheduled instances plus pending restarts).", strconv.Itoa(st.QueueDepth))
+	schedScalar(w, "heracles_epoch_sched_slices_total", "counter",
+		"Slices dispatched to epoch workers.", strconv.FormatInt(st.Slices, 10))
+	schedScalar(w, "heracles_epoch_sched_epochs_total", "counter",
+		"Simulated epochs advanced by the pool, all instances.", strconv.FormatInt(st.Epochs, 10))
+	schedScalar(w, "heracles_epoch_sched_lag_seconds", "gauge",
+		"How far the earliest due entry trails the wall clock (pool overload signal).", fmtFloat(st.LagSeconds))
+}
+
 // MetricNames lists every metric family the exposition can emit, in
 // render order. The docs check uses it to keep docs/API.md complete, and
 // a test keeps it in lockstep with the actual renderers.
@@ -216,5 +232,10 @@ func MetricNames() []string {
 		"heracles_sched_wasted_cpu_seconds_total",
 		"heracles_sched_queue_delay_mean_seconds",
 		"heracles_sched_tick_panics_total",
+		"heracles_epoch_sched_drivers",
+		"heracles_epoch_sched_queue_depth",
+		"heracles_epoch_sched_slices_total",
+		"heracles_epoch_sched_epochs_total",
+		"heracles_epoch_sched_lag_seconds",
 	}
 }

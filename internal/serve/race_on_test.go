@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled scales the churn and capacity tests down when the race
+// detector multiplies their memory and CPU cost.
+const raceEnabled = true

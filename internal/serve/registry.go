@@ -8,9 +8,10 @@ import (
 )
 
 // Registry is the instance pool: it assigns ids, tracks live instances in
-// creation order, and fans snapshot and shutdown work out over the shared
-// parallel worker primitive so a control plane with many instances
-// snapshots and stops them concurrently.
+// creation order, owns the shared epoch scheduler that drives them, and
+// fans snapshot and shutdown work out over the shared parallel worker
+// primitive so a control plane with many instances snapshots and stops
+// them concurrently.
 type Registry struct {
 	mu      sync.Mutex
 	seq     int
@@ -18,12 +19,24 @@ type Registry struct {
 	insts   map[string]*Instance
 	order   []string
 	workers int
+	sched   *epochScheduler
 }
 
-// NewRegistry returns an empty registry. workers bounds snapshot and
-// shutdown fan-out (0 selects parallel.DefaultWorkers).
-func NewRegistry(workers int) *Registry {
-	return &Registry{insts: make(map[string]*Instance), workers: workers}
+// NewRegistry returns an empty registry with a running epoch-scheduler
+// pool. workers bounds snapshot and shutdown fan-out (0 selects
+// parallel.DefaultWorkers); drivers is the epoch worker pool size (0
+// selects GOMAXPROCS).
+func NewRegistry(workers, drivers int) *Registry {
+	return &Registry{
+		insts:   make(map[string]*Instance),
+		workers: workers,
+		sched:   newEpochScheduler(drivers),
+	}
+}
+
+// SchedStatus snapshots the shared epoch scheduler.
+func (r *Registry) SchedStatus() EpochSchedStatus {
+	return r.sched.status()
 }
 
 // Reserve claims the next instance id ("i1", "i2", ...) against the pool
@@ -120,7 +133,9 @@ func (r *Registry) Statuses() []Status {
 	return out
 }
 
-// Close stops every instance concurrently and empties the registry.
+// Close stops every instance concurrently, empties the registry and
+// shuts the epoch-scheduler pool down. The pool stops last: Stop needs
+// live workers to finish any in-flight slices it must wait out.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	insts := r.listLocked()
@@ -130,4 +145,5 @@ func (r *Registry) Close() {
 	parallel.ForEach(r.workers, len(insts), func(i int) {
 		insts[i].Stop()
 	})
+	r.sched.stop()
 }

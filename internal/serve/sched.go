@@ -85,25 +85,30 @@ type taskRef struct {
 }
 
 // schedDriver owns the control plane's fleet scheduler: a wall-clock
-// dispatch loop over the live instance pool. The sched.Scheduler core is
-// single-threaded; every access (ticks and the job API) serialises on
-// mu, and all machine mutation goes through each instance's command
-// mailbox — the scheduler never touches a Machine directly, so instance
-// determinism is preserved.
+// dispatch tick over the live instance pool, run as one task on the
+// shared epoch scheduler rather than on its own goroutine. The
+// sched.Scheduler core is single-threaded; every access (ticks and the
+// job API) serialises on mu, and all machine mutation goes through each
+// instance's command mailbox — the scheduler never touches a Machine
+// directly, so instance determinism is preserved.
 type schedDriver struct {
 	srv      *Server
 	interval time.Duration
 	start    time.Time
+
+	pool  *epochScheduler
+	entry *schedEntry
 
 	mu            sync.Mutex
 	s             *sched.Scheduler
 	tasks         map[int]*taskRef
 	tickPanics    int
 	lastTickPanic string
+	stopped       bool
+	ticks         int64         // completed dispatch ticks
+	ticknote      chan struct{} // closed and replaced after every tick
 
 	stopOnce sync.Once
-	stopc    chan struct{}
-	donec    chan struct{}
 }
 
 func newSchedDriver(srv *Server, policy sched.Policy, seed uint64, interval time.Duration) *schedDriver {
@@ -111,6 +116,7 @@ func newSchedDriver(srv *Server, policy sched.Policy, seed uint64, interval time
 		srv:      srv,
 		interval: interval,
 		start:    time.Now(),
+		pool:     srv.reg.sched,
 		s: sched.New(sched.Config{
 			Policy: policy,
 			Seed:   seed,
@@ -118,40 +124,60 @@ func newSchedDriver(srv *Server, policy sched.Policy, seed uint64, interval time
 			// 15s grace) are sized for simulated seconds, which the served
 			// instances also tick in real time by default.
 		}),
-		tasks: make(map[int]*taskRef),
-		stopc: make(chan struct{}),
-		donec: make(chan struct{}),
+		tasks:    make(map[int]*taskRef),
+		ticknote: make(chan struct{}),
 	}
-	go d.loop()
+	d.entry = d.pool.newEntry(d)
+	d.pool.schedule(d.entry, time.Now().Add(d.interval))
 	return d
 }
 
 // now is the scheduler clock: wall time since the driver started.
 func (d *schedDriver) now() time.Duration { return time.Since(d.start) }
 
+// stop cancels the dispatch entry and joins any in-flight tick: once
+// stopped is set under mu, the tick that may still hold mu has finished
+// and no further one can start (the cancelled entry never redispatches).
 func (d *schedDriver) stop() {
-	d.stopOnce.Do(func() { close(d.stopc) })
-	<-d.donec
+	d.stopOnce.Do(func() {
+		d.pool.remove(d.entry)
+		d.mu.Lock()
+		d.stopped = true
+		d.mu.Unlock()
+	})
 }
 
-func (d *schedDriver) loop() {
-	defer close(d.donec)
-	tk := time.NewTicker(d.interval)
-	defer tk.Stop()
-	for {
-		select {
-		case <-d.stopc:
-			return
-		case <-tk.C:
-			d.safeTick()
-		}
-	}
+// runSlice is the fleet dispatcher's epoch-scheduler task: one dispatch
+// tick, requeued every interval. The tick itself never stretches — job
+// dispatch latency is user-visible — so this entry is the one fixed
+// heartbeat in the heap.
+func (d *schedDriver) runSlice() (time.Time, bool) {
+	d.safeTick()
+	d.noteTick()
+	return time.Now().Add(d.interval), true
+}
+
+// noteTick wakes tickWait waiters; tests use it to await dispatch ticks
+// without sleeping.
+func (d *schedDriver) noteTick() {
+	d.mu.Lock()
+	d.ticks++
+	close(d.ticknote)
+	d.ticknote = make(chan struct{})
+	d.mu.Unlock()
+}
+
+// tickWait returns the completed-tick count and a channel that closes
+// when the next tick completes.
+func (d *schedDriver) tickWait() (int64, <-chan struct{}) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ticks, d.ticknote
 }
 
 // safeTick isolates the dispatch loop from a panicking tick: the panic
-// is recorded and the loop keeps running on the next interval. tick's
-// deferred unlock releases d.mu on the way out, so the job API stays
-// live.
+// is recorded and the next interval's tick runs anyway. tick's deferred
+// unlock releases d.mu on the way out, so the job API stays live.
 func (d *schedDriver) safeTick() {
 	defer func() {
 		if v := recover(); v != nil {
@@ -165,13 +191,13 @@ func (d *schedDriver) safeTick() {
 }
 
 // evictCrashed force-evicts every running job whose task lives on inst.
-// Called by the supervisor from the crashed instance's driver goroutine
-// before the restart rebuilds the engine: the tasks are about to vanish
+// Called by the supervisor (finishCrash, no instance locks held) before
+// the restart slice rebuilds the engine: the tasks are about to vanish
 // with the discarded machine, so the jobs go back through the normal
 // evict path (charging their retry budget) with the CPU time accrued so
-// far. The machine is frozen — its driver is the caller — so reading the
-// task counters directly is safe; no mailbox round-trip is possible or
-// needed.
+// far. The crashed machine is frozen — its crash gate fails every
+// mutation — so reading the task counters directly is safe; no mailbox
+// round-trip is possible or needed.
 func (d *schedDriver) evictCrashed(inst *Instance) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -249,6 +275,9 @@ func instIndex(id string) (int, bool) {
 func (d *schedDriver) tick() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.stopped {
+		return
+	}
 
 	insts := d.srv.reg.List()
 	nodes := make([]sched.NodeState, 0, len(insts))

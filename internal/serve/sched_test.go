@@ -10,13 +10,17 @@ import (
 	"time"
 )
 
-// waitForJobState polls the job route until the predicate holds or the
-// deadline passes, returning the final status.
-func waitForJobState(t *testing.T, client *http.Client, url string, deadline time.Duration, ok func(JobStatus) bool) JobStatus {
+// waitForJobState re-reads the job route after each dispatch tick until
+// the predicate holds, returning the final status. Job state only changes
+// on dispatch ticks, so waiting on the tick notification replaces the
+// old sleep-poll without missing a transition.
+func waitForJobState(t *testing.T, s *Server, client *http.Client, url string, what string, ok func(JobStatus) bool) JobStatus {
 	t.Helper()
+	deadline := time.NewTimer(30 * time.Second)
+	defer deadline.Stop()
 	var st JobStatus
-	stop := time.Now().Add(deadline)
-	for time.Now().Before(stop) {
+	for {
+		_, ch := s.sched.tickWait()
 		body := doReq(t, client, "GET", url, nil, 200)
 		if err := json.Unmarshal(body, &st); err != nil {
 			t.Fatalf("job status: %v; body %s", err, body)
@@ -24,10 +28,12 @@ func waitForJobState(t *testing.T, client *http.Client, url string, deadline tim
 		if ok(st) {
 			return st
 		}
-		time.Sleep(10 * time.Millisecond)
+		select {
+		case <-ch:
+		case <-deadline.C:
+			t.Fatalf("timed out waiting for %s; last: %+v", what, st)
+		}
 	}
-	t.Fatalf("job never reached the expected state; last: %+v", st)
-	return st
 }
 
 // TestJobLifecycleOverHTTP is the scheduler's acceptance flow: submit a
@@ -108,7 +114,7 @@ func TestJobLifecycleOverHTTP(t *testing.T) {
 		t.Fatalf("submitted job = %+v", job)
 	}
 
-	done := waitForJobState(t, client, ts.URL+"/api/v1/jobs/1", 15*time.Second, func(j JobStatus) bool {
+	done := waitForJobState(t, s, client, ts.URL+"/api/v1/jobs/1", "job 1 completed", func(j JobStatus) bool {
 		return j.State == "completed"
 	})
 	if done.CPUSec < 20 || done.Attempts != 1 {
@@ -133,7 +139,7 @@ func TestJobLifecycleOverHTTP(t *testing.T) {
 	// cancel, unknown ids 404.
 	doReq(t, client, "POST", ts.URL+"/api/v1/jobs",
 		jsonBody(t, JobSubmission{Name: "doomed", Workload: "streetview", WorkS: 1e7}), 201)
-	waitForJobState(t, client, ts.URL+"/api/v1/jobs/2", 15*time.Second, func(j JobStatus) bool {
+	waitForJobState(t, s, client, ts.URL+"/api/v1/jobs/2", "job 2 queued or running", func(j JobStatus) bool {
 		return j.State == "running" || j.State == "pending"
 	})
 	body = doReq(t, client, "DELETE", ts.URL+"/api/v1/jobs/2", nil, 200)
@@ -175,24 +181,21 @@ func TestJobLifecycleOverHTTP(t *testing.T) {
 
 	// Telemetry carries the machine-side disposition counters and the
 	// controller verdict field. The counters land on telemetry one epoch
-	// after CompleteBE runs, so poll rather than read once.
-	var got Status
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+inst.ID, nil, 200)
-		if err := json.Unmarshal(body, &got); err != nil {
-			t.Fatal(err)
-		}
-		if got.Last.BEGoodCPUSec >= 20 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("instance never exposed the completed job's CPU time: %+v", got.Last)
-		}
-		time.Sleep(10 * time.Millisecond)
+	// after CompleteBE runs, so wait on the instance's change events.
+	live, ok := s.Registry().Get(inst.ID)
+	if !ok {
+		t.Fatalf("instance %s vanished from the registry", inst.ID)
 	}
-	if !got.Last.BEAllowed {
-		t.Fatalf("controller verdict missing from telemetry: %+v", got.Last)
+	awaitInstance(t, live, "completed CPU time on telemetry", func() bool {
+		return live.Status().Last.BEGoodCPUSec >= 20
+	})
+	var got Status
+	body = doReq(t, client, "GET", ts.URL+"/api/v1/instances/"+inst.ID, nil, 200)
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Last.BEGoodCPUSec < 20 || !got.Last.BEAllowed {
+		t.Fatalf("telemetry missing CPU time or controller verdict: %+v", got.Last)
 	}
 }
 
@@ -215,7 +218,8 @@ func TestSchedulerSkipsDisabledInstances(t *testing.T) {
 
 	// Give the dispatch loop plenty of ticks, then require the job is
 	// still queued with zero attempts.
-	time.Sleep(300 * time.Millisecond)
+	start, _ := s.sched.tickWait()
+	awaitTicks(t, s.sched, "20 dispatch ticks", func(n int64) bool { return n >= start+20 })
 	body := doReq(t, client, "GET", ts.URL+"/api/v1/jobs/1", nil, 200)
 	var job JobStatus
 	if err := json.Unmarshal(body, &job); err != nil {

@@ -204,7 +204,7 @@ func TestRoutesUniqueAndDocumentedInTable(t *testing.T) {
 
 // telPoint is the scalar slice of one epoch compared by the checkpoint
 // test. (Batch-vs-live determinism itself is pinned at the engine level,
-// in internal/engine, which every instance's driver goroutine advances.)
+// in internal/engine, which every instance's scheduler slices advance.)
 type telPoint struct {
 	tail    time.Duration
 	emu     float64
@@ -430,13 +430,9 @@ func TestRestoreSpecValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for inst.Status().State != StateDone {
-		if time.Now().After(deadline) {
-			t.Fatal("instance never parked")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	awaitInstance(t, inst, "instance parked", func() bool {
+		return inst.Status().State == StateDone
+	})
 	cp, err := inst.Checkpoint()
 	if err != nil {
 		t.Fatal(err)
@@ -475,13 +471,9 @@ func TestInstanceDoneParksAndStillServes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for inst.Status().State != StateDone {
-		if time.Now().After(deadline) {
-			t.Fatal("instance never reached done")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	awaitInstance(t, inst, "instance done", func() bool {
+		return inst.Status().State == StateDone
+	})
 	st := inst.Status()
 	if st.Epoch != 50 {
 		t.Fatalf("epoch = %d, want exactly 50", st.Epoch)
@@ -508,8 +500,8 @@ func TestDoAfterStopReturnsErrStopped(t *testing.T) {
 }
 
 // TestMetricNamesMatchRenderers keeps MetricNames — the registry the
-// docs check reads — in lockstep with what WriteMetrics and
-// WriteSchedMetrics actually emit.
+// docs check reads — in lockstep with what WriteMetrics,
+// WriteSchedMetrics and WriteEpochSchedMetrics actually emit.
 func TestMetricNamesMatchRenderers(t *testing.T) {
 	var b strings.Builder
 	WriteMetrics(&b, []Status{{
@@ -518,6 +510,7 @@ func TestMetricNamesMatchRenderers(t *testing.T) {
 		Actions: []ActionCount{{Loop: "top", Action: "ENABLE_BE", Count: 1}},
 	}})
 	WriteSchedMetrics(&b, SchedulerStatus{Policy: "slack-greedy", TickPanics: 1})
+	WriteEpochSchedMetrics(&b, EpochSchedStatus{Drivers: 2, QueueDepth: 1, Slices: 3, Epochs: 9})
 
 	rendered := map[string]bool{}
 	for _, line := range strings.Split(b.String(), "\n") {

@@ -34,6 +34,10 @@ type Config struct {
 	// Workers bounds status-snapshot and shutdown fan-out over the
 	// instance pool (0 selects GOMAXPROCS).
 	Workers int
+	// Drivers is the shared epoch scheduler's worker pool size — the
+	// number of goroutines stepping instance epochs concurrently (the
+	// daemon's -drivers knob). 0 selects GOMAXPROCS.
+	Drivers int
 
 	// SchedPolicy names the fleet scheduler's placement policy
 	// (slack-greedy, bin-pack, spread, random; default "slack-greedy").
@@ -100,7 +104,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		lab:        cfg.Lab,
-		reg:        NewRegistry(cfg.Workers),
+		reg:        NewRegistry(cfg.Workers, cfg.Drivers),
 		compactLab: cfg.CompactLab,
 	}
 	s.mux = http.NewServeMux()
@@ -153,7 +157,7 @@ func (s *Server) CreateInstance(spec InstanceSpec) (*Instance, error) {
 		// the instance restarts from its checkpoint.
 		onCrash: func(in *Instance) { s.sched.evictCrashed(in) },
 	}
-	inst, err := newInstance(id, spec, s.labFor(compact), speed, sup)
+	inst, err := newInstance(id, spec, s.labFor(compact), speed, sup, s.reg.sched)
 	if err != nil {
 		s.reg.Unreserve()
 		return nil, err
@@ -349,13 +353,18 @@ func doErr(w http.ResponseWriter, err error) bool {
 // --- Handlers ----------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "instances": s.reg.Len()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"instances":       s.reg.Len(),
+		"epoch_scheduler": s.reg.SchedStatus(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WriteMetrics(w, s.reg.Statuses())
 	WriteSchedMetrics(w, s.sched.Status())
+	WriteEpochSchedMetrics(w, s.reg.SchedStatus())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {

@@ -95,8 +95,8 @@ func (i *Instance) Health() HealthStatus {
 	}
 }
 
-// FaultDriverPanic is the serve-layer fault kind: the next epoch tick
-// panics inside the driver goroutine, exercising the supervisor's
+// FaultDriverPanic is the serve-layer fault kind: the next epoch step
+// panics inside the driver worker, exercising the supervisor's
 // recover/restart path rather than the engine's simulated fault model.
 const FaultDriverPanic = "driver-panic"
 
@@ -193,31 +193,51 @@ func fnvHash(s string) uint64 {
 	return h
 }
 
-// crashErr is the error Do returns while the driver is not serving:
+// crashErr is the error Do returns while the instance is not serving:
 // quarantine wins over the transient crashed state.
 func (i *Instance) crashErr() error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	return i.crashErrLocked()
-}
-
-func (i *Instance) crashErrLocked() error {
 	if i.healthState == HealthQuarantined {
 		return ErrQuarantined
 	}
 	return ErrCrashed
 }
 
-// noteCrash records a driver panic: it flips the crash gate (unblocking
-// any Do parked on the mailbox), books the health transition, publishes
-// the "crashed" lifecycle event and runs the crash callback — all before
-// any restart, so the fleet scheduler sees a consistent world in which
-// the instance's tasks are dead.
-func (i *Instance) noteCrash(v any) {
+// crashInfo carries one booked crash from the panic site (stepMu held)
+// to finishCrash (stepMu released). The split matters: publishing and
+// the fleet-scheduler eviction callback must not run under stepMu, or
+// they would deadlock against a dispatch tick that holds the scheduler
+// lock while calling Do on this instance.
+type crashInfo struct {
+	msg        string
+	quarantine string        // non-empty: the breaker opened; the reason
+	delay      time.Duration // else: backoff before the restart slice
+}
+
+// guard runs fn, converting a panic into a booked crash. The caller
+// holds stepMu and must hand a non-nil result to finishCrash after
+// releasing it.
+func (i *Instance) guard(fn func()) (crash *crashInfo) {
+	defer func() {
+		if v := recover(); v != nil {
+			crash = i.bookCrash(v)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// bookCrash records a driver panic under i.mu — health transition,
+// counters, circuit-breaker verdict — and computes the restart backoff.
+// From here until the restart slice rebuilds the engine, Do fails fast
+// with ErrCrashed and step slices park, so the crashed machine is
+// frozen. stepMu is held.
+func (i *Instance) bookCrash(v any) *crashInfo {
 	msg := fmt.Sprint(v)
+	ci := &crashInfo{msg: msg}
 	i.mu.Lock()
 	i.crashed = true
-	close(i.crashc)
 	i.crashes++
 	i.consec++
 	i.lastErr = msg
@@ -226,87 +246,70 @@ func (i *Instance) noteCrash(v any) {
 		i.healthState = HealthDegraded
 	}
 	i.status.State = StateCrashed
+	consec, crashes := i.consec, i.crashes
+	if consec > i.sup.maxConsec {
+		i.healthState = HealthQuarantined
+		i.status.State = StateQuarantined
+		ci.quarantine = fmt.Sprintf("%d consecutive crashes exceed the limit of %d", consec, i.sup.maxConsec)
+	}
+	i.notifyLocked()
 	i.mu.Unlock()
-	i.publishLifecycle("crashed", msg)
+
+	if ci.quarantine == "" {
+		shift := min(consec-1, 4)
+		if shift < 0 {
+			shift = 0
+		}
+		delay := i.sup.backoff << uint(shift)
+		// Jitter from the instance's own derived stream: deterministic per
+		// (instance, crash count) yet uncorrelated across instances, so a
+		// correlated fleet-wide crash does not restart in lockstep.
+		delay += time.Duration(sim.DeriveRNG(i.supSeed, uint64(crashes)).Float64() * 0.5 * float64(delay))
+		ci.delay = delay
+	}
+	return ci
+}
+
+// finishCrash completes a booked crash with no locks held: it announces
+// the crash, lets the fleet scheduler evict the dead machine's jobs —
+// all before any restart, so the scheduler sees a consistent world in
+// which the instance's tasks are dead — then either schedules the
+// restart slice after the jittered backoff or announces quarantine.
+// The backoff is a heap entry, not a timer: deleting the instance
+// mid-backoff removes the entry, so churn leaks nothing. Runs in
+// whichever goroutine hit the panic — a driver worker or an HTTP Do
+// caller.
+func (i *Instance) finishCrash(ci *crashInfo) {
+	i.publishLifecycle("crashed", ci.msg)
 	if i.sup.onCrash != nil {
 		i.sup.onCrash(i)
 	}
-}
-
-// superviseRestart decides the crashed instance's fate: quarantine past
-// the consecutive-crash limit, otherwise wait out a jittered exponential
-// backoff (draining the mailbox so callers fail fast instead of
-// hanging) and rebuild from the last checkpoint. Returns true when the
-// driver should resume ticking.
-func (i *Instance) superviseRestart() bool {
+	if ci.quarantine != "" {
+		i.publishLifecycle("quarantined", ci.quarantine)
+		return
+	}
 	i.mu.Lock()
-	consec, crashes := i.consec, i.crashes
+	i.pendingRestart = true
 	i.mu.Unlock()
-	if consec > i.sup.maxConsec {
-		i.quarantine(fmt.Sprintf("%d consecutive crashes exceed the limit of %d", consec, i.sup.maxConsec))
-		return false
-	}
-
-	shift := consec - 1
-	if shift > 4 {
-		shift = 4
-	}
-	if shift < 0 {
-		shift = 0
-	}
-	delay := i.sup.backoff << uint(shift)
-	// Jitter from the instance's own derived stream: deterministic per
-	// (instance, crash count) yet uncorrelated across instances, so a
-	// correlated fleet-wide crash does not restart in lockstep.
-	delay += time.Duration(sim.DeriveRNG(i.supSeed, uint64(crashes)).Float64() * 0.5 * float64(delay))
-
-	timer := time.NewTimer(delay)
-	defer timer.Stop()
-wait:
-	for {
-		select {
-		case <-i.stopc:
-			return false
-		case c := <-i.cmds:
-			c.errc <- ErrCrashed
-		case <-timer.C:
-			break wait
-		}
-	}
-
-	if err := i.rebuildFromCheckpoint(); err != nil {
-		i.quarantine(fmt.Sprintf("restart failed: %v", err))
-		return false
-	}
-	return true
+	i.sched.schedule(i.entry, time.Now().Add(ci.delay))
 }
 
 // quarantine opens the circuit breaker: the instance stays inspectable
 // (status, health, stream) but every mutation fails until it is deleted.
+// A quarantined instance holds no heap entry — parking is free.
 func (i *Instance) quarantine(reason string) {
 	i.mu.Lock()
 	i.healthState = HealthQuarantined
 	i.status.State = StateQuarantined
+	i.notifyLocked()
 	i.mu.Unlock()
 	i.publishLifecycle("quarantined", reason)
 }
 
-// parkQuarantined drains the mailbox forever so callers never hang on a
-// quarantined instance.
-func (i *Instance) parkQuarantined() {
-	for {
-		select {
-		case <-i.stopc:
-			return
-		case c := <-i.cmds:
-			c.errc <- ErrQuarantined
-		}
-	}
-}
-
 // rebuildFromCheckpoint swaps in a fresh engine restored from the last
-// restart checkpoint. Runs on the driver goroutine with no concurrent
-// mailbox traffic (the crash gate fails Do callers fast).
+// restart checkpoint. Runs in a driver worker's restart slice under
+// stepMu, with no concurrent mutation traffic (the crash gate fails Do
+// callers fast).
 func (i *Instance) rebuildFromCheckpoint() error {
 	cp := i.lastCP
 	if cp == nil || cp.Engine == nil {
@@ -325,7 +328,7 @@ func (i *Instance) rebuildFromCheckpoint() error {
 	if err != nil {
 		return fmt.Errorf("restore: %w", err)
 	}
-	// The fleet scheduler's jobs died with the crash (noteCrash evicted
+	// The fleet scheduler's jobs died with the crash (finishCrash evicted
 	// them); resurrect the machine without their tasks or the restarted
 	// engine would silently double-run requeued work.
 	pruneFleetTasks(eng, cp)
@@ -353,7 +356,6 @@ func (i *Instance) rebuildFromCheckpoint() error {
 	up := i.epochUpdate(i.m.Last(), eng.Epoch())
 	i.mu.Lock()
 	i.crashed = false
-	i.crashc = make(chan struct{})
 	i.restarts++
 	i.status.State = StateRunning
 	if i.doneRunning {
@@ -363,6 +365,7 @@ func (i *Instance) rebuildFromCheckpoint() error {
 	i.status.Scenario = eng.ScenarioName()
 	i.status.Last = up
 	i.status.BEs = beNames(i.m)
+	i.notifyLocked()
 	i.mu.Unlock()
 	i.publishLifecycle("restored", fmt.Sprintf("restarted from checkpoint at epoch %d after crash", eng.Epoch()))
 	return nil
@@ -394,7 +397,7 @@ func pruneFleetTasks(eng *engine.Engine, cp *InstanceCheckpoint) {
 
 // markStable closes the circuit-breaker window: after enough crash-free
 // epochs the consecutive-crash counter resets and a degraded instance
-// reads healthy again. Driver goroutine only.
+// reads healthy again. stepMu is held.
 func (i *Instance) markStable() {
 	if i.epochsSinceRestart < i.sup.stable {
 		return
@@ -405,6 +408,7 @@ func (i *Instance) markStable() {
 		if i.healthState == HealthDegraded {
 			i.healthState = HealthHealthy
 		}
+		i.notifyLocked()
 	}
 	i.mu.Unlock()
 }
