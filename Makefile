@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race chaos churn bench bench-smoke bench-baseline bench-check fmt-check docs-check ci
+.PHONY: all build vet test test-race chaos churn fuzz-smoke bench bench-smoke bench-baseline bench-check fmt-check docs-check ci
 
 all: build
 
@@ -48,6 +48,13 @@ chaos:
 churn:
 	$(GO) test -race -run 'RegistryChurnNoLeaks|EpochScheduler|HundredThousand' ./internal/serve/
 
+# Short fuzz pass over the checkpoint envelope decoder: truncated,
+# bit-flipped and CRC-mismatched inputs must error — never panic — and
+# the rotated-generation fallback must always recover. The committed
+# seed corpus under internal/serve/testdata/fuzz rides along.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeCheckpointFile$$' -fuzztime 10s ./internal/serve/
+
 # Full benchmark suite (prints every figure/table on the first iteration).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -68,4 +75,4 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/benchbaseline -quick -check BENCH_baseline.json -tol 1.5
 
-ci: build vet fmt-check docs-check test test-race chaos churn bench-smoke bench-check
+ci: build vet fmt-check docs-check test test-race chaos churn fuzz-smoke bench-smoke bench-check

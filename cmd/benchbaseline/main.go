@@ -207,6 +207,35 @@ func main() {
 			b.ReportAllocs()
 			serve.ScheduleBench(4, 256, b.N)
 		}},
+		{"InstanceMigrate", true, func(b *testing.B) {
+			// The migration primitive's round trip: detach, snapshot the
+			// engine, restore into a fresh instance on the other shard's
+			// pool, stop the origin — the per-move cost a federated
+			// rebalance or drain pays per instance. The instance has run
+			// its full 120-epoch scenario first, so the checkpoint carries
+			// warmed telemetry rings.
+			s := serve.New(serve.Config{Lab: lab, Shards: 2})
+			defer s.Close()
+			inst, err := s.CreateInstance(serve.InstanceSpec{
+				Load: 0.5, Speed: serve.SpeedMax, MaxEpochs: 120,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for inst.Status().State != serve.StateDone {
+				time.Sleep(time.Millisecond)
+			}
+			id, target := inst.ID(), 1-inst.Status().Shard
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := s.MigrateToShard(id, target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				id, target = res.To, res.FromShard
+			}
+		}},
 		{"ColocateSweep/sequential", true, func(b *testing.B) {
 			o := opts
 			o.Workers = 1

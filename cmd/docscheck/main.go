@@ -5,10 +5,12 @@
 //     exist,
 //   - an internal/ package has no package comment (the architecture
 //     story `go doc` tells), or
-//   - a control-plane route registered in internal/serve is not
+//   - a control-plane route registered in internal/serve or a
+//     federation-router route registered in internal/fed is not
 //     documented in docs/API.md,
-//   - a Prometheus metric family the exposition can emit
-//     (serve.MetricNames) is not documented in docs/API.md,
+//   - a Prometheus metric family the expositions can emit
+//     (serve.MetricNames, fed.MetricNames) is not documented in
+//     docs/API.md,
 //   - or a Go source comment references a DESIGN.md section anchor
 //     ("DESIGN.md §N") that does not exist as a "## §N" heading — the
 //     architecture pointers in package comments must not rot as
@@ -30,6 +32,7 @@ import (
 	"regexp"
 	"strings"
 
+	"heracles/internal/fed"
 	"heracles/internal/serve"
 )
 
@@ -236,7 +239,7 @@ func checkMetricDocs(root string) []string {
 	}
 	text := string(data)
 	var problems []string
-	for _, name := range serve.MetricNames() {
+	for _, name := range append(serve.MetricNames(), fed.MetricNames()...) {
 		if !strings.Contains(text, name) {
 			problems = append(problems,
 				fmt.Sprintf("docs/API.md: metric family %q is undocumented", name))
@@ -259,6 +262,12 @@ func checkRouteDocs(root string) []string {
 		if !strings.Contains(text, r) {
 			problems = append(problems,
 				fmt.Sprintf("docs/API.md: registered route %q is undocumented", r))
+		}
+	}
+	for _, r := range fed.Routes() {
+		if !strings.Contains(text, r) {
+			problems = append(problems,
+				fmt.Sprintf("docs/API.md: federation router route %q is undocumented", r))
 		}
 	}
 	return problems

@@ -78,6 +78,7 @@ func main() {
 	noboot := flag.Bool("noboot", false, "with -addr, start with an empty instance pool instead of bootstrapping one from the flags")
 	schedPolicy := flag.String("sched-policy", "slack-greedy", "fleet job scheduler placement policy (slack-greedy, bin-pack, spread, random)")
 	drivers := flag.Int("drivers", 0, "epoch-scheduler worker pool size: goroutines stepping instance epochs (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "control-plane shards: independent epoch-scheduler/hub/fleet-scheduler domains with work-stealing between their pools")
 	maxInstances := flag.Int("max-instances", 0, "instance pool cap; creates beyond it fail with 503 (0 = default 64)")
 	ckptDir := flag.String("checkpoint-dir", "", "periodically snapshot every instance into this directory and crash-resume from it on startup")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "wall-clock cadence of -checkpoint-dir snapshots")
@@ -102,6 +103,7 @@ func main() {
 		DefaultSpeed: instSpeed,
 		SchedPolicy:  *schedPolicy,
 		Drivers:      *drivers,
+		Shards:       *shards,
 		MaxInstances: *maxInstances,
 	})
 	defer srv.Close()

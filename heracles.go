@@ -25,10 +25,12 @@ package heracles
 
 import (
 	"heracles/internal/actuate"
+	"heracles/internal/chash"
 	"heracles/internal/cluster"
 	"heracles/internal/core"
 	"heracles/internal/engine"
 	"heracles/internal/experiment"
+	"heracles/internal/fed"
 	"heracles/internal/fleet"
 	"heracles/internal/hw"
 	"heracles/internal/lat"
@@ -390,6 +392,12 @@ type (
 	ServeEpochUpdate = serve.EpochUpdate
 	// ServeScenarioSpec is the JSON encoding of a declarative scenario.
 	ServeScenarioSpec = serve.ScenarioSpec
+	// ServeShardStatus is one control-plane shard's accounting snapshot.
+	ServeShardStatus = serve.ShardStatus
+	// ServeMigrateRequest names a migration destination (shard or peer).
+	ServeMigrateRequest = serve.MigrateRequest
+	// ServeMigrateResult reports a completed instance migration.
+	ServeMigrateResult = serve.MigrateResult
 )
 
 // ServeSpeedMax requests free-running simulation for an instance.
@@ -400,6 +408,29 @@ var (
 	NewServer = serve.New
 	// ServeRoutes lists every registered API endpoint.
 	ServeRoutes = serve.Routes
+)
+
+// Federation: one API over several control-plane daemons, with
+// consistent-hash placement and live cross-daemon migration
+// (DESIGN.md §14). cmd/heraclesfed is the thin daemon over this layer.
+type (
+	// FedConfig configures a federation router.
+	FedConfig = fed.Config
+	// FedRouter proxies instance and job traffic across member daemons.
+	FedRouter = fed.Router
+	// FedInstanceInfo is a member instance viewed through the router.
+	FedInstanceInfo = fed.InstanceInfo
+	// ChashTable is an immutable rendezvous-hash placement table.
+	ChashTable = chash.Table
+)
+
+var (
+	// NewFedRouter builds a federation router over member base URLs.
+	NewFedRouter = fed.NewRouter
+	// FedRoutes lists every registered federation endpoint.
+	FedRoutes = fed.Routes
+	// NewChashTable builds a rendezvous-hash table over members.
+	NewChashTable = chash.New
 )
 
 // Filesystem actuation (kernel interface formats).

@@ -1,0 +1,149 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys returns n synthetic instance ids, the key population every
+// property below is measured over.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("i%d", i+1)
+	}
+	return out
+}
+
+func placements(t *Table, ks []string) map[string]string {
+	out := make(map[string]string, len(ks))
+	for _, k := range ks {
+		out[k] = t.Place(k)
+	}
+	return out
+}
+
+// TestPlacementDeterministic pins that placement is a pure function of
+// (seed, membership): two independently built tables agree on every
+// key, and a different seed produces a genuinely different placement.
+func TestPlacementDeterministic(t *testing.T) {
+	ks := keys(4096)
+	a := New(42, "s0", "s1", "s2", "s3")
+	b := New(42, "s0", "s1", "s2", "s3")
+	for _, k := range ks {
+		if a.Place(k) != b.Place(k) {
+			t.Fatalf("placement of %q differs between identical tables", k)
+		}
+	}
+	c := New(43, "s0", "s1", "s2", "s3")
+	diff := 0
+	for _, k := range ks {
+		if a.Place(k) != c.Place(k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatalf("seed change moved no keys; the seed is not feeding the hash")
+	}
+}
+
+// TestPlacementOrderFree pins that member order does not affect
+// placement: a table is its member set, not its member list.
+func TestPlacementOrderFree(t *testing.T) {
+	ks := keys(2048)
+	a := New(7, "s0", "s1", "s2", "s3")
+	b := New(7, "s3", "s1", "s0", "s2")
+	for _, k := range ks {
+		if a.Place(k) != b.Place(k) {
+			t.Fatalf("placement of %q depends on member order: %q vs %q", k, a.Place(k), b.Place(k))
+		}
+	}
+}
+
+// TestPlacementBalanced bounds the load skew: over a large key
+// population each member owns its fair share within 20%.
+func TestPlacementBalanced(t *testing.T) {
+	const n = 20000
+	members := []string{"s0", "s1", "s2", "s3", "s4"}
+	tab := New(1, members...)
+	load := make(map[string]int)
+	for _, k := range keys(n) {
+		load[tab.Place(k)]++
+	}
+	fair := n / len(members)
+	for _, m := range members {
+		if load[m] < fair*8/10 || load[m] > fair*12/10 {
+			t.Fatalf("member %s owns %d keys, fair share %d +-20%%: %v", m, load[m], fair, load)
+		}
+	}
+}
+
+// TestJoinMovesBoundedAndMinimal is the rebuild property the sharded
+// registry and the federation router rely on: adding a member moves at
+// most ceil(N/members)+slack keys, and every moved key lands on the new
+// member — no key shuffles between surviving members.
+func TestJoinMovesBoundedAndMinimal(t *testing.T) {
+	const n = 10000
+	ks := keys(n)
+	for seed := uint64(0); seed < 5; seed++ {
+		old := New(seed, "s0", "s1", "s2", "s3")
+		grown := old.Add("s4")
+		before, after := placements(old, ks), placements(grown, ks)
+		moved := 0
+		for _, k := range ks {
+			if before[k] == after[k] {
+				continue
+			}
+			moved++
+			if after[k] != "s4" {
+				t.Fatalf("seed %d: key %q moved %s -> %s, not to the joining member", seed, k, before[k], after[k])
+			}
+		}
+		// Expected movement is N/5 = 2000; 3 sigma of Binomial(10000, 1/5)
+		// is ~120, so ceil(N/members)+slack with a 10% slack band is a
+		// comfortable deterministic bound for these pinned seeds.
+		bound := (n+grown.Len()-1)/grown.Len() + n/10
+		if moved > bound {
+			t.Fatalf("seed %d: join moved %d keys, bound %d", seed, moved, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("seed %d: join moved no keys", seed)
+		}
+	}
+}
+
+// TestLeaveMovesExactlyTheLostKeys pins the drain property: removing a
+// member relocates exactly the keys it owned and nothing else.
+func TestLeaveMovesExactlyTheLostKeys(t *testing.T) {
+	const n = 10000
+	ks := keys(n)
+	old := New(9, "s0", "s1", "s2", "s3")
+	shrunk := old.Remove("s2")
+	before, after := placements(old, ks), placements(shrunk, ks)
+	for _, k := range ks {
+		if before[k] == "s2" {
+			if after[k] == "s2" {
+				t.Fatalf("key %q still placed on the removed member", k)
+			}
+			continue
+		}
+		if before[k] != after[k] {
+			t.Fatalf("key %q moved %s -> %s although its member survived", k, before[k], after[k])
+		}
+	}
+}
+
+// TestAddRemoveIdentity covers the no-op edges: re-adding a present
+// member and removing an absent one return the same table.
+func TestAddRemoveIdentity(t *testing.T) {
+	tab := New(3, "a", "b")
+	if tab.Add("a") != tab {
+		t.Fatalf("Add of a present member rebuilt the table")
+	}
+	if tab.Remove("zzz") != tab {
+		t.Fatalf("Remove of an absent member rebuilt the table")
+	}
+	if got := tab.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}

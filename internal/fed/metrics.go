@@ -1,0 +1,99 @@
+package fed
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"heracles/internal/serve"
+)
+
+// MemberSnapshot is one member daemon's state as the router last saw it.
+type MemberSnapshot struct {
+	Member     string
+	Up         bool
+	Instances  int
+	Shards     []serve.ShardStatus
+	Migrations int64
+}
+
+// Snapshot is the federation-wide view one poll of the members yields;
+// WriteFedMetrics renders it and /healthz summarises it.
+type Snapshot struct {
+	Members    []MemberSnapshot
+	Migrations int64 // router-driven migrations
+	Proxied    int64 // requests forwarded to members
+}
+
+// escapeLabel escapes a Prometheus label value.
+var escapeLabel = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func scalar(w io.Writer, name, typ, help, value string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, value)
+}
+
+// WriteFedMetrics renders the federation exposition: member liveness and
+// occupancy, per-member-per-shard depth, and the router's migration and
+// proxy counters. It is a pure function of the snapshot so tests pin it
+// without a live fleet.
+func WriteFedMetrics(w io.Writer, snap Snapshot) {
+	scalar(w, "heracles_fed_members", "gauge",
+		"Member daemons in the federation.", strconv.Itoa(len(snap.Members)))
+
+	fmt.Fprint(w, "# HELP heracles_fed_member_up 1 while the member daemon answers its shard endpoint.\n# TYPE heracles_fed_member_up gauge\n")
+	for _, m := range snap.Members {
+		up := 0
+		if m.Up {
+			up = 1
+		}
+		fmt.Fprintf(w, "heracles_fed_member_up{member=\"%s\"} %d\n", escapeLabel.Replace(m.Member), up)
+	}
+
+	fmt.Fprint(w, "# HELP heracles_fed_member_instances Live instances on the member.\n# TYPE heracles_fed_member_instances gauge\n")
+	total := 0
+	for _, m := range snap.Members {
+		total += m.Instances
+		fmt.Fprintf(w, "heracles_fed_member_instances{member=\"%s\"} %d\n", escapeLabel.Replace(m.Member), m.Instances)
+	}
+
+	scalar(w, "heracles_fed_instances", "gauge",
+		"Live instances across every member.", strconv.Itoa(total))
+
+	fmt.Fprint(w, "# HELP heracles_fed_shard_instances Live instances per member shard.\n# TYPE heracles_fed_shard_instances gauge\n")
+	for _, m := range snap.Members {
+		for _, sh := range m.Shards {
+			fmt.Fprintf(w, "heracles_fed_shard_instances{member=\"%s\",shard=\"%d\"} %d\n",
+				escapeLabel.Replace(m.Member), sh.Shard, sh.Instances)
+		}
+	}
+
+	fmt.Fprint(w, "# HELP heracles_fed_shard_queue_depth Epoch-heap depth per member shard.\n# TYPE heracles_fed_shard_queue_depth gauge\n")
+	for _, m := range snap.Members {
+		for _, sh := range m.Shards {
+			fmt.Fprintf(w, "heracles_fed_shard_queue_depth{member=\"%s\",shard=\"%d\"} %d\n",
+				escapeLabel.Replace(m.Member), sh.Shard, sh.EpochSched.QueueDepth)
+		}
+	}
+
+	scalar(w, "heracles_fed_migrations_total", "counter",
+		"Cross-member migrations driven by this router.", strconv.FormatInt(snap.Migrations, 10))
+	scalar(w, "heracles_fed_proxied_requests_total", "counter",
+		"Requests this router forwarded to member daemons.", strconv.FormatInt(snap.Proxied, 10))
+}
+
+// MetricNames lists every metric family the federation exposition can
+// emit, in render order. The docs check uses it to keep docs/API.md
+// complete, and a test keeps it in lockstep with WriteFedMetrics.
+func MetricNames() []string {
+	return []string{
+		"heracles_fed_members",
+		"heracles_fed_member_up",
+		"heracles_fed_member_instances",
+		"heracles_fed_instances",
+		"heracles_fed_shard_instances",
+		"heracles_fed_shard_queue_depth",
+		"heracles_fed_migrations_total",
+		"heracles_fed_proxied_requests_total",
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package fed
+
+// raceEnabled scales the federation scale test down when the race
+// detector multiplies its memory and CPU cost.
+const raceEnabled = true

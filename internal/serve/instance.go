@@ -173,8 +173,11 @@ type ActionCount struct {
 // Status is a point-in-time snapshot of one instance, safe to read while
 // the simulation advances.
 type Status struct {
-	ID            string        `json:"id"`
-	Name          string        `json:"name,omitempty"`
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Shard is the registry shard hosting the instance; fixed for the
+	// instance's lifetime (migration restores into a fresh instance).
+	Shard         int           `json:"shard"`
 	LC            string        `json:"lc"`
 	BEs           []string      `json:"bes"`
 	Compact       bool          `json:"compact,omitempty"`
@@ -468,6 +471,14 @@ func placementByName(name string) (workload.PlacementKind, error) {
 
 // ID returns the registry-assigned instance id.
 func (i *Instance) ID() string { return i.id }
+
+// setShard stamps the hosting shard into the status snapshot; the
+// registry calls it once, when the instance enters a shard's map.
+func (i *Instance) setShard(idx int) {
+	i.mu.Lock()
+	i.status.Shard = idx
+	i.mu.Unlock()
+}
 
 // Subscribe attaches an event-stream consumer with the given buffer.
 func (i *Instance) Subscribe(buf int) *Subscriber { return i.hub.Subscribe(buf) }

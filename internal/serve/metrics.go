@@ -191,6 +191,36 @@ func WriteEpochSchedMetrics(w io.Writer, st EpochSchedStatus) {
 		"How far the earliest due entry trails the wall clock (pool overload signal).", fmtFloat(st.LagSeconds))
 }
 
+// shardGauge writes one per-shard-labelled series family.
+func shardGauge(w io.Writer, name, typ, help string, sts []ShardStatus, value func(ShardStatus) string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, st := range sts {
+		fmt.Fprintf(w, "%s{shard=\"%d\"} %s\n", name, st.Shard, value(st))
+	}
+}
+
+// WriteShardMetrics renders the sharding exposition block: shard count,
+// per-shard occupancy and queue depth, the work-stealing counters, and
+// the migration total.
+func WriteShardMetrics(w io.Writer, sts []ShardStatus, migrations int64) {
+	schedScalar(w, "heracles_shards", "gauge",
+		"Shards in this server's control plane.", strconv.Itoa(len(sts)))
+	shardGauge(w, "heracles_shard_instances", "gauge",
+		"Live instances homed on the shard.", sts,
+		func(st ShardStatus) string { return strconv.Itoa(st.Instances) })
+	shardGauge(w, "heracles_shard_queue_depth", "gauge",
+		"Entries queued in the shard's epoch heap.", sts,
+		func(st ShardStatus) string { return strconv.Itoa(st.EpochSched.QueueDepth) })
+	shardGauge(w, "heracles_shard_sheds_total", "counter",
+		"Slices this shard's dispatcher handed to an idle peer worker.", sts,
+		func(st ShardStatus) string { return strconv.FormatInt(st.EpochSched.Shed, 10) })
+	shardGauge(w, "heracles_shard_stolen_total", "counter",
+		"Slices this shard's workers ran on behalf of other shards.", sts,
+		func(st ShardStatus) string { return strconv.FormatInt(st.EpochSched.Stolen, 10) })
+	schedScalar(w, "heracles_migrations_total", "counter",
+		"Instances migrated off this server's shards (cross-shard or to a peer).", strconv.FormatInt(migrations, 10))
+}
+
 // MetricNames lists every metric family the exposition can emit, in
 // render order. The docs check uses it to keep docs/API.md complete, and
 // a test keeps it in lockstep with the actual renderers.
@@ -237,5 +267,11 @@ func MetricNames() []string {
 		"heracles_epoch_sched_slices_total",
 		"heracles_epoch_sched_epochs_total",
 		"heracles_epoch_sched_lag_seconds",
+		"heracles_shards",
+		"heracles_shard_instances",
+		"heracles_shard_queue_depth",
+		"heracles_shard_sheds_total",
+		"heracles_shard_stolen_total",
+		"heracles_migrations_total",
 	}
 }

@@ -28,9 +28,14 @@ type JobSubmission struct {
 	Retries *int `json:"retries,omitempty"`
 }
 
-// JobStatus is the wire form of one scheduler job.
+// JobStatus is the wire form of one scheduler job. IDs are global
+// across the sharded control plane: each shard's fleet scheduler issues
+// local ids 1, 2, ... and the wire id interleaves them as
+// (local-1)*nshards + shard + 1, so ids stay dense, unique and stable
+// while every shard schedules independently.
 type JobStatus struct {
 	ID       int     `json:"id"`
+	Shard    int     `json:"shard"`
 	Name     string  `json:"name,omitempty"`
 	Workload string  `json:"workload"`
 	State    string  `json:"state"`
@@ -44,7 +49,10 @@ type JobStatus struct {
 	WastedS  float64 `json:"wasted_cpu_s"`
 }
 
-// SchedulerStatus is the wire form of GET /api/v1/scheduler.
+// SchedulerStatus is the wire form of GET /api/v1/scheduler. On a
+// sharded server the top-level object is the aggregate across shards
+// (counters sum, delay is dispatch-weighted) and Shards carries the
+// per-shard accounting.
 type SchedulerStatus struct {
 	Policy          string  `json:"policy"`
 	QueueDepth      int     `json:"queue_depth"`
@@ -63,6 +71,55 @@ type SchedulerStatus struct {
 	MaxQueueDepth   int     `json:"max_queue_depth"`
 	TickPanics      int     `json:"tick_panics,omitempty"`
 	LastTickPanic   string  `json:"last_tick_panic,omitempty"`
+
+	// Shards holds the per-shard accounting on a sharded server; nil on
+	// per-shard entries themselves and on single-shard servers' wire
+	// output for backward compatibility.
+	Shards []SchedulerStatus `json:"shards,omitempty"`
+}
+
+// MergeSchedulerStatuses folds per-shard (or per-member) scheduler
+// accounting into one fleet view: counters and CPU ledgers sum, the
+// goodput fraction is recomputed from the summed ledgers, and the mean
+// queue delay is weighted by dispatch count. The federation router uses
+// the same fold across member daemons.
+func MergeSchedulerStatuses(parts []SchedulerStatus) SchedulerStatus {
+	var out SchedulerStatus
+	var delayWeight float64
+	for i, p := range parts {
+		if i == 0 {
+			out.Policy = p.Policy
+		}
+		out.QueueDepth += p.QueueDepth
+		out.Running += p.Running
+		out.Submitted += p.Submitted
+		out.Dispatches += p.Dispatches
+		out.Completed += p.Completed
+		out.Evictions += p.Evictions
+		out.Failed += p.Failed
+		out.Cancelled += p.Cancelled
+		out.Aborted += p.Aborted
+		out.GoodCPUSec += p.GoodCPUSec
+		out.WastedCPUSec += p.WastedCPUSec
+		out.MaxQueueDepth += p.MaxQueueDepth
+		out.TickPanics += p.TickPanics
+		if p.LastTickPanic != "" {
+			out.LastTickPanic = p.LastTickPanic
+		}
+		delayWeight += float64(p.Dispatches)
+		out.MeanQueueDelayS += p.MeanQueueDelayS * float64(p.Dispatches)
+	}
+	if delayWeight > 0 {
+		out.MeanQueueDelayS /= delayWeight
+	} else {
+		out.MeanQueueDelayS = 0
+	}
+	if total := out.GoodCPUSec + out.WastedCPUSec; total > 0 {
+		out.GoodputFrac = out.GoodCPUSec / total
+	} else {
+		out.GoodputFrac = 1
+	}
+	return out
 }
 
 // SchedulerUpdate is one scheduler decision published on the affected
@@ -84,15 +141,20 @@ type taskRef struct {
 	task *machine.BETask
 }
 
-// schedDriver owns the control plane's fleet scheduler: a wall-clock
-// dispatch tick over the live instance pool, run as one task on the
-// shared epoch scheduler rather than on its own goroutine. The
-// sched.Scheduler core is single-threaded; every access (ticks and the
-// job API) serialises on mu, and all machine mutation goes through each
+// schedDriver owns one shard's fleet scheduler: a wall-clock dispatch
+// tick over the shard's live instances, run as one task on the shard's
+// epoch scheduler rather than on its own goroutine. The sched.Scheduler
+// core is single-threaded; every access (ticks and the job API)
+// serialises on mu, and all machine mutation goes through each
 // instance's command mailbox — the scheduler never touches a Machine
-// directly, so instance determinism is preserved.
+// directly, so instance determinism is preserved. The driver speaks
+// local job ids internally and translates to the global interleaved ids
+// (see JobStatus) at every wire boundary.
 type schedDriver struct {
 	srv      *Server
+	shard    *shard
+	idx      int // shard index
+	n        int // shard count (global-id stride)
 	interval time.Duration
 	start    time.Time
 
@@ -111,15 +173,19 @@ type schedDriver struct {
 	stopOnce sync.Once
 }
 
-func newSchedDriver(srv *Server, policy sched.Policy, seed uint64, interval time.Duration) *schedDriver {
+func newSchedDriver(srv *Server, sh *shard, nshards int, policy sched.Policy, seed uint64, interval time.Duration) *schedDriver {
 	d := &schedDriver{
 		srv:      srv,
+		shard:    sh,
+		idx:      sh.idx,
+		n:        nshards,
 		interval: interval,
 		start:    time.Now(),
-		pool:     srv.reg.sched,
+		pool:     sh.sched,
 		s: sched.New(sched.Config{
 			Policy: policy,
-			Seed:   seed,
+			// Distinct deterministic choice streams per shard.
+			Seed: seed + uint64(sh.idx),
 			// Live time runs on the wall clock; the defaults (30s backoff,
 			// 15s grace) are sized for simulated seconds, which the served
 			// instances also tick in real time by default.
@@ -134,6 +200,14 @@ func newSchedDriver(srv *Server, policy sched.Policy, seed uint64, interval time
 
 // now is the scheduler clock: wall time since the driver started.
 func (d *schedDriver) now() time.Duration { return time.Since(d.start) }
+
+// gid converts the shard-local job id to the global wire id.
+func (d *schedDriver) gid(local int) int { return (local-1)*d.n + d.idx + 1 }
+
+// splitJobID inverts gid: (shard, local) for a global wire id.
+func splitJobID(gid, nshards int) (idx, local int) {
+	return (gid - 1) % nshards, (gid-1)/nshards + 1
+}
 
 // stop cancels the dispatch entry and joins any in-flight tick: once
 // stopped is set under mu, the tick that may still hold mu has finished
@@ -215,7 +289,7 @@ func (d *schedDriver) evictCrashed(inst *Instance) {
 		acts := d.s.Kill(id, d.now(), ref.task.CPUSec, "instance driver crashed")
 		for _, a := range acts {
 			inst.publishScheduler(SchedulerUpdate{
-				Instance: inst.ID(), Job: a.Job, Name: j.Spec.Name, Workload: j.Spec.Workload,
+				Instance: inst.ID(), Job: d.gid(a.Job), Name: j.Spec.Name, Workload: j.Spec.Workload,
 				Action: a.Kind.String(), Attempt: j.Attempts, CPUSec: ref.task.CPUSec,
 				Detail: "instance crashed",
 			})
@@ -225,11 +299,13 @@ func (d *schedDriver) evictCrashed(inst *Instance) {
 
 // killJobsOn force-evicts running jobs on inst whose workload matches wl
 // (all of them when wl is empty), stopping their tasks through the
-// mailbox. Used by fault injection so a leaf-crash or be-kill consumes
+// mailbox. Fault injection uses it so a leaf-crash or be-kill consumes
 // the affected jobs' retry budgets instead of leaving them running
-// against tasks the fault is about to destroy. Returns the number of
-// jobs evicted.
-func (d *schedDriver) killJobsOn(inst *Instance, wl string) int {
+// against tasks the fault is about to destroy; migration uses it with
+// its own reason so a departing instance's jobs requeue on the origin
+// scheduler (checkpoints prune fleet tasks — the jobs never travel).
+// Returns the number of jobs evicted.
+func (d *schedDriver) killJobsOn(inst *Instance, wl, reason string) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var ids []int
@@ -248,13 +324,13 @@ func (d *schedDriver) killJobsOn(inst *Instance, wl string) int {
 			cpu = ref.task.CPUSec
 		}
 		j, _ := d.s.Job(id)
-		acts := d.s.Kill(id, d.now(), cpu, "killed by injected fault")
+		acts := d.s.Kill(id, d.now(), cpu, reason)
 		killed += len(acts)
 		for _, a := range acts {
 			inst.publishScheduler(SchedulerUpdate{
-				Instance: inst.ID(), Job: a.Job, Name: j.Spec.Name, Workload: j.Spec.Workload,
+				Instance: inst.ID(), Job: d.gid(a.Job), Name: j.Spec.Name, Workload: j.Spec.Workload,
 				Action: a.Kind.String(), Attempt: j.Attempts, CPUSec: cpu,
-				Detail: "killed by injected fault",
+				Detail: reason,
 			})
 		}
 	}
@@ -268,10 +344,10 @@ func instIndex(id string) (int, bool) {
 	return n, err == nil && n > 0
 }
 
-// tick snapshots the pool, advances the scheduler and applies its
-// actions. Probes and mutations run through instance mailboxes; an
-// instance that stops mid-tick simply drops out of the snapshot and its
-// jobs are evicted on the spot.
+// tick snapshots the shard's instances, advances the scheduler and
+// applies its actions. Probes and mutations run through instance
+// mailboxes; an instance that stops mid-tick simply drops out of the
+// snapshot and its jobs are evicted on the spot.
 func (d *schedDriver) tick() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -279,7 +355,7 @@ func (d *schedDriver) tick() {
 		return
 	}
 
-	insts := d.srv.reg.List()
+	insts := d.shard.list()
 	nodes := make([]sched.NodeState, 0, len(insts))
 	byID := make(map[int]*Instance, len(insts))
 	for _, in := range insts {
@@ -327,7 +403,7 @@ func (d *schedDriver) tick() {
 			}
 			d.tasks[a.Job] = &taskRef{inst: in, task: task}
 			in.publishScheduler(SchedulerUpdate{
-				Instance: in.ID(), Job: a.Job, Name: job.Spec.Name, Workload: a.Workload,
+				Instance: in.ID(), Job: d.gid(a.Job), Name: job.Spec.Name, Workload: a.Workload,
 				Action: a.Kind.String(), Attempt: job.Attempts,
 			})
 		case sched.ActionEvict, sched.ActionFail, sched.ActionComplete:
@@ -341,7 +417,7 @@ func (d *schedDriver) tick() {
 				continue // instance already gone; nothing to publish
 			}
 			ref.inst.publishScheduler(SchedulerUpdate{
-				Instance: ref.inst.ID(), Job: a.Job, Name: job.Spec.Name, Workload: a.Workload,
+				Instance: ref.inst.ID(), Job: d.gid(a.Job), Name: job.Spec.Name, Workload: a.Workload,
 				Action: a.Kind.String(), Attempt: job.Attempts, CPUSec: cpu,
 			})
 		}
@@ -407,7 +483,7 @@ func (d *schedDriver) Cancel(id int) (JobStatus, bool, bool) {
 		if cpu, err := ref.inst.stopSchedTask(ref.task, false); err == nil {
 			accrued = cpu
 			ref.inst.publishScheduler(SchedulerUpdate{
-				Instance: ref.inst.ID(), Job: id, Name: j.Spec.Name, Workload: j.Spec.Workload,
+				Instance: ref.inst.ID(), Job: d.gid(id), Name: j.Spec.Name, Workload: j.Spec.Workload,
 				Action: "evict", Attempt: j.Attempts, CPUSec: cpu, Detail: "cancelled",
 			})
 		}
@@ -444,10 +520,12 @@ func (d *schedDriver) Status() SchedulerStatus {
 	}
 }
 
-// jobStatusLocked renders a job snapshot; d.mu is held.
+// jobStatusLocked renders a job snapshot with its global wire id; d.mu
+// is held.
 func (d *schedDriver) jobStatusLocked(j sched.Job) JobStatus {
 	st := JobStatus{
-		ID:       j.ID,
+		ID:       d.gid(j.ID),
+		Shard:    d.idx,
 		Name:     j.Spec.Name,
 		Workload: j.Spec.Workload,
 		State:    j.State.String(),
@@ -467,14 +545,76 @@ func (d *schedDriver) jobStatusLocked(j sched.Job) JobStatus {
 	return st
 }
 
+// --- Server-level fan-out over the per-shard drivers -------------------
+
+// schedFor resolves the fleet driver responsible for an instance (its
+// hosting shard's); nil if the instance left the registry.
+func (s *Server) schedFor(inst *Instance) *schedDriver {
+	idx, ok := s.reg.HomeShard(inst.ID())
+	if !ok {
+		return nil
+	}
+	return s.scheds[idx]
+}
+
+// SubmitJob enqueues a job on the next shard's scheduler round-robin —
+// deterministic in arrival order — and returns its global-id status.
+func (s *Server) SubmitJob(sub JobSubmission) JobStatus {
+	idx := int(s.jobRR.Add(1)-1) % len(s.scheds)
+	return s.scheds[idx].Submit(sub)
+}
+
+// JobByID resolves a global job id across shards.
+func (s *Server) JobByID(gid int) (JobStatus, bool) {
+	if gid < 1 {
+		return JobStatus{}, false
+	}
+	idx, local := splitJobID(gid, len(s.scheds))
+	return s.scheds[idx].Job(local)
+}
+
+// CancelJob cancels a global job id across shards.
+func (s *Server) CancelJob(gid int) (JobStatus, bool, bool) {
+	if gid < 1 {
+		return JobStatus{}, false, false
+	}
+	idx, local := splitJobID(gid, len(s.scheds))
+	return s.scheds[idx].Cancel(local)
+}
+
+// Jobs lists every shard's jobs, merged in global-id order.
+func (s *Server) Jobs() []JobStatus {
+	var out []JobStatus
+	for _, d := range s.scheds {
+		out = append(out, d.Jobs()...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// SchedStatus aggregates the per-shard fleet schedulers; on a sharded
+// server the per-shard accounting rides along in Shards.
+func (s *Server) SchedStatus() SchedulerStatus {
+	parts := make([]SchedulerStatus, len(s.scheds))
+	for i, d := range s.scheds {
+		parts[i] = d.Status()
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	agg := MergeSchedulerStatuses(parts)
+	agg.Shards = parts
+	return agg
+}
+
 // --- Handlers ----------------------------------------------------------
 
 func (s *Server) handleSchedStatus(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Status())
+	writeJSON(w, http.StatusOK, s.SchedStatus())
 }
 
 func (s *Server) handleJobsList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.Jobs()})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -494,7 +634,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, "demand, priority and retries must not be negative")
 		return
 	}
-	writeJSON(w, http.StatusCreated, s.sched.Submit(sub))
+	writeJSON(w, http.StatusCreated, s.SubmitJob(sub))
 }
 
 // jobID parses {id} or writes a 404.
@@ -512,7 +652,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	st, found := s.sched.Job(id)
+	st, found := s.JobByID(id)
 	if !found {
 		apiError(w, http.StatusNotFound, "no job %d", id)
 		return
@@ -525,7 +665,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	st, found, cancelled := s.sched.Cancel(id)
+	st, found, cancelled := s.CancelJob(id)
 	switch {
 	case !found:
 		apiError(w, http.StatusNotFound, "no job %d", id)

@@ -20,7 +20,7 @@ func waitForJobState(t *testing.T, s *Server, client *http.Client, url string, w
 	defer deadline.Stop()
 	var st JobStatus
 	for {
-		_, ch := s.sched.tickWait()
+		_, ch := s.scheds[0].tickWait()
 		body := doReq(t, client, "GET", url, nil, 200)
 		if err := json.Unmarshal(body, &st); err != nil {
 			t.Fatalf("job status: %v; body %s", err, body)
@@ -218,8 +218,8 @@ func TestSchedulerSkipsDisabledInstances(t *testing.T) {
 
 	// Give the dispatch loop plenty of ticks, then require the job is
 	// still queued with zero attempts.
-	start, _ := s.sched.tickWait()
-	awaitTicks(t, s.sched, "20 dispatch ticks", func(n int64) bool { return n >= start+20 })
+	start, _ := s.scheds[0].tickWait()
+	awaitTicks(t, s.scheds[0], "20 dispatch ticks", func(n int64) bool { return n >= start+20 })
 	body := doReq(t, client, "GET", ts.URL+"/api/v1/jobs/1", nil, 200)
 	var job JobStatus
 	if err := json.Unmarshal(body, &job); err != nil {

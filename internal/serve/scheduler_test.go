@@ -14,7 +14,7 @@ import (
 // change notification instead of sleep-polling. The notification channel
 // is grabbed before cond is evaluated so a change landing between the
 // check and the wait cannot be missed.
-func awaitInstance(t *testing.T, inst *Instance, what string, cond func() bool) {
+func awaitInstance(t testing.TB, inst *Instance, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.NewTimer(30 * time.Second)
 	defer deadline.Stop()
@@ -235,10 +235,12 @@ func TestSchedulerTelemetryMatchesSequentialDriver(t *testing.T) {
 }
 
 // TestRegistryChurnNoLeaks churns instances through create / crash /
-// delete concurrently and asserts the process returns to baseline:
-// goroutine count, heap, and the scheduler queue all drain. This is the
-// regression test for the mid-backoff restart-timer leak — an instance
-// deleted while backing off must take its pending restart entry with it.
+// migrate / delete concurrently across a 4-shard registry and asserts
+// the process returns to baseline: goroutine count, heap, and every
+// shard's scheduler queue all drain. This is the regression test for
+// the mid-backoff restart-timer leak — an instance deleted while
+// backing off must take its pending restart entry with it — and, with
+// shards, for migration leaving no orphan entry on either side's heap.
 func TestRegistryChurnNoLeaks(t *testing.T) {
 	if testing.Short() {
 		t.Skip("churn soak skipped in -short")
@@ -247,7 +249,8 @@ func TestRegistryChurnNoLeaks(t *testing.T) {
 	if raceEnabled {
 		n = 240
 	}
-	s := New(Config{Lab: testLab, MaxInstances: n + 8, RestartBackoff: time.Hour})
+	const shards = 4
+	s := New(Config{Lab: testLab, Shards: shards, MaxInstances: n + 8, RestartBackoff: time.Hour})
 	t.Cleanup(s.Close)
 
 	runtime.GC()
@@ -263,7 +266,7 @@ func TestRegistryChurnNoLeaks(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < n/workers; k++ {
 				var spec InstanceSpec
-				mode := (w + k) % 3
+				mode := (w + k) % 4
 				switch mode {
 				case 0: // free-run to done, then delete a parked instance
 					spec = InstanceSpec{Speed: SpeedMax, MaxEpochs: 3}
@@ -271,6 +274,8 @@ func TestRegistryChurnNoLeaks(t *testing.T) {
 					spec = InstanceSpec{Speed: 1}
 				case 2: // crashed, deleted mid-backoff (1h away)
 					spec = InstanceSpec{Speed: SpeedMax}
+				case 3: // migrated across shards mid-run, then deleted
+					spec = InstanceSpec{Speed: 1}
 				}
 				inst, err := s.CreateInstance(spec)
 				if err != nil {
@@ -284,6 +289,23 @@ func TestRegistryChurnNoLeaks(t *testing.T) {
 						})
 					}
 				}
+				if mode == 3 {
+					from, _ := s.Registry().HomeShard(inst.ID())
+					res, err := s.MigrateToShard(inst.ID(), (from+1+k%(shards-1))%shards)
+					if err != nil {
+						// A concurrent worker cannot hold this id, so the only
+						// acceptable loss is the instance finishing; paced
+						// instances never finish here.
+						t.Errorf("migrate: %v", err)
+						return
+					}
+					next, ok := s.Registry().Get(res.To)
+					if !ok {
+						t.Errorf("migrated instance %s not in registry", res.To)
+						return
+					}
+					inst = next
+				}
 				s.Registry().Remove(inst.ID())
 				inst.Stop()
 			}
@@ -294,9 +316,13 @@ func TestRegistryChurnNoLeaks(t *testing.T) {
 	if got := s.Registry().Len(); got != 0 {
 		t.Fatalf("registry holds %d instances after churn, want 0", got)
 	}
-	// Only the fleet dispatch driver's own entry may remain queued.
-	if got := s.Registry().sched.depth(); got > 1 {
-		t.Fatalf("scheduler heap holds %d entries after churn, want <= 1", got)
+	// Only each shard's fleet dispatch entry may remain queued: every
+	// instance entry — including both sides of every migration — must
+	// have left its heap.
+	for _, sh := range s.Registry().shards {
+		if got := sh.sched.depth(); got > 1 {
+			t.Fatalf("shard %d heap holds %d entries after churn, want <= 1", sh.idx, got)
+		}
 	}
 	// Goroutine and heap convergence: the runtime exposes no event to
 	// wait on here, so poll the counters with a bounded deadline.
@@ -333,7 +359,7 @@ func TestHundredThousandInstancesOneProcess(t *testing.T) {
 	if raceEnabled {
 		n = 4_000
 	}
-	reg := NewRegistry(0, 2)
+	reg := NewRegistry(0, 2, 1)
 	defer reg.Close()
 
 	runtime.GC()
@@ -349,7 +375,7 @@ func TestHundredThousandInstancesOneProcess(t *testing.T) {
 		if !ok {
 			t.Fatalf("reserve %d refused", k)
 		}
-		inst, err := newInstance(id, spec, testLab, 1e-6, supervisorConfig{}, reg.sched)
+		inst, err := newInstance(id, spec, testLab, 1e-6, supervisorConfig{}, reg.shards[0].sched)
 		if err != nil {
 			t.Fatalf("instance %d: %v", k, err)
 		}
@@ -358,7 +384,7 @@ func TestHundredThousandInstancesOneProcess(t *testing.T) {
 	if got := reg.Len(); got != n {
 		t.Fatalf("registry len = %d, want %d", got, n)
 	}
-	if got := reg.sched.depth(); got != n {
+	if got := reg.shards[0].sched.depth(); got != n {
 		t.Fatalf("scheduler heap holds %d entries, want %d", got, n)
 	}
 	if got := runtime.NumGoroutine(); got > baseGoros+4 {
@@ -381,7 +407,7 @@ func TestHundredThousandInstancesOneProcess(t *testing.T) {
 		if !ok {
 			t.Fatalf("reserve fast %d refused", k)
 		}
-		inst, err := newInstance(id, InstanceSpec{MaxEpochs: 30}, testLab, SpeedMax, supervisorConfig{}, reg.sched)
+		inst, err := newInstance(id, InstanceSpec{MaxEpochs: 30}, testLab, SpeedMax, supervisorConfig{}, reg.shards[0].sched)
 		if err != nil {
 			t.Fatalf("fast instance %d: %v", k, err)
 		}
@@ -395,7 +421,7 @@ func TestHundredThousandInstancesOneProcess(t *testing.T) {
 	}
 
 	reg.Close()
-	if got := reg.sched.depth(); got != 0 {
+	if got := reg.shards[0].sched.depth(); got != 0 {
 		t.Fatalf("scheduler heap holds %d entries after Close, want 0", got)
 	}
 }

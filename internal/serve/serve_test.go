@@ -76,7 +76,7 @@ func TestRegistryOrderAndRemove(t *testing.T) {
 			t.Fatalf("Statuses[%d].ID = %s, want %s (creation order)", i, st.ID, ids[i])
 		}
 	}
-	inst, ok := s.Registry().Remove(ids[1])
+	inst, _, ok := s.Registry().Remove(ids[1])
 	if !ok {
 		t.Fatal("Remove of live instance failed")
 	}
@@ -511,6 +511,7 @@ func TestMetricNamesMatchRenderers(t *testing.T) {
 	}})
 	WriteSchedMetrics(&b, SchedulerStatus{Policy: "slack-greedy", TickPanics: 1})
 	WriteEpochSchedMetrics(&b, EpochSchedStatus{Drivers: 2, QueueDepth: 1, Slices: 3, Epochs: 9})
+	WriteShardMetrics(&b, []ShardStatus{{Shard: 0, Instances: 1}}, 2)
 
 	rendered := map[string]bool{}
 	for _, line := range strings.Split(b.String(), "\n") {

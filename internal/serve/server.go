@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heracles/internal/experiment"
@@ -34,10 +36,17 @@ type Config struct {
 	// Workers bounds status-snapshot and shutdown fan-out over the
 	// instance pool (0 selects GOMAXPROCS).
 	Workers int
-	// Drivers is the shared epoch scheduler's worker pool size — the
-	// number of goroutines stepping instance epochs concurrently (the
-	// daemon's -drivers knob). 0 selects GOMAXPROCS.
+	// Drivers is the total epoch-scheduler worker budget — the number of
+	// goroutines stepping instance epochs concurrently (the daemon's
+	// -drivers knob), divided across shards with a floor of one worker
+	// each. 0 selects GOMAXPROCS.
 	Drivers int
+	// Shards splits the control plane into that many isolated domains —
+	// each with its own epoch-scheduler heap and worker pool, lifecycle
+	// SSE hub and fleet job scheduler — behind a consistent-hash
+	// instance→shard map, with work-stealing between the shard pools
+	// (the daemon's -shards knob). 0 selects 1 (unsharded).
+	Shards int
 
 	// SchedPolicy names the fleet scheduler's placement policy
 	// (slack-greedy, bin-pack, spread, random; default "slack-greedy").
@@ -69,11 +78,12 @@ type Config struct {
 
 // Server owns the instance pool and the HTTP API over it.
 type Server struct {
-	cfg   Config
-	lab   *experiment.Lab
-	reg   *Registry
-	mux   *http.ServeMux
-	sched *schedDriver
+	cfg    Config
+	lab    *experiment.Lab
+	reg    *Registry
+	mux    *http.ServeMux
+	scheds []*schedDriver // one fleet driver per registry shard
+	jobRR  atomic.Uint64  // round-robin cursor for job submission
 
 	compactOnce sync.Once
 	compactLab  *experiment.Lab
@@ -97,6 +107,9 @@ func New(cfg Config) *Server {
 	if cfg.SchedInterval <= 0 {
 		cfg.SchedInterval = time.Second
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	policy, err := sched.PolicyByName(cfg.SchedPolicy)
 	if err != nil {
 		panic("serve: " + err.Error())
@@ -104,7 +117,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		lab:        cfg.Lab,
-		reg:        NewRegistry(cfg.Workers, cfg.Drivers),
+		reg:        NewRegistry(cfg.Workers, cfg.Drivers, cfg.Shards),
 		compactLab: cfg.CompactLab,
 	}
 	s.mux = http.NewServeMux()
@@ -114,7 +127,9 @@ func New(cfg Config) *Server {
 			rt.handler(s, w, r)
 		})
 	}
-	s.sched = newSchedDriver(s, policy, cfg.SchedSeed, cfg.SchedInterval)
+	for _, sh := range s.reg.shards {
+		s.scheds = append(s.scheds, newSchedDriver(s, sh, cfg.Shards, policy, cfg.SchedSeed, cfg.SchedInterval))
+	}
 	return s
 }
 
@@ -125,8 +140,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Registry() *Registry { return s.reg }
 
 // CreateInstance validates the spec, builds the instance and registers
-// it — the programmatic equivalent of POST /api/v1/instances.
+// it on its consistent-hash home shard — the programmatic equivalent of
+// POST /api/v1/instances.
 func (s *Server) CreateInstance(spec InstanceSpec) (*Instance, error) {
+	return s.createInstance(spec, -1, "")
+}
+
+// createInstance builds an instance on an explicit shard (the
+// migrate-in path) or, with shardIdx < 0, on the id's consistent-hash
+// home.
+func (s *Server) createInstance(spec InstanceSpec, shardIdx int, detail string) (*Instance, error) {
 	if err := validateSpec(spec); err != nil {
 		return nil, err
 	}
@@ -134,6 +157,10 @@ func (s *Server) CreateInstance(spec InstanceSpec) (*Instance, error) {
 	if !ok {
 		return nil, errTooMany
 	}
+	if shardIdx < 0 {
+		shardIdx = s.reg.PlaceShard(id)
+	}
+	sh := s.reg.shards[shardIdx]
 	speed := spec.Speed
 	compact := spec.Compact
 	if spec.Restore != nil {
@@ -147,6 +174,7 @@ func (s *Server) CreateInstance(spec InstanceSpec) (*Instance, error) {
 	if speed == 0 {
 		speed = s.cfg.DefaultSpeed
 	}
+	driver := s.scheds[shardIdx]
 	sup := supervisorConfig{
 		backoff:   s.cfg.RestartBackoff,
 		maxConsec: s.cfg.MaxCrashRestarts,
@@ -154,24 +182,31 @@ func (s *Server) CreateInstance(spec InstanceSpec) (*Instance, error) {
 		stable:    s.cfg.StableEpochs,
 		// A crash kills the fleet scheduler's tasks with the machine:
 		// evict their jobs (requeuing against the retry budget) before
-		// the instance restarts from its checkpoint.
-		onCrash: func(in *Instance) { s.sched.evictCrashed(in) },
+		// the instance restarts from its checkpoint. The shard — and so
+		// its driver — is fixed for the instance's lifetime.
+		onCrash: func(in *Instance) { driver.evictCrashed(in) },
 	}
-	inst, err := newInstance(id, spec, s.labFor(compact), speed, sup, s.reg.sched)
+	inst, err := newInstance(id, spec, s.labFor(compact), speed, sup, sh.sched)
 	if err != nil {
 		s.reg.Unreserve()
 		return nil, err
 	}
-	s.reg.Put(inst)
+	if detail == "" {
+		s.reg.Put(inst)
+	} else {
+		s.reg.PutShard(inst, shardIdx, detail)
+	}
 	return inst, nil
 }
 
-// Close stops the scheduler's dispatch loop, then every instance. The
-// order matters: the driver holds task references into live instances,
-// so it must quiesce before the pool tears down. Safe to call more than
-// once.
+// Close stops every shard's dispatch loop, then every instance. The
+// order matters: the drivers hold task references into live instances,
+// so they must quiesce before the pool tears down. Safe to call more
+// than once.
 func (s *Server) Close() {
-	s.sched.stop()
+	for _, d := range s.scheds {
+		d.stop()
+	}
 	s.reg.Close()
 }
 
@@ -256,9 +291,12 @@ var routeTable = []Route{
 	{"DELETE", "/api/v1/instances/{id}/bes/{workload}", "detach best-effort tasks by workload name", (*Server).handleDetachBE},
 	{"POST", "/api/v1/instances/{id}/scenario", "drive the instance by a declarative scenario", (*Server).handleScenario},
 	{"POST", "/api/v1/instances/{id}/checkpoint", "snapshot the instance's full simulation state for restore or migration", (*Server).handleCheckpoint},
+	{"POST", "/api/v1/instances/{id}/migrate", "checkpoint, ship and restore the instance onto another shard or a peer daemon mid-run", (*Server).handleMigrate},
 	{"GET", "/api/v1/instances/{id}/health", "supervisor health: crash and restart counters, circuit-breaker state", (*Server).handleInstanceHealth},
 	{"POST", "/api/v1/instances/{id}/faults", "inject a fault: leaf-crash, telemetry-blackout, slow-machine, actuation-fail, be-kill or driver-panic", (*Server).handleFaultInject},
 	{"GET", "/api/v1/instances/{id}/stream", "SSE stream of epoch telemetry, controller and scheduler events", (*Server).handleStream},
+	{"GET", "/api/v1/shards", "per-shard instance counts, epoch-scheduler and fleet-scheduler accounting", (*Server).handleShards},
+	{"GET", "/api/v1/shards/{shard}/stream", "SSE stream of one shard's lifecycle events: creations, deletions, migrations", (*Server).handleShardStream},
 	{"GET", "/api/v1/scheduler", "fleet scheduler status and goodput accounting", (*Server).handleSchedStatus},
 	{"GET", "/api/v1/jobs", "list best-effort jobs", (*Server).handleJobsList},
 	{"POST", "/api/v1/jobs", "submit a best-effort job for fleet-wide dispatch", (*Server).handleJobSubmit},
@@ -356,6 +394,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
 		"instances":       s.reg.Len(),
+		"shards":          s.reg.ShardCount(),
+		"migrations":      s.reg.Migrations(),
 		"epoch_scheduler": s.reg.SchedStatus(),
 	})
 }
@@ -363,8 +403,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WriteMetrics(w, s.reg.Statuses())
-	WriteSchedMetrics(w, s.sched.Status())
+	WriteSchedMetrics(w, s.SchedStatus())
 	WriteEpochSchedMetrics(w, s.reg.SchedStatus())
+	WriteShardMetrics(w, s.reg.ShardStatuses(), s.reg.Migrations())
+}
+
+// ShardStatuses snapshots every shard with its fleet-scheduler
+// accounting attached.
+func (s *Server) ShardStatuses() []ShardStatus {
+	sts := s.reg.ShardStatuses()
+	for i := range sts {
+		st := s.scheds[i].Status()
+		sts[i].Sched = &st
+	}
+	return sts
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":     s.ShardStatuses(),
+		"migrations": s.reg.Migrations(),
+	})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -399,11 +458,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	inst, ok := s.reg.Remove(id)
+	inst, shardIdx, ok := s.reg.Remove(id)
 	if !ok {
 		apiError(w, http.StatusNotFound, "no instance %q", id)
 		return
 	}
+	s.reg.shards[shardIdx].publish("deleted", id, "")
 	inst.publishLifecycle("deleted", "")
 	inst.Stop()
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
@@ -573,11 +633,13 @@ func (s *Server) handleFaultInject(w http.ResponseWriter, r *http.Request) {
 	// bookkeeping first, so the affected jobs evict (charging their retry
 	// budget) instead of lingering as running against dead tasks.
 	killed := 0
-	switch req.Kind {
-	case fault.LeafCrash.String():
-		killed = s.sched.killJobsOn(inst, "")
-	case fault.BEKill.String():
-		killed = s.sched.killJobsOn(inst, req.Workload)
+	if d := s.schedFor(inst); d != nil {
+		switch req.Kind {
+		case fault.LeafCrash.String():
+			killed = d.killJobsOn(inst, "", "killed by injected fault")
+		case fault.BEKill.String():
+			killed = d.killJobsOn(inst, req.Workload, "killed by injected fault")
+		}
 	}
 	if !doErr(w, inst.InjectFault(req)) {
 		return
@@ -615,6 +677,52 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				// Instance stopped: a final comment lets clients
 				// distinguish shutdown from a broken connection.
+				fmt.Fprint(w, ": stream closed\n\n")
+				fl.Flush()
+				return
+			}
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", msg.Event, msg.ID, msg.Data)
+			fl.Flush()
+		}
+	}
+}
+
+// handleShardStream serves one shard's lifecycle SSE feed: instance
+// creations, deletions and migrations in and out of the shard.
+func (s *Server) handleShardStream(w http.ResponseWriter, r *http.Request) {
+	idx, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil {
+		apiError(w, http.StatusNotFound, "no shard %q", r.PathValue("shard"))
+		return
+	}
+	hub, ok := s.reg.ShardHub(idx)
+	if !ok {
+		apiError(w, http.StatusNotFound, "no shard %d (server has %d)", idx, s.reg.ShardCount())
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		apiError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	sub := hub.Subscribe(256)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": shard %d stream\n\n", idx)
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case msg, open := <-sub.Ch():
+			if !open {
 				fmt.Fprint(w, ": stream closed\n\n")
 				fl.Flush()
 				return
