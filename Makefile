@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race chaos churn fuzz-smoke bench bench-smoke bench-baseline bench-check fmt-check docs-check ci
+.PHONY: all build vet test test-race chaos churn fuzz-smoke bench bench-smoke bench-baseline bench-check fmt-check docs-check slo ci
 
 all: build
 
@@ -54,6 +54,15 @@ churn:
 # seed corpus under internal/serve/testdata/fuzz rides along.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeCheckpointFile$$' -fuzztime 10s ./internal/serve/
+
+# Error-budget acceptance: the burn-rate admission gate must beat the
+# instantaneous controller on monthly budget spent at equal-or-better
+# goodput under the flash-crowd scenario, and the alert ladders must stay
+# bit-identical across worker counts, shards, migration and
+# checkpoint/restore.
+slo:
+	$(GO) test -run 'SLO|Budget|AlertHysteresis|BudgetSpendMonotone|WindowRollOff' \
+		./internal/slo/ ./internal/engine/ ./internal/cluster/ ./internal/serve/
 
 # Full benchmark suite (prints every figure/table on the first iteration).
 bench:

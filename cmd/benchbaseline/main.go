@@ -38,6 +38,7 @@ import (
 	"heracles/internal/sched"
 	"heracles/internal/serve"
 	"heracles/internal/sim"
+	"heracles/internal/slo"
 	"heracles/internal/workload"
 )
 
@@ -196,6 +197,32 @@ func main() {
 					b.Fatal(err)
 				}
 				eng.Step()
+			}
+		}},
+		{"SLOWindowUpdate", true, func(b *testing.B) {
+			// The error-budget engine's per-epoch cost: one Push into a
+			// tracker whose bit ring is fully grown (the 3d window), with
+			// the roll-off reads and burn-rate count updates for all four
+			// windows. Alternating violation bits exercise both branches.
+			tr := slo.NewTracker(slo.Config{}, time.Second)
+			for i := 0; i < 260000; i++ {
+				tr.Push(i%7 == 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Push(i%7 == 0)
+			}
+		}},
+		{"HistogramObserve", true, func(b *testing.B) {
+			// The latency histogram's record path: bucket selection by
+			// bit-length plus two atomic adds — the cost every mailbox
+			// command, epoch slice and checkpoint pays to be observable.
+			var h serve.Histogram
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
 			}
 		}},
 		{"InstanceSchedule", true, func(b *testing.B) {

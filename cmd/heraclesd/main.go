@@ -42,6 +42,7 @@
 //	          [-trace] [-noboot] [-sched-policy slack-greedy]
 //	          [-drivers 0] [-max-instances 64]
 //	          [-checkpoint-dir /var/lib/heracles] [-checkpoint-every 30s]
+//	          [-pprof-addr localhost:6060]
 package main
 
 import (
@@ -59,6 +60,7 @@ import (
 
 	"heracles/internal/actuate"
 	"heracles/internal/core"
+	"heracles/internal/debughttp"
 	"heracles/internal/experiment"
 	"heracles/internal/hw"
 	"heracles/internal/isolation"
@@ -82,7 +84,17 @@ func main() {
 	maxInstances := flag.Int("max-instances", 0, "instance pool cap; creates beyond it fail with 503 (0 = default 64)")
 	ckptDir := flag.String("checkpoint-dir", "", "periodically snapshot every instance into this directory and crash-resume from it on startup")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "wall-clock cadence of -checkpoint-dir snapshots")
+	pprofAddr := flag.String("pprof-addr", "", "separate listen address for pprof profiles and Go runtime metrics (empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		dbg, err := debughttp.Start(*pprofAddr)
+		if err != nil {
+			log.Fatalf("heraclesd: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("heraclesd: profiling listener on %s (/debug/pprof, runtime /metrics)", dbg.Addr)
+	}
 
 	serving := *addr != ""
 	lab := experiment.DefaultLab()

@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"heracles/internal/debughttp"
 	"heracles/internal/fed"
 )
 
@@ -25,7 +26,17 @@ func main() {
 	addr := flag.String("addr", ":8070", "HTTP listen address for the federation router")
 	members := flag.String("members", "", "comma-separated base URLs of member heraclesd daemons (required)")
 	seed := flag.Uint64("seed", 0, "consistent-hash placement seed (0 = built-in default)")
+	pprofAddr := flag.String("pprof-addr", "", "separate listen address for pprof profiles and Go runtime metrics (empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		dbg, err := debughttp.Start(*pprofAddr)
+		if err != nil {
+			log.Fatalf("heraclesfed: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("heraclesfed: profiling listener on %s (/debug/pprof, runtime /metrics)", dbg.Addr)
+	}
 
 	var urls []string
 	for _, m := range strings.Split(*members, ",") {

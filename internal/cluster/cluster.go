@@ -9,6 +9,7 @@ import (
 	"heracles/internal/hw"
 	"heracles/internal/scenario"
 	"heracles/internal/sched"
+	"heracles/internal/slo"
 	"heracles/internal/trace"
 	"heracles/internal/workload"
 )
@@ -77,6 +78,14 @@ type Config struct {
 	// streams internally).
 	Sched *sched.Config
 
+	// Budget, when non-nil, attaches the error-budget engine
+	// (internal/slo, DESIGN.md §15) to the run: every leaf and the
+	// cluster get burn-rate trackers, Result.Budget carries the final
+	// accounting and every alert edge, and — with Budget.Admission —
+	// firing fast-burn pages throttle best-effort admission on the
+	// affected leaves.
+	Budget *slo.Config
+
 	// Faults is a deterministic fault schedule injected during the run:
 	// leaf crashes, telemetry blackouts, slow machines, actuation
 	// failures and BE kills fire at their scheduled times (see
@@ -110,6 +119,23 @@ type Result struct {
 	// Sched is the job scheduler's final report (nil without
 	// Config.Sched or on baseline runs).
 	Sched *sched.Report
+
+	// Budget is the error-budget engine's final accounting (nil without
+	// Config.Budget): the cluster-wide and per-leaf burn status plus
+	// every alert edge the run produced, in deterministic order.
+	Budget *BudgetReport
+}
+
+// BudgetReport is the error-budget engine's view of a finished run.
+type BudgetReport struct {
+	// Cluster is the fleet-wide tracker's final status; Nodes holds one
+	// status per leaf.
+	Cluster slo.Status
+	Nodes   []slo.Status
+	// Transitions is every alert fire/resolve edge, in emission order
+	// (epoch ascending; nodes ascending with the cluster tracker last;
+	// page before ticket per tracker).
+	Transitions []slo.Transition
 }
 
 // Run replays the load trace against the cluster and returns per-epoch
@@ -150,6 +176,7 @@ func (cfg Config) engineConfig() engine.Config {
 		AdjustPeriod:   cfg.AdjustPeriod,
 		Workers:        cfg.Workers,
 		Faults:         cfg.Faults,
+		SLO:            cfg.Budget,
 	}
 	if cfg.Heracles {
 		ecfg.SLOScale = cfg.LeafTargetFrac
@@ -225,15 +252,24 @@ func RunScenarioFrom(cfg Config, sc scenario.Scenario, cp *engine.Checkpoint) (R
 func drive(cfg Config, eng *engine.Engine, end time.Duration) Result {
 	res := Result{SLO: eng.SLO(), Warmup: cfg.Warmup}
 	checkpointed := cfg.OnCheckpoint == nil
+	var edges []slo.Transition
 	for eng.Now() < end {
 		er := eng.Step()
 		res.Epochs = append(res.Epochs, er.Stat)
+		edges = append(edges, er.SLOTransitions...)
 		if !checkpointed && eng.Now() >= cfg.CheckpointAt {
 			checkpointed = true
 			cfg.OnCheckpoint(eng.Snapshot())
 		}
 	}
 	res.Sched = eng.SchedReport()
+	if eng.SLOEnabled() {
+		rep := &BudgetReport{Cluster: eng.SLOClusterStatus(), Transitions: edges}
+		for i := 0; i < eng.Nodes(); i++ {
+			rep.Nodes = append(rep.Nodes, eng.SLONodeStatus(i))
+		}
+		res.Budget = rep
+	}
 	return res
 }
 

@@ -1,0 +1,66 @@
+package debughttp
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestStartServesPprofAndRuntimeMetrics(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profile list:\n%.300s", body)
+	}
+	body := get("/metrics")
+	for _, want := range []string{"go_goroutines ", "go_gc_heap_allocs_bytes "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("runtime metrics missing %q", want)
+		}
+	}
+	// Sorted, Prometheus-legal names only.
+	var prev string
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line < prev {
+			t.Fatalf("metrics out of order: %q after %q", line, prev)
+		}
+		prev = line
+		name := strings.Fields(line)[0]
+		for _, r := range name {
+			if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_') {
+				t.Fatalf("illegal metric name %q", name)
+			}
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"/gc/heap/allocs:bytes":          "go_gc_heap_allocs_bytes",
+		"/sched/gomaxprocs:threads":      "go_sched_gomaxprocs_threads",
+		"/cpu/classes/total:cpu-seconds": "go_cpu_classes_total_cpu_seconds",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

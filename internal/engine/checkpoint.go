@@ -13,6 +13,7 @@ import (
 	"heracles/internal/machine"
 	"heracles/internal/scenario"
 	"heracles/internal/sched"
+	"heracles/internal/slo"
 	"heracles/internal/workload"
 )
 
@@ -54,6 +55,19 @@ type Checkpoint struct {
 	// per-node fault windows. Omitted entirely on fault-free engines, so
 	// pre-fault checkpoints restore unchanged.
 	Faults *FaultState `json:"faults,omitempty"`
+
+	// Budget carries the error-budget engine's trackers (DESIGN.md §15).
+	// Omitted when Config.SLO is nil, so older checkpoints restore
+	// unchanged and an SLO-enabled engine restoring one simply starts
+	// its windows empty.
+	Budget *SLOState `json:"slo_budget,omitempty"`
+}
+
+// SLOState is the serialized error-budget engine: one burn-rate tracker
+// per node plus the cluster-wide tracker.
+type SLOState struct {
+	Nodes   []slo.TrackerState `json:"nodes"`
+	Cluster slo.TrackerState   `json:"cluster"`
 }
 
 // FaultState is the engine's serialized fault-injection state.
@@ -176,6 +190,14 @@ func (e *Engine) Snapshot() *Checkpoint {
 		}
 		cp.Faults = fs
 	}
+	if e.sloNodes != nil {
+		bs := &SLOState{Cluster: e.sloCluster.State()}
+		bs.Nodes = make([]slo.TrackerState, len(e.sloNodes))
+		for i, tr := range e.sloNodes {
+			bs.Nodes[i] = tr.State()
+		}
+		cp.Budget = bs
+	}
 	return cp
 }
 
@@ -241,6 +263,27 @@ func Restore(cfg Config, cp *Checkpoint, sc *scenario.Scenario) (*Engine, error)
 	e.leafScale = cp.LeafScale
 	e.lastAdjust = cp.LastAdjust
 	e.rootEWMA = cp.RootEWMA
+	e.initSLO()
+	if cp.Budget != nil {
+		if cfg.SLO == nil {
+			return nil, fmt.Errorf("engine: checkpoint has SLO budget state but Config.SLO is nil")
+		}
+		if len(cp.Budget.Nodes) != len(e.nodes) {
+			return nil, fmt.Errorf("engine: checkpoint SLO state covers %d nodes of a %d-node fleet", len(cp.Budget.Nodes), len(e.nodes))
+		}
+		for i, st := range cp.Budget.Nodes {
+			tr, err := slo.RestoreTracker(*cfg.SLO, e.epoch, st)
+			if err != nil {
+				return nil, fmt.Errorf("engine: node %d: %w", i, err)
+			}
+			e.sloNodes[i] = tr
+		}
+		tr, err := slo.RestoreTracker(*cfg.SLO, e.epoch, cp.Budget.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		e.sloCluster = tr
+	}
 
 	if cp.Scenario != nil {
 		if sc == nil {

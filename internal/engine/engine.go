@@ -14,6 +14,7 @@ import (
 	"heracles/internal/scenario"
 	"heracles/internal/sched"
 	"heracles/internal/sim"
+	"heracles/internal/slo"
 	"heracles/internal/workload"
 )
 
@@ -83,6 +84,13 @@ type Config struct {
 	// construction, like scenario events. Ignored when restoring from a
 	// checkpoint (the checkpoint carries the schedule and its progress).
 	Faults []fault.Fault
+
+	// SLO, when non-nil, attaches the error-budget engine (DESIGN.md §15):
+	// one burn-rate tracker per node plus a cluster-wide one, each fed one
+	// violation bit per epoch. With SLO.Admission set, a node whose
+	// fast-burn page fires advertises BE-disallowed to the scheduler until
+	// the alert resolves. Tracker state rides the engine checkpoint.
+	SLO *slo.Config
 }
 
 // EpochStat is the engine's per-epoch statistic — the cluster layer
@@ -119,6 +127,25 @@ type EpochResult struct {
 	// ScenarioDone carries the scenario's name on the epoch its horizon
 	// elapsed; the load freezes at its final value.
 	ScenarioDone string
+	// SLOTransitions are the alert edges this epoch produced (nodes
+	// ascending, cluster-wide last as Node=-1), nil without Config.SLO.
+	// Like Tel it aliases engine scratch: consume before the next Step.
+	SLOTransitions []slo.Transition
+	// Spans is the wall-clock phase breakdown of this Step, feeding the
+	// control plane's trace ring (GET /api/v1/instances/{id}/trace).
+	// Wall time, not sim time — excluded from every determinism pin.
+	Spans StepSpans
+}
+
+// StepSpans is the wall-clock time one Step spent per phase, in
+// nanoseconds: scenario/fault event resolution, the scheduler tick, the
+// node stepping fan-out, and the sequential reduction (including SLO
+// tracker updates).
+type StepSpans struct {
+	EventsNs int64 `json:"events_ns"`
+	SchedNs  int64 `json:"sched_ns"`
+	NodesNs  int64 `json:"nodes_ns"`
+	ReduceNs int64 `json:"reduce_ns"`
 }
 
 // node couples one machine with its (optional) controller. The fault
@@ -171,6 +198,12 @@ type Engine struct {
 	pendingFaults []fault.Fault
 	faultCount    int
 	nf            []nodeFault
+
+	// Error-budget trackers (nil without Config.SLO): one per node plus
+	// the cluster-wide tracker, and the per-Step transition scratch.
+	sloNodes   []*slo.Tracker
+	sloCluster *slo.Tracker
+	sloTrans   []slo.Transition
 
 	pool     *parallel.Pool
 	leafEMU  []float64
@@ -250,6 +283,7 @@ func newEngine(cfg *Config, construct bool) *Engine {
 		}
 		e.epoch = e.nodes[0].m.Epoch()
 		e.installFaults(cfg.Faults)
+		e.initSLO()
 
 		// Root SLO: mean fan-out latency at 95% load with a small margin
 		// for noise above the nominal crest (the paper sets the target as
@@ -288,6 +322,41 @@ func (e *Engine) lookupBE(name string) *workload.BE {
 		}
 	}
 	panic("engine: unknown BE workload " + name)
+}
+
+// initSLO builds fresh error-budget trackers once the epoch duration is
+// known. Restore replaces their state from the checkpoint afterwards.
+func (e *Engine) initSLO() {
+	if e.cfg.SLO == nil {
+		return
+	}
+	e.sloNodes = make([]*slo.Tracker, len(e.nodes))
+	for i := range e.sloNodes {
+		e.sloNodes[i] = slo.NewTracker(*e.cfg.SLO, e.epoch)
+	}
+	e.sloCluster = slo.NewTracker(*e.cfg.SLO, e.epoch)
+}
+
+// SLOEnabled reports whether the error-budget engine is attached.
+func (e *Engine) SLOEnabled() bool { return e.sloCluster != nil }
+
+// SLONodeStatus returns node i's error-budget snapshot (zero without
+// Config.SLO).
+func (e *Engine) SLONodeStatus(i int) slo.Status {
+	if e.sloNodes == nil {
+		return slo.Status{}
+	}
+	return e.sloNodes[i].Status()
+}
+
+// SLOClusterStatus returns the cluster-wide error-budget snapshot, whose
+// violation bit is "any node violated this epoch" (zero without
+// Config.SLO).
+func (e *Engine) SLOClusterStatus() slo.Status {
+	if e.sloCluster == nil {
+		return slo.Status{}
+	}
+	return e.sloCluster.Status()
 }
 
 // Close releases the engine's worker pool.
@@ -387,13 +456,34 @@ func (e *Engine) NodeState(i int) sched.NodeState {
 	if slo := n.m.SLO(); slo > 0 && tel.Time > 0 {
 		slack = (slo.Seconds() - tel.TailLatency.Seconds()) / slo.Seconds()
 	}
+	// Burn-rate admission (DESIGN.md §15): while this node's fast-burn
+	// page fires, raise the admission hold so the scheduler places no new
+	// best-effort work here until the error budget recovers. Jobs already
+	// running stay under the controller's own enablement — the hold
+	// throttles, it never evicts.
+	hold := e.sloNodes != nil && e.cfg.SLO.Admission && e.sloNodes[i].Page()
 	return sched.NodeState{
 		ID:         i,
 		BEAllowed:  n.ctl != nil && n.ctl.BEEnabled(),
+		AdmitHold:  hold,
 		Slack:      slack,
 		EMU:        tel.EMU,
 		Load:       n.m.Load(),
 		MaxBECores: n.m.MaxBECores(),
+	}
+}
+
+// pushSLO feeds one violation bit to a tracker and appends any alert
+// edges it produced to the per-Step transition scratch. node -1 is the
+// cluster-wide tracker.
+func (e *Engine) pushSLO(tr *slo.Tracker, node int, bad bool, epoch uint64) {
+	p0, t0 := tr.Page(), tr.Ticket()
+	tr.Push(bad)
+	if p := tr.Page(); p != p0 {
+		e.sloTrans = append(e.sloTrans, slo.Transition{Epoch: int(epoch), Node: node, Alert: slo.AlertPage, Firing: p})
+	}
+	if tk := tr.Ticket(); tk != t0 {
+		e.sloTrans = append(e.sloTrans, slo.Transition{Epoch: int(epoch), Node: node, Alert: slo.AlertTicket, Firing: tk})
 	}
 }
 
@@ -404,6 +494,7 @@ func (e *Engine) NodeState(i int) sched.NodeState {
 func (e *Engine) Step() EpochResult {
 	t := e.t
 	res := EpochResult{Epoch: e.epochIdx + 1, At: t, Tel: e.telBuf}
+	phase := time.Now()
 
 	// Faults resolve first in the sequential window: a crash firing this
 	// epoch must evict its jobs before the scheduler tick observes the
@@ -428,6 +519,10 @@ func (e *Engine) Step() EpochResult {
 		}
 	}
 
+	now := time.Now()
+	res.Spans.EventsNs = now.Sub(phase).Nanoseconds()
+	phase = now
+
 	// The scheduler ticks in the same sequential window as the events,
 	// against the previous epoch's telemetry: the slack each controller
 	// advertised is what steers placement.
@@ -445,6 +540,10 @@ func (e *Engine) Step() EpochResult {
 			e.applySchedAction(a)
 		}
 	}
+
+	now = time.Now()
+	res.Spans.SchedNs = now.Sub(phase).Nanoseconds()
+	phase = now
 
 	// Nodes are independent servers: step them concurrently, each writing
 	// only its own slot, then reduce sequentially in node order so float
@@ -476,6 +575,13 @@ func (e *Engine) Step() EpochResult {
 		e.leafTail[i] = tel.Lat
 	})
 
+	now = time.Now()
+	res.Spans.NodesNs = now.Sub(phase).Nanoseconds()
+	phase = now
+
+	if e.sloNodes != nil {
+		e.sloTrans = e.sloTrans[:0]
+	}
 	var (
 		emu   float64
 		worst float64
@@ -491,6 +597,9 @@ func (e *Engine) Step() EpochResult {
 			if worst < 1 {
 				worst = 1
 			}
+			if e.sloNodes != nil {
+				e.pushSLO(e.sloNodes[i], i, true, res.Epoch)
+			}
 			continue
 		}
 		emu += e.leafEMU[i]
@@ -499,6 +608,15 @@ func (e *Engine) Step() EpochResult {
 		}
 		if e.leafFrac[i] > 1 {
 			viol++
+		}
+		if e.sloNodes != nil {
+			e.pushSLO(e.sloNodes[i], i, e.leafFrac[i] > 1, res.Epoch)
+		}
+	}
+	if e.sloCluster != nil {
+		e.pushSLO(e.sloCluster, -1, viol > 0, res.Epoch)
+		if len(e.sloTrans) > 0 {
+			res.SLOTransitions = e.sloTrans
 		}
 	}
 	stat := EpochStat{
@@ -527,6 +645,7 @@ func (e *Engine) Step() EpochResult {
 		stat.SchedRunning = e.schd.Running()
 	}
 	res.Stat = stat
+	res.Spans.ReduceNs = time.Since(phase).Nanoseconds()
 
 	e.epochIdx++
 	e.t += e.epoch

@@ -82,9 +82,21 @@ func WriteFedMetrics(w io.Writer, snap Snapshot) {
 		"Requests this router forwarded to member daemons.", strconv.FormatInt(snap.Proxied, 10))
 }
 
+// proxyHist times every member request the router issues — proxied API
+// calls, fan-out polls and migrations alike. Process-wide operational
+// telemetry, reusing serve's hand-rolled histogram.
+var proxyHist serve.Histogram
+
+// WriteProxyMetrics renders the router's own proxy-latency histogram.
+func WriteProxyMetrics(w io.Writer) {
+	proxyHist.Write(w, "heracles_fed_proxy_duration_seconds",
+		"Wall time of one request this router issued to a member daemon.")
+}
+
 // MetricNames lists every metric family the federation exposition can
-// emit, in render order. The docs check uses it to keep docs/API.md
-// complete, and a test keeps it in lockstep with WriteFedMetrics.
+// emit (the /metrics handler sorts families by name before writing). The
+// docs check uses it to keep docs/API.md complete, and a test keeps it
+// in lockstep with WriteFedMetrics and WriteProxyMetrics.
 func MetricNames() []string {
 	return []string{
 		"heracles_fed_members",
@@ -95,5 +107,6 @@ func MetricNames() []string {
 		"heracles_fed_shard_queue_depth",
 		"heracles_fed_migrations_total",
 		"heracles_fed_proxied_requests_total",
+		"heracles_fed_proxy_duration_seconds",
 	}
 }

@@ -239,7 +239,10 @@ func (rt *Router) memberDo(method, url string, body io.Reader, contentType strin
 		req.Header.Set("Content-Type", contentType)
 	}
 	rt.proxied.Add(1)
-	return rt.client.Do(req)
+	start := time.Now()
+	resp, err := rt.client.Do(req)
+	proxyHist.Observe(time.Since(start))
+	return resp, err
 }
 
 // relay copies a member response through to the client verbatim,
@@ -829,5 +832,10 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := rt.snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	WriteFedMetrics(w, snap)
+	// Families emit in sorted name order, matching the member daemons'
+	// own expositions.
+	var buf bytes.Buffer
+	WriteFedMetrics(&buf, snap)
+	WriteProxyMetrics(&buf)
+	io.WriteString(w, serve.SortFamilies(buf.String()))
 }

@@ -488,7 +488,8 @@ func TestFederationJoinLeaveRebalance(t *testing.T) {
 }
 
 // TestFedMetricNamesMatchRenderer keeps MetricNames — the registry the
-// docs check reads — in lockstep with what WriteFedMetrics emits.
+// docs check reads — in lockstep with what WriteFedMetrics and
+// WriteProxyMetrics emit.
 func TestFedMetricNamesMatchRenderer(t *testing.T) {
 	var b strings.Builder
 	WriteFedMetrics(&b, Snapshot{
@@ -499,6 +500,7 @@ func TestFedMetricNamesMatchRenderer(t *testing.T) {
 		Migrations: 1,
 		Proxied:    9,
 	})
+	WriteProxyMetrics(&b)
 	rendered := map[string]bool{}
 	for _, line := range strings.Split(b.String(), "\n") {
 		if f := strings.Fields(line); len(f) == 4 && f[1] == "TYPE" {

@@ -16,6 +16,12 @@ type NodeState struct {
 	// permits best-effort execution. The scheduler never dispatches to a
 	// node with BEAllowed false, and evicts from one after a grace.
 	BEAllowed bool
+	// AdmitHold throttles new placements without touching running jobs:
+	// the error-budget engine raises it while the node's fast-burn alert
+	// fires (DESIGN.md §15). Unlike !BEAllowed it never evicts — work
+	// already placed runs on under the controller's own enablement; the
+	// node just stops accepting more until the budget recovers.
+	AdmitHold bool
 	// Slack is the latency slack (SLO - tail)/SLO of the last epoch.
 	Slack float64
 	// EMU is the machine's effective utilisation of the last epoch.

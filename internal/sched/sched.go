@@ -527,13 +527,14 @@ func (s *Scheduler) dispatchable(now time.Duration) []*Job {
 }
 
 // eligibleFor filters views down to machines that may accept the job:
-// the controller allows BE and the summed core demand fits. This runs
-// before any policy sees candidates, so the no-dispatch-while-disabled
-// invariant holds for every policy, including future ones.
+// the controller allows BE, no burn-rate admission hold is up, and the
+// summed core demand fits. This runs before any policy sees candidates,
+// so the no-dispatch-while-disabled invariant holds for every policy,
+// including future ones.
 func eligibleFor(j *Job, views []NodeView) []NodeView {
 	var out []NodeView
 	for _, v := range views {
-		if !v.BEAllowed {
+		if !v.BEAllowed || v.AdmitHold {
 			continue
 		}
 		if v.CommittedCores+j.Spec.Demand > v.MaxBECores {

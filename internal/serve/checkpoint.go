@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"heracles/internal/engine"
 	"heracles/internal/workload"
@@ -54,6 +55,8 @@ func (i *Instance) Checkpoint() (*InstanceCheckpoint, error) {
 // buildCheckpoint assembles the checkpoint; stepMu must be held (the
 // supervisor also calls it directly, on its restart-checkpoint cadence).
 func (i *Instance) buildCheckpoint() *InstanceCheckpoint {
+	start := time.Now()
+	defer func() { checkpointHist.Observe(time.Since(start)) }()
 	var spec *ScenarioSpec
 	if i.scenarioSpec != nil {
 		s := *i.scenarioSpec

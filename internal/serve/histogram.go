@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Latency histograms for the control plane's own hot paths. The type is
+// hand-rolled like the rest of the exposition (the repository takes no
+// dependencies): lock-free atomic buckets on power-of-two microsecond
+// bounds, rendered in the Prometheus histogram text format. Observations
+// are wall-clock control-plane timings — they are operational telemetry,
+// deliberately outside the deterministic simulation state, and never
+// travel in checkpoints.
+
+// histBuckets is the finite bucket count: upper bounds 1µs, 2µs, 4µs, …
+// 2^23µs (~8.4s), plus the implicit +Inf bucket. Power-of-two bounds
+// make bucket choice a single bit-length instruction.
+const histBuckets = 24
+
+// Histogram is a concurrency-safe Prometheus histogram. The zero value
+// is ready to use; fed reuses the type for its proxy latencies.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Int64 // per-bucket (non-cumulative); last is +Inf
+	sumNs  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	idx := 0
+	if us > 1 {
+		idx = bits.Len64(us - 1) // first i with us <= 2^i
+	}
+	if idx > histBuckets {
+		idx = histBuckets // +Inf
+	}
+	h.counts[idx].Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Write renders the family: cumulative _bucket series, _sum and _count.
+func (h *Histogram) Write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, fmtFloat(math.Ldexp(1e-6, i)), cum)
+	}
+	cum += h.counts[histBuckets].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(float64(h.sumNs.Load())/1e9))
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+// Process-wide histograms over the control plane's hot paths. They are
+// package-level because they aggregate across every instance, shard and
+// scheduler in the process — the per-instance breakdown lives in the
+// /trace span ring instead.
+var (
+	epochSliceHist Histogram // one epoch-scheduler slice (runSlice)
+	mailboxHist    Histogram // one Instance.Do mailbox command, queueing included
+	checkpointHist Histogram // building one instance checkpoint
+	restoreHist    Histogram // rebuilding an engine from a checkpoint
+	migrateHist    Histogram // one completed migration, checkpoint to restored copy
+)
+
+// WriteProcessMetrics renders the control plane's own latency
+// histograms — slice, mailbox, checkpoint/restore and migration timings
+// for this process.
+func WriteProcessMetrics(w io.Writer) {
+	epochSliceHist.Write(w, "heracles_epoch_slice_duration_seconds",
+		"Wall time of one epoch-scheduler slice (a catch-up batch of epochs or a restart).")
+	mailboxHist.Write(w, "heracles_mailbox_command_duration_seconds",
+		"Wall time of one instance mailbox command (Do), lock wait included.")
+	checkpointHist.Write(w, "heracles_checkpoint_duration_seconds",
+		"Wall time to build one instance checkpoint.")
+	restoreHist.Write(w, "heracles_restore_duration_seconds",
+		"Wall time to rebuild an engine from a checkpoint (create-with-restore, crash restart, migration).")
+	migrateHist.Write(w, "heracles_migrate_duration_seconds",
+		"Wall time of one completed migration, checkpoint through restored copy.")
+}
+
+// processMetricNames lists the families WriteProcessMetrics emits.
+func processMetricNames() []string {
+	return []string{
+		"heracles_epoch_slice_duration_seconds",
+		"heracles_mailbox_command_duration_seconds",
+		"heracles_checkpoint_duration_seconds",
+		"heracles_restore_duration_seconds",
+		"heracles_migrate_duration_seconds",
+	}
+}
+
+// SortFamilies reorders a rendered exposition so metric families appear
+// in lexicographic name order, regardless of which renderer emitted them
+// in which sequence — scrapes diff cleanly across server versions. Each
+// family must begin with its "# HELP <name> …" line, which is how every
+// renderer in this package and in fed writes them.
+func SortFamilies(text string) string {
+	chunks := strings.Split(text, "# HELP ")
+	fams := make([]string, 0, len(chunks))
+	for _, c := range chunks {
+		if c != "" {
+			fams = append(fams, "# HELP "+c)
+		}
+	}
+	sort.Strings(fams)
+	return strings.Join(fams, "")
+}

@@ -14,6 +14,7 @@ import (
 	"heracles/internal/machine"
 	"heracles/internal/scenario"
 	"heracles/internal/sched"
+	"heracles/internal/slo"
 	"heracles/internal/workload"
 )
 
@@ -162,6 +163,38 @@ type LifecycleUpdate struct {
 	Detail   string `json:"detail,omitempty"`
 }
 
+// SLOUpdate is the payload of the "slo" SSE event, published whenever an
+// alert fires or resolves: the edges of this epoch plus the tracker's
+// status after them. Alert edges are pure functions of the violation
+// history, so the event sequence is bit-identical across repeats,
+// migrations and checkpoint/restore.
+type SLOUpdate struct {
+	Instance    string           `json:"instance"`
+	Epoch       uint64           `json:"epoch"`
+	Transitions []slo.Transition `json:"transitions"`
+	Status      slo.Status       `json:"status"`
+}
+
+// SpanRecord is one epoch's phase timing breakdown, kept in a bounded
+// per-instance ring served at GET /api/v1/instances/{id}/trace. All
+// fields are wall-clock nanoseconds — operational telemetry outside the
+// deterministic simulation state, never checkpointed.
+type SpanRecord struct {
+	Epoch      uint64  `json:"epoch"`
+	SimSeconds float64 `json:"sim_seconds"`
+	EventsNs   int64   `json:"events_ns"`
+	SchedNs    int64   `json:"sched_ns"`
+	NodesNs    int64   `json:"nodes_ns"`
+	ReduceNs   int64   `json:"reduce_ns"`
+	HookNs     int64   `json:"hook_ns,omitempty"`
+	PublishNs  int64   `json:"publish_ns,omitempty"`
+}
+
+// traceRingCap bounds the span ring: the newest records win. 128 epochs
+// of history costs at most ~8KB, and the ring only grows as epochs are
+// actually stepped, so parked instances pay nothing.
+const traceRingCap = 128
+
 // ActionCount aggregates the controller decisions of one (loop, action)
 // pair.
 type ActionCount struct {
@@ -189,6 +222,10 @@ type Status struct {
 	Last          EpochUpdate   `json:"last"`
 	Actions       []ActionCount `json:"actions,omitempty"`
 	DroppedEvents int64         `json:"dropped_events"`
+
+	// SLO is the instance's error-budget snapshot: burn rates per
+	// window, budget spent and the alert latches (DESIGN.md §15).
+	SLO *slo.Status `json:"slo,omitempty"`
 
 	// Supervisor health summary (see HealthStatus for the full view).
 	Health         string `json:"health"`
@@ -257,6 +294,10 @@ type Instance struct {
 	mu      sync.Mutex
 	status  Status
 	actions map[actionKey]int64
+	// spans is the bounded epoch span-timing ring (mu-guarded): grown
+	// lazily to traceRingCap, then overwritten oldest-first at spanHead.
+	spans    []SpanRecord
+	spanHead int
 	// notec is the observable-change notification: closed and replaced
 	// whenever status or health changes, so tests wait on events instead
 	// of sleep-polling.
@@ -287,6 +328,12 @@ func engineConfig(lab *experiment.Lab, lcName string) engine.Config {
 		Model:    lab.DRAMModel(lcName),
 		LookupBE: lab.BE,
 		Workers:  1,
+		// Every live instance carries the error-budget tracker
+		// (DESIGN.md §15), and its firing fast-burn page throttles fleet
+		// dispatch onto the instance via the AdmitHold advertisement. The
+		// tracker state travels in checkpoints, so burn rates and alert
+		// latches survive restore and migration bit-identically.
+		SLO: &slo.Config{Admission: true},
 	}
 }
 
@@ -352,10 +399,12 @@ func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float6
 			spec2 := *cp.Scenario
 			i.scenarioSpec = &spec2
 		}
+		rs := time.Now()
 		eng, err := engine.Restore(engineConfig(lab, lcName), cp.Engine, sc)
 		if err != nil {
 			return nil, fmt.Errorf("restore: %w", err)
 		}
+		restoreHist.Observe(time.Since(rs))
 		// Tasks the origin fleet scheduler owned do not survive a restore:
 		// their jobs stay with (and were requeued by) that scheduler.
 		pruneFleetTasks(eng, cp)
@@ -405,6 +454,10 @@ func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float6
 		Last:      EpochUpdate{Instance: id, SLOMs: 1e3 * i.m.SLO().Seconds(), Load: i.m.Load()},
 	}
 	i.status.BEs = beNames(i.m)
+	if i.eng.SLOEnabled() {
+		st := i.eng.SLONodeStatus(0)
+		i.status.SLO = &st
+	}
 	if spec.Restore != nil {
 		// Seed Last from the checkpointed telemetry so status is
 		// meaningful before the first post-restore epoch resolves.
@@ -488,6 +541,10 @@ func (i *Instance) Status() Status {
 	i.mu.Lock()
 	s := i.status
 	s.BEs = append([]string(nil), i.status.BEs...)
+	if i.status.SLO != nil {
+		st := *i.status.SLO
+		s.SLO = &st
+	}
 	s.Actions = sortedActions(i.actions)
 	s.Health = i.healthState
 	s.Crashes = i.crashes
@@ -540,6 +597,8 @@ func (i *Instance) Stop() {
 // opened. A panicking closure books a supervisor crash, exactly like a
 // panic inside an epoch step.
 func (i *Instance) Do(fn func() error) error {
+	start := time.Now()
+	defer func() { mailboxHist.Observe(time.Since(start)) }()
 	i.stepMu.Lock()
 	if i.stopped {
 		i.stepMu.Unlock()
@@ -948,9 +1007,17 @@ func (i *Instance) step() {
 
 	up := i.epochUpdate(tel, er.Epoch)
 	done := i.maxEpochs > 0 && er.Epoch >= i.maxEpochs
+	var sloStatus slo.Status
+	if i.eng.SLOEnabled() {
+		sloStatus = i.eng.SLONodeStatus(0)
+	}
 	i.mu.Lock()
 	i.status.Epoch = er.Epoch
 	i.status.Last = up
+	if i.eng.SLOEnabled() {
+		st := sloStatus
+		i.status.SLO = &st
+	}
 	i.faultsInjected += int64(er.FaultsApplied)
 	if done {
 		i.status.State = StateDone
@@ -966,18 +1033,84 @@ func (i *Instance) step() {
 	}
 	i.markStable()
 
+	var hookNs, publishNs int64
 	if i.epochHook != nil {
+		hs := time.Now()
 		i.epochHook(i.m, tel)
+		hookNs = int64(time.Since(hs))
 	}
 	if i.hub.HasSubscribers() {
+		ps := time.Now()
 		if data, err := json.Marshal(up); err == nil {
 			i.hub.Publish(Message{Event: "epoch", ID: er.Epoch, Data: data})
 		}
+		if len(er.SLOTransitions) > 0 {
+			if data, err := json.Marshal(SLOUpdate{
+				Instance:    i.id,
+				Epoch:       er.Epoch,
+				Transitions: er.SLOTransitions,
+				Status:      sloStatus,
+			}); err == nil {
+				i.hub.Publish(Message{Event: "slo", ID: er.Epoch, Data: data})
+			}
+		}
+		publishNs = int64(time.Since(ps))
 	}
+
+	i.recordSpan(SpanRecord{
+		Epoch:      er.Epoch,
+		SimSeconds: up.SimSeconds,
+		EventsNs:   er.Spans.EventsNs,
+		SchedNs:    er.Spans.SchedNs,
+		NodesNs:    er.Spans.NodesNs,
+		ReduceNs:   er.Spans.ReduceNs,
+		HookNs:     hookNs,
+		PublishNs:  publishNs,
+	})
+
 	if done {
 		i.doneRunning = true
 		i.publishLifecycle("done", fmt.Sprintf("max_epochs %d reached", i.maxEpochs))
 	}
+}
+
+// recordSpan appends one epoch's phase timings to the bounded ring.
+func (i *Instance) recordSpan(rec SpanRecord) {
+	i.mu.Lock()
+	if len(i.spans) < traceRingCap {
+		i.spans = append(i.spans, rec)
+	} else {
+		i.spans[i.spanHead] = rec
+		i.spanHead = (i.spanHead + 1) % traceRingCap
+	}
+	i.mu.Unlock()
+}
+
+// TraceSpans snapshots the span ring, oldest record first.
+func (i *Instance) TraceSpans() []SpanRecord {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]SpanRecord, 0, len(i.spans))
+	out = append(out, i.spans[i.spanHead:]...)
+	out = append(out, i.spans[:i.spanHead]...)
+	return out
+}
+
+// SLOStatus reads the error-budget tracker between epochs. The bool is
+// false if the instance's engine runs without budget tracking (never the
+// case for instances this package builds, but restored foreign state is
+// validated, not trusted).
+func (i *Instance) SLOStatus() (slo.Status, bool, error) {
+	var st slo.Status
+	enabled := false
+	err := i.Do(func() error {
+		if i.eng.SLOEnabled() {
+			st = i.eng.SLONodeStatus(0)
+			enabled = true
+		}
+		return nil
+	})
+	return st, enabled, err
 }
 
 // --- Fleet-scheduler hooks --------------------------------------------

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"heracles/internal/slo"
 )
 
 // Prometheus exposition: the control plane renders the text format by
@@ -117,13 +119,56 @@ func WriteMetrics(w io.Writer, sts []Status) {
 		}
 	}
 
+	// Error-budget families (DESIGN.md §15). Headers always print so the
+	// exposition shape is stable; series render per instance with the SLO
+	// engine attached.
+	sloFamily(w, "heracles_slo_objective", "gauge",
+		"Availability objective the error budget is computed against.", sts,
+		func(st *slo.Status) float64 { return st.Objective })
+	sloFamily(w, "heracles_slo_violations_total", "counter",
+		"Simulated epochs that violated the latency SLO.", sts,
+		func(st *slo.Status) float64 { return float64(st.Violations) })
+	sloFamily(w, "heracles_slo_budget_spent", "gauge",
+		"Fraction of the 30-day error budget consumed (1 = exhausted).", sts,
+		func(st *slo.Status) float64 { return st.BudgetSpent })
+	fmt.Fprint(w, "# HELP heracles_slo_burn_rate Error-budget burn rate per rolling sim-time window (1 = spending exactly the budget).\n# TYPE heracles_slo_burn_rate gauge\n")
+	for _, s := range sts {
+		if s.SLO == nil {
+			continue
+		}
+		for wi, name := range slo.WindowNames {
+			fmt.Fprintf(w, "heracles_slo_burn_rate{instance=\"%s\",window=\"%s\"} %s\n",
+				escapeLabel.Replace(s.ID), name, fmtFloat(s.SLO.Burn[wi]))
+		}
+	}
+	fmt.Fprint(w, "# HELP heracles_slo_alert_firing 1 while the multiwindow burn-rate alert fires (fast-burn page, slow-burn ticket).\n# TYPE heracles_slo_alert_firing gauge\n")
+	for _, s := range sts {
+		if s.SLO == nil {
+			continue
+		}
+		fmt.Fprintf(w, "heracles_slo_alert_firing{instance=\"%s\",alert=\"%s\"} %s\n",
+			escapeLabel.Replace(s.ID), slo.AlertPage, boolVal(s.SLO.Page))
+		fmt.Fprintf(w, "heracles_slo_alert_firing{instance=\"%s\",alert=\"%s\"} %s\n",
+			escapeLabel.Replace(s.ID), slo.AlertTicket, boolVal(s.SLO.Ticket))
+	}
+
 	// Fleet-level aggregates over all live instances.
 	var emuSum float64
 	minSlack := 0.0
+	maxBudget := 0.0
+	pagesFiring := 0
 	for j, s := range sts {
 		emuSum += s.Last.EMU
 		if j == 0 || s.Last.Slack < minSlack {
 			minSlack = s.Last.Slack
+		}
+		if s.SLO != nil {
+			if s.SLO.BudgetSpent > maxBudget {
+				maxBudget = s.SLO.BudgetSpent
+			}
+			if s.SLO.Page {
+				pagesFiring++
+			}
 		}
 	}
 	emuMean := 0.0
@@ -134,6 +179,29 @@ func WriteMetrics(w io.Writer, sts []Status) {
 	fmt.Fprintf(w, "heracles_fleet_emu_mean %s\n", fmtFloat(emuMean))
 	fmt.Fprint(w, "# HELP heracles_fleet_slo_slack_min Worst SLO slack across live instances.\n# TYPE heracles_fleet_slo_slack_min gauge\n")
 	fmt.Fprintf(w, "heracles_fleet_slo_slack_min %s\n", fmtFloat(minSlack))
+	fmt.Fprint(w, "# HELP heracles_fleet_slo_budget_spent_max Worst error-budget spend across live instances.\n# TYPE heracles_fleet_slo_budget_spent_max gauge\n")
+	fmt.Fprintf(w, "heracles_fleet_slo_budget_spent_max %s\n", fmtFloat(maxBudget))
+	fmt.Fprint(w, "# HELP heracles_fleet_slo_pages_firing Instances whose fast-burn page currently fires.\n# TYPE heracles_fleet_slo_pages_firing gauge\n")
+	fmt.Fprintf(w, "heracles_fleet_slo_pages_firing %d\n", pagesFiring)
+}
+
+// sloFamily writes one per-instance error-budget series family, skipping
+// instances without the SLO engine.
+func sloFamily(w io.Writer, name, typ, help string, sts []Status, value func(*slo.Status) float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range sts {
+		if s.SLO == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s{instance=\"%s\"} %s\n", name, escapeLabel.Replace(s.ID), fmtFloat(value(s.SLO)))
+	}
+}
+
+func boolVal(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
 }
 
 // schedScalar writes one unlabelled scheduler series.
@@ -221,11 +289,13 @@ func WriteShardMetrics(w io.Writer, sts []ShardStatus, migrations int64) {
 		"Instances migrated off this server's shards (cross-shard or to a peer).", strconv.FormatInt(migrations, 10))
 }
 
-// MetricNames lists every metric family the exposition can emit, in
-// render order. The docs check uses it to keep docs/API.md complete, and
-// a test keeps it in lockstep with the actual renderers.
+// MetricNames lists every metric family the exposition can emit (the
+// /metrics handler sorts families by name before writing, so the order
+// here is the renderers', not the wire's). The docs check uses it to
+// keep docs/API.md complete, and a test keeps it in lockstep with the
+// actual renderers.
 func MetricNames() []string {
-	return []string{
+	names := []string{
 		"heracles_instances",
 		"heracles_instance_up",
 		"heracles_instance_epochs_total",
@@ -246,8 +316,15 @@ func MetricNames() []string {
 		"heracles_instance_restarts_total",
 		"heracles_faults_injected_total",
 		"heracles_controller_actions_total",
+		"heracles_slo_objective",
+		"heracles_slo_violations_total",
+		"heracles_slo_budget_spent",
+		"heracles_slo_burn_rate",
+		"heracles_slo_alert_firing",
 		"heracles_fleet_emu_mean",
 		"heracles_fleet_slo_slack_min",
+		"heracles_fleet_slo_budget_spent_max",
+		"heracles_fleet_slo_pages_firing",
 		"heracles_sched_info",
 		"heracles_sched_queue_depth",
 		"heracles_sched_running_jobs",
@@ -274,4 +351,5 @@ func MetricNames() []string {
 		"heracles_shard_stolen_total",
 		"heracles_migrations_total",
 	}
+	return append(names, processMetricNames()...)
 }

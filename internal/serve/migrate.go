@@ -80,6 +80,7 @@ func (s *Server) MigrateToShard(id string, target int) (*MigrateResult, error) {
 	if target < 0 || target >= s.reg.ShardCount() {
 		return nil, fmt.Errorf("no shard %d (server has %d)", target, s.reg.ShardCount())
 	}
+	start := time.Now()
 	inst, from, err := s.detach(id)
 	if err != nil {
 		return nil, err
@@ -100,6 +101,7 @@ func (s *Server) MigrateToShard(id string, target int) (*MigrateResult, error) {
 	inst.publishLifecycle("migrated", detail)
 	inst.Stop()
 	s.reg.noteMigration()
+	migrateHist.Observe(time.Since(start))
 	return &MigrateResult{
 		From: id, FromShard: from,
 		To: fresh.ID(), ToShard: target,
@@ -114,6 +116,7 @@ func (s *Server) MigrateToShard(id string, target int) (*MigrateResult, error) {
 // the origin instance is reinstated untouched and the error reports the
 // peer's verdict.
 func (s *Server) MigrateToPeer(id, peer string) (*MigrateResult, error) {
+	start := time.Now()
 	inst, from, err := s.detach(id)
 	if err != nil {
 		return nil, err
@@ -152,6 +155,7 @@ func (s *Server) MigrateToPeer(id, peer string) (*MigrateResult, error) {
 	inst.publishLifecycle("migrated", detail)
 	inst.Stop()
 	s.reg.noteMigration()
+	migrateHist.Observe(time.Since(start))
 	return &MigrateResult{
 		From: id, FromShard: from,
 		To: st.ID, ToShard: st.Shard, Peer: peer,

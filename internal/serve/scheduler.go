@@ -273,7 +273,9 @@ func (s *epochScheduler) worker() {
 			if h != s {
 				s.stolen.Add(1)
 			}
+			sliceStart := time.Now()
 			next, ok := e.task.runSlice()
+			epochSliceHist.Observe(time.Since(sliceStart))
 			s.slices.Add(1)
 			if ok {
 				s.schedule(e, next)

@@ -10,6 +10,7 @@ import (
 
 	"heracles/internal/experiment"
 	"heracles/internal/machine"
+	"heracles/internal/slo"
 )
 
 // testLab is shared by every test in the package so workload calibration
@@ -501,17 +502,20 @@ func TestDoAfterStopReturnsErrStopped(t *testing.T) {
 
 // TestMetricNamesMatchRenderers keeps MetricNames — the registry the
 // docs check reads — in lockstep with what WriteMetrics,
-// WriteSchedMetrics and WriteEpochSchedMetrics actually emit.
+// WriteSchedMetrics, WriteEpochSchedMetrics, WriteShardMetrics and
+// WriteProcessMetrics actually emit.
 func TestMetricNamesMatchRenderers(t *testing.T) {
 	var b strings.Builder
 	WriteMetrics(&b, []Status{{
 		ID: "i1", State: StateRunning, Epoch: 3,
 		Health: HealthDegraded, Restarts: 1, FaultsInjected: 2,
 		Actions: []ActionCount{{Loop: "top", Action: "ENABLE_BE", Count: 1}},
+		SLO:     &slo.Status{Objective: 0.99, Epochs: 3, Page: true},
 	}})
 	WriteSchedMetrics(&b, SchedulerStatus{Policy: "slack-greedy", TickPanics: 1})
 	WriteEpochSchedMetrics(&b, EpochSchedStatus{Drivers: 2, QueueDepth: 1, Slices: 3, Epochs: 9})
 	WriteShardMetrics(&b, []ShardStatus{{Shard: 0, Instances: 1}}, 2)
+	WriteProcessMetrics(&b)
 
 	rendered := map[string]bool{}
 	for _, line := range strings.Split(b.String(), "\n") {

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -294,6 +296,8 @@ var routeTable = []Route{
 	{"POST", "/api/v1/instances/{id}/migrate", "checkpoint, ship and restore the instance onto another shard or a peer daemon mid-run", (*Server).handleMigrate},
 	{"GET", "/api/v1/instances/{id}/health", "supervisor health: crash and restart counters, circuit-breaker state", (*Server).handleInstanceHealth},
 	{"POST", "/api/v1/instances/{id}/faults", "inject a fault: leaf-crash, telemetry-blackout, slow-machine, actuation-fail, be-kill or driver-panic", (*Server).handleFaultInject},
+	{"GET", "/api/v1/instances/{id}/slo", "error-budget status: objective, budget spent, burn rates per window, firing alerts", (*Server).handleSLO},
+	{"GET", "/api/v1/instances/{id}/trace", "recent epoch span timings from the instance's trace ring", (*Server).handleTrace},
 	{"GET", "/api/v1/instances/{id}/stream", "SSE stream of epoch telemetry, controller and scheduler events", (*Server).handleStream},
 	{"GET", "/api/v1/shards", "per-shard instance counts, epoch-scheduler and fleet-scheduler accounting", (*Server).handleShards},
 	{"GET", "/api/v1/shards/{shard}/stream", "SSE stream of one shard's lifecycle events: creations, deletions, migrations", (*Server).handleShardStream},
@@ -402,10 +406,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	WriteMetrics(w, s.reg.Statuses())
-	WriteSchedMetrics(w, s.SchedStatus())
-	WriteEpochSchedMetrics(w, s.reg.SchedStatus())
-	WriteShardMetrics(w, s.reg.ShardStatuses(), s.reg.Migrations())
+	// Render into a buffer and emit families in sorted name order, so the
+	// exposition is deterministic regardless of renderer sequence.
+	var buf bytes.Buffer
+	WriteMetrics(&buf, s.reg.Statuses())
+	WriteSchedMetrics(&buf, s.SchedStatus())
+	WriteEpochSchedMetrics(&buf, s.reg.SchedStatus())
+	WriteShardMetrics(&buf, s.reg.ShardStatuses(), s.reg.Migrations())
+	WriteProcessMetrics(&buf)
+	io.WriteString(w, SortFamilies(buf.String()))
 }
 
 // ShardStatuses snapshots every shard with its fleet-scheduler
@@ -606,6 +615,30 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, cp)
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	st, enabled, err := inst.SLOStatus()
+	if !doErr(w, err) {
+		return
+	}
+	if !enabled {
+		apiError(w, http.StatusNotFound, "instance %q runs without the error-budget engine", inst.ID())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"spans": inst.TraceSpans()})
 }
 
 func (s *Server) handleInstanceHealth(w http.ResponseWriter, r *http.Request) {

@@ -324,10 +324,12 @@ func (i *Instance) rebuildFromCheckpoint() error {
 		i.warmScenarioWorkloads(built)
 		sc = &built
 	}
+	rs := time.Now()
 	eng, err := engine.Restore(engineConfig(i.lab, i.lcName), cp.Engine, sc)
 	if err != nil {
 		return fmt.Errorf("restore: %w", err)
 	}
+	restoreHist.Observe(time.Since(rs))
 	// The fleet scheduler's jobs died with the crash (finishCrash evicted
 	// them); resurrect the machine without their tasks or the restarted
 	// engine would silently double-run requeued work.
