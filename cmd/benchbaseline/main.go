@@ -22,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -141,11 +142,14 @@ func main() {
 			// The unified epoch loop's hot path: one Step of an 8-node
 			// Heracles engine with root fan-out sampling — scenario load
 			// evaluation, eight machine steps and controller polls, the
-			// node-order reduction and the root's 100-sample draw.
+			// node-order reduction and the root's 100-sample draw. The
+			// warmup runs past 600 epochs so the telemetry rings are full
+			// and the measurement sees true steady state — ring growth
+			// allocates until then.
 			eng := engine.New(benchEngineConfig(lab))
 			defer eng.Close()
 			eng.InstallScenario(benchScenario())
-			for i := 0; i < 120; i++ {
+			for i := 0; i < 650; i++ {
 				eng.Step()
 			}
 			b.ReportAllocs()
@@ -154,11 +158,11 @@ func main() {
 				eng.Step()
 			}
 		}},
-		{"SnapshotRestore", true, func(b *testing.B) {
+		{"SnapshotRestore/json", true, func(b *testing.B) {
 			// Checkpoint round trip of a warmed 8-node engine whose
-			// telemetry rings are full (600 epochs/node): Snapshot's deep
-			// copy plus Restore's rebuild, the cost a periodic
-			// checkpointer or a migration pays per cycle.
+			// telemetry rings are full (600 epochs/node), through the JSON
+			// wire format: Snapshot's deep copy, Encode, Decode, Restore's
+			// rebuild — the cost the interchange path pays per cycle.
 			eng := engine.New(benchEngineConfig(lab))
 			defer eng.Close()
 			sc := benchScenario()
@@ -166,10 +170,45 @@ func main() {
 			for i := 0; i < 620; i++ {
 				eng.Step()
 			}
+			var buf bytes.Buffer
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cp := eng.Snapshot()
+				buf.Reset()
+				if err := eng.Snapshot().Encode(&buf); err != nil {
+					b.Fatal(err)
+				}
+				cp, err := engine.DecodeCheckpoint(&buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := engine.Restore(benchEngineConfig(lab), cp, &sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.Close()
+			}
+		}},
+		{"SnapshotRestore/binary", true, func(b *testing.B) {
+			// The same round trip through the binary codec — the format the
+			// periodic checkpointer, shard migration and supervisor restart
+			// actually pay for.
+			eng := engine.New(benchEngineConfig(lab))
+			defer eng.Close()
+			sc := benchScenario()
+			eng.InstallScenario(sc)
+			for i := 0; i < 620; i++ {
+				eng.Step()
+			}
+			var scratch []byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scratch = eng.Snapshot().AppendBinary(scratch[:0])
+				cp, err := engine.DecodeCheckpointBinary(scratch)
+				if err != nil {
+					b.Fatal(err)
+				}
 				r, err := engine.Restore(benchEngineConfig(lab), cp, &sc)
 				if err != nil {
 					b.Fatal(err)
@@ -236,7 +275,8 @@ func main() {
 		}},
 		{"InstanceMigrate", true, func(b *testing.B) {
 			// The migration primitive's round trip: detach, snapshot the
-			// engine, restore into a fresh instance on the other shard's
+			// engine, carry the checkpoint through the binary wire format,
+			// restore into a fresh instance on the other shard's
 			// pool, stop the origin — the per-move cost a federated
 			// rebalance or drain pays per instance. The instance has run
 			// its full 120-epoch scenario first, so the checkpoint carries

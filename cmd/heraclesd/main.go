@@ -84,8 +84,13 @@ func main() {
 	maxInstances := flag.Int("max-instances", 0, "instance pool cap; creates beyond it fail with 503 (0 = default 64)")
 	ckptDir := flag.String("checkpoint-dir", "", "periodically snapshot every instance into this directory and crash-resume from it on startup")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "wall-clock cadence of -checkpoint-dir snapshots")
+	ckptFormat := flag.String("checkpoint-format", "binary", "encoding for -checkpoint-dir snapshots: binary (.ckpt files) or json (.json files); resume auto-detects both")
 	pprofAddr := flag.String("pprof-addr", "", "separate listen address for pprof profiles and Go runtime metrics (empty = off)")
 	flag.Parse()
+
+	if *ckptFormat != "binary" && *ckptFormat != "json" {
+		log.Fatalf("heraclesd: -checkpoint-format %q, want binary or json", *ckptFormat)
+	}
 
 	if *pprofAddr != "" {
 		dbg, err := debughttp.Start(*pprofAddr)
@@ -222,7 +227,7 @@ func main() {
 
 	var ckptStop func()
 	if *ckptDir != "" {
-		ckptStop = startCheckpointer(srv, *ckptDir, *ckptEvery)
+		ckptStop = startCheckpointer(srv, *ckptDir, *ckptEvery, *ckptFormat)
 	}
 
 	interrupt := make(chan os.Signal, 1)
@@ -303,9 +308,12 @@ func main() {
 // data-loss window in which a second crash finds an empty directory.
 // Unreadable or unrestorable files are set aside as *.failed (preserved
 // for inspection, out of the restore glob) with a log line — recovery
-// should salvage what it can, not refuse to start.
+// should salvage what it can, not refuse to start. Both snapshot
+// encodings resume — *.json and binary *.ckpt — and the reader detects
+// each file's format from its bytes, so a directory written across
+// -checkpoint-format changes restores in full.
 func restoreCheckpoints(srv *serve.Server, dir string, speed float64, maxEpochs int) int {
-	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	paths, err := checkpointGlob(dir)
 	if err != nil {
 		log.Printf("heraclesd: scanning %s: %v", dir, err)
 		return 0
@@ -338,13 +346,32 @@ func restoreCheckpoints(srv *serve.Server, dir string, speed float64, maxEpochs 
 	return restored
 }
 
-// startCheckpointer snapshots every live instance into dir on a ticker.
-// The returned stop function takes one final snapshot pass (while the
-// instance drivers still run) and then joins the goroutine; call it
-// before draining the server.
-func startCheckpointer(srv *serve.Server, dir string, every time.Duration) func() {
+// checkpointGlob lists every checkpoint file under dir, across both
+// encodings: JSON snapshots as *.json, binary ones as *.ckpt.
+func checkpointGlob(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	ckpts, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	return append(paths, ckpts...), nil
+}
+
+// startCheckpointer snapshots every live instance into dir on a ticker,
+// in the format named by -checkpoint-format ("binary" writes *.ckpt via
+// the binary envelope, "json" writes *.json). The returned stop function
+// takes one final snapshot pass (while the instance drivers still run)
+// and then joins the goroutine; call it before draining the server.
+func startCheckpointer(srv *serve.Server, dir string, every time.Duration, format string) func() {
 	if every <= 0 {
 		every = 30 * time.Second
+	}
+	ext, write := ".ckpt", serve.WriteCheckpointFileBinary
+	if format == "json" {
+		ext, write = ".json", serve.WriteCheckpointFile
 	}
 	stopc := make(chan struct{})
 	donec := make(chan struct{})
@@ -355,17 +382,18 @@ func startCheckpointer(srv *serve.Server, dir string, every time.Duration) func(
 			if err != nil {
 				continue // instance stopped mid-pass
 			}
-			path := filepath.Join(dir, inst.ID()+".json")
-			if err := serve.WriteCheckpointFile(path, cp); err != nil {
+			path := filepath.Join(dir, inst.ID()+ext)
+			if err := write(path, cp); err != nil {
 				log.Printf("heraclesd: checkpoint %s: %v", inst.ID(), err)
 				continue
 			}
-			live[inst.ID()+".json"] = true
+			live[inst.ID()+ext] = true
 		}
 		// Drop files for instances that no longer exist so a restart does
 		// not resurrect deleted machines; their rotated previous
-		// generations go with them.
-		if paths, err := filepath.Glob(filepath.Join(dir, "*.json")); err == nil {
+		// generations go with them. Both encodings are swept, so stale
+		// snapshots from before a -checkpoint-format change go too.
+		if paths, err := checkpointGlob(dir); err == nil {
 			for _, p := range paths {
 				if !live[filepath.Base(p)] {
 					os.Remove(p)

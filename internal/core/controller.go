@@ -203,6 +203,7 @@ type Controller struct {
 	pendingCheck bool          // a cache growth awaits its derivative check
 	rateBefore   float64       // BE rate before the last cache growth
 	lastGrow     time.Duration // time of the last core growth (for damping)
+	coreHold     coreHoldKind  // last emitted hold-cores reason (edge-triggered trace)
 
 	// Scheduling.
 	nextTop, nextCore, nextPower, nextNet time.Duration

@@ -337,7 +337,9 @@ func (c *Controller) coreMovePredictedSafe(now time.Duration) bool {
 	// would exceed ~92%, which is where tail latency detaches from the
 	// slack signal's time constant.
 	if rhoHat := c.env.Load() * float64(total) / float64(k-1); rhoHat > 0.92 {
-		c.emit(now, "core", "hold-cores", fmt.Sprintf("predicted occupancy %.2f>0.92 at lcCores=%d", rhoHat, k-1))
+		if c.holdEdge(holdOccupancy) {
+			c.emit(now, "core", "hold-cores", fmt.Sprintf("predicted occupancy %.2f>0.92 at lcCores=%d", rhoHat, k-1))
+		}
 		return false
 	}
 	// Power guard: while the package is power-saturated AND the LC cores
@@ -346,8 +348,10 @@ func (c *Controller) coreMovePredictedSafe(now time.Duration) bool {
 	// restore the frequency first. (Power saturation alone is fine — the
 	// chip simply runs everyone a little slower.)
 	if c.env.MaxSocketPowerFrac() > c.cfg.PowerLimit && c.env.LCFreqGHz() < c.env.GuaranteedGHz() {
-		c.emit(now, "core", "hold-cores", fmt.Sprintf("power %.2f>%.2f and lcFreq %.2f<%.2f, waiting for power loop",
-			c.env.MaxSocketPowerFrac(), c.cfg.PowerLimit, c.env.LCFreqGHz(), c.env.GuaranteedGHz()))
+		if c.holdEdge(holdPower) {
+			c.emit(now, "core", "hold-cores", fmt.Sprintf("power %.2f>%.2f and lcFreq %.2f<%.2f, waiting for power loop",
+				c.env.MaxSocketPowerFrac(), c.cfg.PowerLimit, c.env.LCFreqGHz(), c.env.GuaranteedGHz()))
+		}
 		return false
 	}
 	// DRAM guard: adding a BE core adds roughly one core's worth of
@@ -359,16 +363,46 @@ func (c *Controller) coreMovePredictedSafe(now time.Duration) bool {
 		effBW = socketEq
 	}
 	if per := c.beBwPerCore(); effBW+1.5*per > c.cfg.DRAMLimitFrac*c.env.DRAMPeakGBs() {
-		c.emit(now, "core", "hold-cores", fmt.Sprintf("bw %.1f+1.5*%.1f would crowd the DRAM limit", effBW, per))
+		if c.holdEdge(holdDRAM) {
+			c.emit(now, "core", "hold-cores", fmt.Sprintf("bw %.1f+1.5*%.1f would crowd the DRAM limit", effBW, per))
+		}
 		return false
 	}
 	latFrac := 1 - c.slack // latency as fraction of SLO
 	scale := float64(k) / float64(k-1)
 	predicted := 1 - latFrac*scale*scale
 	if predicted < c.cfg.SlackPanic {
-		c.emit(now, "core", "hold-cores", fmt.Sprintf("predicted slack %.3f<%.2f at lcCores=%d", predicted, c.cfg.SlackPanic, k-1))
+		if c.holdEdge(holdSlack) {
+			c.emit(now, "core", "hold-cores", fmt.Sprintf("predicted slack %.3f<%.2f at lcCores=%d", predicted, c.cfg.SlackPanic, k-1))
+		}
 		return false
 	}
+	c.coreHold = holdNone
+	return true
+}
+
+// coreHoldKind names the guard that last refused a core move, so the
+// hold-cores trace fires on transitions rather than every poll — a
+// steady hold would otherwise format an identical event per epoch, the
+// single largest steady-state allocation in the engine's step loop.
+type coreHoldKind uint8
+
+const (
+	holdNone coreHoldKind = iota
+	holdOccupancy
+	holdPower
+	holdDRAM
+	holdSlack
+)
+
+// holdEdge records the active hold reason and reports whether it just
+// changed (i.e. the event is worth emitting). Pure observability state:
+// it steers no decision and is deliberately absent from ControllerState.
+func (c *Controller) holdEdge(k coreHoldKind) bool {
+	if c.coreHold == k {
+		return false
+	}
+	c.coreHold = k
 	return true
 }
 

@@ -1,0 +1,43 @@
+package engine_test
+
+import (
+	"testing"
+	"time"
+
+	"heracles/internal/engine"
+)
+
+// TestStepDoesNotAllocate pins the engine's zero-allocation stepping
+// property: once the telemetry rings are full (600 epochs) every
+// steady-state Step — scenario evaluation, scheduler tick, machine and
+// controller fan-out, root sampling — runs entirely on the engine's
+// scratch state. The warmup must outlast the ring fill; entries get
+// fresh inner slices until then. Mirrors the machine-level pin in
+// internal/machine/alloc_test.go, one layer up.
+func TestStepDoesNotAllocate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("620-epoch warmup")
+	}
+	configs := []struct {
+		name string
+		cfg  engine.Config
+	}{
+		{"plain", clusterConfig(1, nil)},
+		{"with-sched", clusterConfig(1, testJobs(8))},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := engine.New(tc.cfg)
+			defer eng.Close()
+			eng.InstallScenario(testScenario(100 * time.Hour))
+			for i := 0; i < 650; i++ {
+				eng.Step()
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				eng.Step()
+			}); avg != 0 {
+				t.Fatalf("steady-state Step allocates %.1f allocs/op, want 0", avg)
+			}
+		})
+	}
+}

@@ -210,6 +210,18 @@ type Engine struct {
 	leafFrac []float64
 	leafTail []lat.EpochStats
 	telBuf   []machine.Telemetry
+
+	// Steady-state Step scratch (DESIGN.md §16 economics): the fan-out
+	// and progress closures are bound once so a Step allocates nothing,
+	// with the per-epoch inputs passed through fields instead of fresh
+	// closure environments. rootRNG is reseeded from (Seed, epoch) each
+	// epoch — identical stream to the DeriveRNG it replaced.
+	stepFn     func(int)
+	progressFn func(*sched.Job) float64
+	stepT      time.Duration
+	stepLoad   float64
+	stepManual bool
+	rootRNG    sim.RNG
 }
 
 type schedTask struct {
@@ -297,6 +309,7 @@ func newEngine(cfg *Config, construct bool) *Engine {
 	// out tens of thousands of times and must not spawn goroutines each
 	// time.
 	e.pool = parallel.NewPool(cfg.Workers)
+	e.stepFn = e.stepNode // bound once: Step's fan-out allocates nothing
 	return e
 }
 
@@ -310,6 +323,16 @@ func (e *Engine) attachScheduler(s *sched.Scheduler) {
 		e.schedOwned = make(map[*machine.BETask]int)
 	}
 	e.nodeStates = make([]sched.NodeState, len(e.nodes))
+	e.progressFn = e.schedProgress // bound once: Tick gets no fresh closure
+}
+
+// schedProgress reports a job's consumed CPU-seconds: the live task's
+// counter while it runs, the job's banked total otherwise.
+func (e *Engine) schedProgress(j *sched.Job) float64 {
+	if st, ok := e.schedTasks[j.ID]; ok {
+		return st.task.CPUSec
+	}
+	return j.CPUSec
 }
 
 // lookupBE resolves a BE workload name via the config. Unknown names
@@ -530,12 +553,7 @@ func (e *Engine) Step() EpochResult {
 		for i := range e.nodes {
 			e.nodeStates[i] = e.NodeState(i)
 		}
-		actions := e.schd.Tick(t, e.nodeStates, func(j *sched.Job) float64 {
-			if st, ok := e.schedTasks[j.ID]; ok {
-				return st.task.CPUSec
-			}
-			return j.CPUSec
-		})
+		actions := e.schd.Tick(t, e.nodeStates, e.progressFn)
 		for _, a := range actions {
 			e.applySchedAction(a)
 		}
@@ -549,31 +567,8 @@ func (e *Engine) Step() EpochResult {
 	// only its own slot, then reduce sequentially in node order so float
 	// accumulation is identical for any worker count.
 	manual := math.IsNaN(load)
-	e.pool.ForEach(len(e.nodes), func(i int) {
-		n := e.nodes[i]
-		if e.nf != nil && e.nf[i].downUntil > t {
-			// The node is dark: its wall clock still advances, but it
-			// serves nothing and reports nothing. Requests routed to it
-			// fail upward — the reduction below books it as a violation.
-			n.m.Clock().Advance(e.epoch)
-			e.telBuf[i] = machine.Telemetry{}
-			e.leafEMU[i] = 0
-			e.leafFrac[i] = 0
-			e.leafTail[i] = lat.EpochStats{}
-			return
-		}
-		if !manual {
-			n.m.SetLoad(load)
-		}
-		tel := n.m.Step()
-		if n.ctl != nil {
-			n.ctl.Step(n.m.Clock().Now())
-		}
-		e.telBuf[i] = tel
-		e.leafEMU[i] = tel.EMU
-		e.leafFrac[i] = tel.TailLatency.Seconds() / e.cfg.LC.SLO.Seconds()
-		e.leafTail[i] = tel.Lat
-	})
+	e.stepT, e.stepLoad, e.stepManual = t, load, manual
+	e.pool.ForEach(len(e.nodes), e.stepFn)
 
 	now = time.Now()
 	res.Spans.NodesNs = now.Sub(phase).Nanoseconds()
@@ -634,8 +629,10 @@ func (e *Engine) Step() EpochResult {
 	if e.cfg.RootSamples > 0 {
 		// The root's fan-out sampling gets a fresh stream derived from
 		// (seed, epoch): no shared mutable RNG state, so the samples do
-		// not depend on execution order.
-		mean := rootMean(e.leafTail, e.cfg.RootSamples, sim.DeriveRNG(e.cfg.Seed, e.epochIdx))
+		// not depend on execution order. The generator value lives on the
+		// engine and is reseeded in place — same stream, no allocation.
+		e.rootRNG.Reseed(e.cfg.Seed, e.epochIdx)
+		mean := rootMean(e.leafTail, e.cfg.RootSamples, &e.rootRNG)
 		stat.RootMean = mean
 		stat.RootFrac = mean.Seconds() / e.slo.Seconds()
 		e.adjustTargets(t, mean)
@@ -650,6 +647,35 @@ func (e *Engine) Step() EpochResult {
 	e.epochIdx++
 	e.t += e.epoch
 	return res
+}
+
+// stepNode advances node i one epoch, writing only its own reduction
+// slots. It is the pool fan-out body, bound once as stepFn; the per-epoch
+// inputs arrive through stepT/stepLoad/stepManual, set before ForEach.
+func (e *Engine) stepNode(i int) {
+	n := e.nodes[i]
+	if e.nf != nil && e.nf[i].downUntil > e.stepT {
+		// The node is dark: its wall clock still advances, but it
+		// serves nothing and reports nothing. Requests routed to it
+		// fail upward — the reduction books it as a violation.
+		n.m.Clock().Advance(e.epoch)
+		e.telBuf[i] = machine.Telemetry{}
+		e.leafEMU[i] = 0
+		e.leafFrac[i] = 0
+		e.leafTail[i] = lat.EpochStats{}
+		return
+	}
+	if !e.stepManual {
+		n.m.SetLoad(e.stepLoad)
+	}
+	tel := n.m.Step()
+	if n.ctl != nil {
+		n.ctl.Step(n.m.Clock().Now())
+	}
+	e.telBuf[i] = tel
+	e.leafEMU[i] = tel.EMU
+	e.leafFrac[i] = tel.TailLatency.Seconds() / e.cfg.LC.SLO.Seconds()
+	e.leafTail[i] = tel.Lat
 }
 
 // adjustTargets is the centralized root controller (§5.3 future work):

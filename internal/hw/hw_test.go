@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"heracles/internal/sim"
 )
 
 func TestDefaultConfigValid(t *testing.T) {
@@ -238,5 +240,41 @@ func TestTurboUsesEffectiveActiveCores(t *testing.T) {
 	res := c.ResolveFrequencies(light)
 	if res.FreeGHz < 3.4 {
 		t.Fatalf("lightly loaded socket at %v, want near single-core turbo", res.FreeGHz)
+	}
+}
+
+// TestResolveFrequenciesPowerMemoExact pins the bisection's one-entry
+// f^e memo against the definitional per-core sum: the reported socket
+// power must equal IdleWatts plus CorePowerWatts over the resolved
+// per-core frequencies, bit for bit — reusing a cached Pow result must
+// never perturb a single term of the accumulation.
+func TestResolveFrequenciesPowerMemoExact(t *testing.T) {
+	c := DefaultConfig()
+	rng := sim.NewRNG(7)
+	for trial := 0; trial < 200; trial++ {
+		cores := make([]CoreLoad, c.CoresPerSocket)
+		for i := range cores {
+			switch rng.Intn(4) {
+			case 0: // idle
+			case 1: // uncapped LC-style core
+				cores[i] = CoreLoad{Activity: 0.2 + 0.8*rng.Float64()}
+			case 2: // capped BE core sharing one of two cap values
+				cores[i] = CoreLoad{Activity: rng.Float64(), CapGHz: []float64{1.4, 2.1}[rng.Intn(2)]}
+			case 3: // per-core cap, alternating with the blocks above
+				cores[i] = CoreLoad{Activity: rng.Float64(), CapGHz: c.MinGHz + rng.Float64()*2}
+			}
+		}
+		res := c.ResolveFrequencies(cores)
+		want := c.IdleWatts
+		for i, cl := range cores {
+			if cl.Activity <= 0 {
+				continue
+			}
+			want += c.CorePowerWatts(res.FreqGHz[i], cl.Activity)
+		}
+		if res.PowerWatts != want {
+			t.Fatalf("trial %d: PowerWatts = %v, per-core sum = %v (diff %g)",
+				trial, res.PowerWatts, want, res.PowerWatts-want)
+		}
 	}
 }

@@ -95,6 +95,13 @@ func (c Config) ResolveFrequenciesInto(freqs []float64, cores []CoreLoad) Socket
 
 	power := func(free float64) float64 {
 		p := c.IdleWatts
+		// One-entry f^e memo: cores resolve to a handful of distinct
+		// frequencies (the uncapped block shares free, each capped block
+		// its cap), and math.Pow dominates the whole epoch step without
+		// it. Reusing the identical Pow result keeps every term — and the
+		// accumulation order — bit-identical to recomputing.
+		lastF := math.Inf(-1)
+		var lastPow float64
 		for _, cl := range cores {
 			if cl.Activity <= 0 {
 				continue
@@ -109,7 +116,11 @@ func (c Config) ResolveFrequenciesInto(freqs []float64, cores []CoreLoad) Socket
 			if f < c.MinGHz {
 				f = c.MinGHz
 			}
-			p += c.CorePowerWatts(f, cl.Activity)
+			if f != lastF {
+				lastF = f
+				lastPow = math.Pow(f/c.NominalGHz, c.FreqExponent)
+			}
+			p += c.CoreDynWatts * cl.Activity * lastPow
 		}
 		return p
 	}

@@ -100,19 +100,48 @@ func (m *Machine) Snapshot() Snapshot {
 		})
 	}
 	s.Recent = make([]Telemetry, m.recentN)
+	backing := make([]float64, 0, m.recentFloats())
 	for j := 0; j < m.recentN; j++ {
-		s.Recent[j] = cloneTelemetry(m.telAt(j))
+		s.Recent[j], backing = cloneTelemetryPacked(m.telAt(j), backing)
 	}
 	return s
 }
 
-// cloneTelemetry deep-copies one ring entry.
-func cloneTelemetry(t *Telemetry) Telemetry {
+// recentFloats sums the inner float-slice lengths across the telemetry
+// ring, sizing the packed clone's single backing array.
+func (m *Machine) recentFloats() int {
+	total := 0
+	for j := 0; j < m.recentN; j++ {
+		t := m.telAt(j)
+		total += len(t.SocketPowerW) + len(t.DRAMSocketUtil) + len(t.PerCoreDRAMGBs)
+	}
+	return total
+}
+
+// cloneTelemetryPacked deep-copies one ring entry, carving the inner
+// float slices out of a shared backing array instead of allocating three
+// slices per entry — a 600-entry ring would otherwise cost ~1800
+// allocations per snapshot (and again per restore). backing must have
+// been sized by recentFloats (or equivalent) so the appends never grow.
+func cloneTelemetryPacked(t *Telemetry, backing []float64) (Telemetry, []float64) {
 	out := *t
-	out.SocketPowerW = append([]float64(nil), t.SocketPowerW...)
-	out.DRAMSocketUtil = append([]float64(nil), t.DRAMSocketUtil...)
-	out.PerCoreDRAMGBs = append([]float64(nil), t.PerCoreDRAMGBs...)
-	return out
+	out.SocketPowerW, backing = packFloats(t.SocketPowerW, backing)
+	out.DRAMSocketUtil, backing = packFloats(t.DRAMSocketUtil, backing)
+	out.PerCoreDRAMGBs, backing = packFloats(t.PerCoreDRAMGBs, backing)
+	return out, backing
+}
+
+// packFloats appends src to backing and returns the capacity-clamped
+// subslice holding the copy (nil for an empty src, matching the old
+// per-entry clone's JSON shape). The three-index slice keeps a later
+// in-place resize of one entry from bleeding into its neighbours.
+func packFloats(src, backing []float64) ([]float64, []float64) {
+	if len(src) == 0 {
+		return nil, backing
+	}
+	n := len(backing)
+	backing = append(backing, src...)
+	return backing[n : n+len(src) : n+len(src)], backing
 }
 
 // RestoreMachine rebuilds a machine from a snapshot. lcByName and
@@ -179,9 +208,15 @@ func RestoreMachine(s Snapshot, lcByName func(string) *workload.LC, beByName fun
 			s.Recent = s.Recent[n-m.recentMax:]
 			n = m.recentMax
 		}
-		m.recent = make([]Telemetry, n)
+		total := 0
 		for j := range s.Recent {
-			m.recent[j] = cloneTelemetry(&s.Recent[j])
+			t := &s.Recent[j]
+			total += len(t.SocketPowerW) + len(t.DRAMSocketUtil) + len(t.PerCoreDRAMGBs)
+		}
+		m.recent = make([]Telemetry, n)
+		backing := make([]float64, 0, total)
+		for j := range s.Recent {
+			m.recent[j], backing = cloneTelemetryPacked(&s.Recent[j], backing)
 		}
 		m.recentN = n
 		m.head = 0

@@ -85,6 +85,10 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 type Pool struct {
 	workers int
 	rounds  chan *poolRound
+	// spare recycles round descriptors between ForEach calls so a
+	// steady-state round allocates nothing. sync.Pool keeps concurrent
+	// ForEach calls on the same Pool safe.
+	spare sync.Pool
 }
 
 type poolRound struct {
@@ -133,12 +137,20 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		}
 		return
 	}
-	r := &poolRound{fn: fn, size: n}
+	r, _ := p.spare.Get().(*poolRound)
+	if r == nil {
+		r = new(poolRound)
+	}
+	r.fn = fn
+	r.size = n
+	r.next.Store(0)
 	r.wg.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
 		p.rounds <- r
 	}
 	r.wg.Wait()
+	r.fn = nil // drop the closure before parking the descriptor
+	p.spare.Put(r)
 }
 
 // Close releases the pool's workers. The pool must not be used after.

@@ -1,8 +1,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"heracles/internal/sim"
@@ -168,6 +169,18 @@ type Scheduler struct {
 	// onDecision, when set, observes every placement-log entry as it is
 	// recorded (the live layer forwards them to SSE subscribers).
 	onDecision func(Decision)
+
+	// Tick scratch, reused across ticks so a steady-state tick allocates
+	// nothing: the sorted node copy, the per-tick id index, the policy
+	// views, the dispatchable queue, the per-job eligibility filter, and
+	// the action buffer Tick returns (valid until the next Tick or Kill).
+	rng        sim.RNG
+	scrSorted  []NodeState
+	scrByID    map[int]NodeState
+	scrViews   []NodeView
+	scrPending []*Job
+	scrElig    []NodeView
+	scrActions []Action
 }
 
 // New builds a scheduler and pre-loads cfg.Jobs. Specs must name a
@@ -342,16 +355,26 @@ func (s *Scheduler) Abort(id int, now time.Duration) {
 // snapshots. progress reports a running job's accrued busy core-seconds
 // (executors read the machine task's counter; return job.CPUSec if the
 // node is gone). The returned actions must be applied by the executor in
-// order. Tick is deterministic given the scheduler's history and its
-// inputs.
+// order, and are backed by scratch the scheduler reuses: the slice is
+// valid only until the next Tick or Kill call (copy to retain). Tick is
+// deterministic given the scheduler's history and its inputs.
 func (s *Scheduler) Tick(now time.Duration, nodes []NodeState, progress func(*Job) float64) []Action {
-	rng := sim.DeriveRNG(s.rngSeed, s.tick)
+	// The per-tick choice stream is reseeded in place — same stream as
+	// the DeriveRNG it replaced, without the per-tick allocation.
+	s.rng.Reseed(s.rngSeed, s.tick)
+	rng := &s.rng
 	s.tick++
 
-	sorted := make([]NodeState, len(nodes))
-	copy(sorted, nodes)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].ID < sorted[b].ID })
-	byID := make(map[int]NodeState, len(sorted))
+	sorted := append(s.scrSorted[:0], nodes...)
+	s.scrSorted = sorted
+	// Node ids are unique, so the unstable sort is deterministic.
+	slices.SortFunc(sorted, func(a, b NodeState) int { return cmp.Compare(a.ID, b.ID) })
+	if s.scrByID == nil {
+		s.scrByID = make(map[int]NodeState, len(sorted))
+	} else {
+		clear(s.scrByID)
+	}
+	byID := s.scrByID
 	for _, n := range sorted {
 		byID[n.ID] = n
 		if n.BEAllowed {
@@ -361,7 +384,7 @@ func (s *Scheduler) Tick(now time.Duration, nodes []NodeState, progress func(*Jo
 		}
 	}
 
-	var actions []Action
+	actions := s.scrActions[:0]
 
 	// 1. Running jobs, in id order: progress, completion, eviction.
 	for _, j := range s.jobs {
@@ -396,7 +419,7 @@ func (s *Scheduler) Tick(now time.Duration, nodes []NodeState, progress func(*Jo
 	views := s.nodeViews(sorted)
 	pending := s.dispatchable(now)
 	for _, j := range pending {
-		eligible := eligibleFor(j, views)
+		eligible := s.eligibleFor(j, views)
 		if len(eligible) == 0 {
 			continue
 		}
@@ -446,6 +469,7 @@ func (s *Scheduler) Tick(now time.Duration, nodes []NodeState, progress func(*Jo
 	if depth > s.acct.MaxQueueDepth {
 		s.acct.MaxQueueDepth = depth
 	}
+	s.scrActions = actions // keep any growth for the next tick
 	return actions
 }
 
@@ -491,12 +515,13 @@ func (s *Scheduler) evict(j *Job, now time.Duration, reason string, actions *[]A
 }
 
 // nodeViews joins the node snapshots with the scheduler's running-job
-// bookkeeping.
+// bookkeeping. The returned slice is tick scratch.
 func (s *Scheduler) nodeViews(sorted []NodeState) []NodeView {
-	views := make([]NodeView, len(sorted))
-	for i, n := range sorted {
-		views[i] = NodeView{NodeState: n}
+	views := s.scrViews[:0]
+	for _, n := range sorted {
+		views = append(views, NodeView{NodeState: n})
 	}
+	s.scrViews = views
 	for _, j := range s.jobs {
 		if j.State != JobRunning {
 			continue
@@ -512,16 +537,18 @@ func (s *Scheduler) nodeViews(sorted []NodeState) []NodeView {
 }
 
 // dispatchable returns the queued jobs ready at now, highest priority
-// first, submission order among equals.
+// first, submission order among equals. The returned slice is tick
+// scratch.
 func (s *Scheduler) dispatchable(now time.Duration) []*Job {
-	var out []*Job
+	out := s.scrPending[:0]
 	for _, j := range s.jobs {
 		if j.State == JobPending && j.SubmittedAt <= now && j.ReadyAt <= now {
 			out = append(out, j)
 		}
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		return out[a].Spec.Priority > out[b].Spec.Priority
+	s.scrPending = out
+	slices.SortStableFunc(out, func(a, b *Job) int {
+		return cmp.Compare(b.Spec.Priority, a.Spec.Priority)
 	})
 	return out
 }
@@ -530,9 +557,11 @@ func (s *Scheduler) dispatchable(now time.Duration) []*Job {
 // the controller allows BE, no burn-rate admission hold is up, and the
 // summed core demand fits. This runs before any policy sees candidates,
 // so the no-dispatch-while-disabled invariant holds for every policy,
-// including future ones.
-func eligibleFor(j *Job, views []NodeView) []NodeView {
-	var out []NodeView
+// including future ones. The returned slice is tick scratch, overwritten
+// by the next eligibleFor call; policies receive it for the duration of
+// one Place call only.
+func (s *Scheduler) eligibleFor(j *Job, views []NodeView) []NodeView {
+	out := s.scrElig[:0]
 	for _, v := range views {
 		if !v.BEAllowed || v.AdmitHold {
 			continue
@@ -542,6 +571,7 @@ func eligibleFor(j *Job, views []NodeView) []NodeView {
 		}
 		out = append(out, v)
 	}
+	s.scrElig = out
 	return out
 }
 

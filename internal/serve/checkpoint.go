@@ -80,6 +80,18 @@ func (i *Instance) buildCheckpoint() *InstanceCheckpoint {
 	return cp
 }
 
+// refreshRestartCheckpoint re-snapshots the instance into the
+// supervisor's retained restart checkpoint, encoding straight into the
+// previous generation's buffer so the steady-state refresh reuses one
+// allocation. On an encode failure the previous good checkpoint is kept
+// — a stale restart point beats none. stepMu must be held.
+func (i *Instance) refreshRestartCheckpoint() {
+	data, err := AppendCheckpointFileBinary(i.lastCP[:0], i.buildCheckpoint())
+	if err == nil {
+		i.lastCP = data
+	}
+}
+
 // validateCheckpoint rejects a restore request whose checkpoint is
 // structurally unusable before any simulation state is built: version
 // mismatches, missing engine state, unknown workload names (which would

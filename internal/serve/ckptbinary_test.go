@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"heracles/internal/engine"
+	"heracles/internal/experiment"
+)
+
+// fullCkpt builds a checkpoint with every optional section populated —
+// a real engine snapshot (telemetry ring, controller, scenario cursor),
+// a scenario spec — so the binary envelope tests cover the whole payload
+// surface, not just the scalar header. The migration spec's flash crowd
+// and BE arrive/depart events give the state some texture.
+func fullCkpt(t *testing.T) *InstanceCheckpoint {
+	t.Helper()
+	srv := New(Config{Lab: experiment.DefaultLab()})
+	defer srv.Close()
+	inst, err := srv.CreateInstance(migrationSpec(SpeedMax))
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitInstance(t, inst, "run complete", func() bool {
+		return inst.Status().State == StateDone
+	})
+	cp, err := inst.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestBinaryCheckpointFileRoundTrip pins the binary envelope against the
+// JSON one: both must decode back to the same checkpoint value (compared
+// through the JSON payload encoding), and DecodeCheckpointFile must
+// auto-detect each format from its bytes.
+func TestBinaryCheckpointFileRoundTrip(t *testing.T) {
+	cp := fullCkpt(t)
+
+	bin, err := EncodeCheckpointFileBinary(cp)
+	if err != nil {
+		t.Fatalf("encode binary: %v", err)
+	}
+	if !IsBinaryCheckpointFile(bin) {
+		t.Fatal("binary envelope not detected by its magic")
+	}
+	if again, _ := EncodeCheckpointFileBinary(cp); !bytes.Equal(bin, again) {
+		t.Fatal("binary envelope encoding is not deterministic")
+	}
+	jsn, err := EncodeCheckpointFile(cp)
+	if err != nil {
+		t.Fatalf("encode json: %v", err)
+	}
+	if IsBinaryCheckpointFile(jsn) {
+		t.Fatal("JSON envelope misdetected as binary")
+	}
+
+	fromBin, err := DecodeCheckpointFile(bin)
+	if err != nil {
+		t.Fatalf("decode binary: %v", err)
+	}
+	fromJSON, err := DecodeCheckpointFile(jsn)
+	if err != nil {
+		t.Fatalf("decode json: %v", err)
+	}
+	a, err := EncodeCheckpointFile(fromBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeCheckpointFile(fromJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("binary and JSON envelopes decoded to different checkpoint values")
+	}
+	if fromBin.Engine == nil || fromBin.Engine.Epoch != cp.Engine.Epoch {
+		t.Fatalf("binary decode engine epoch = %+v, want %d", fromBin.Engine, cp.Engine.Epoch)
+	}
+}
+
+// TestBinaryCheckpointFileRejectsCorruption covers the binary envelope's
+// refusal surface: bit flips, truncation at every depth, version skew —
+// always an error, never a panic or a silently wrong checkpoint.
+func TestBinaryCheckpointFileRejectsCorruption(t *testing.T) {
+	cp := testCkpt(7)
+	cp.Engine = &engine.Checkpoint{Version: engine.CheckpointVersion, Epoch: 3}
+	data, err := EncodeCheckpointFileBinary(cp)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	// Any single payload bit flip must trip the CRC.
+	for _, off := range []int{binaryFileHeaderLen, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0xff
+		if _, err := DecodeCheckpointFile(bad); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("flip at %d: decode = %v, want checksum mismatch", off, err)
+		}
+	}
+
+	// Envelope version skew is refused by name.
+	skew := append([]byte(nil), data...)
+	skew[4], skew[5] = 0xff, 0xff
+	if _, err := DecodeCheckpointFile(skew); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version skew decode = %v, want version error", err)
+	}
+
+	// Truncation anywhere errors (prefixes shorter than the header
+	// included).
+	for cut := 4; cut < len(data); cut += 5 {
+		if _, err := DecodeCheckpointFile(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+// TestBinaryCheckpointFileRotationAndFallback runs the write/rotate/
+// fallback protocol through the binary writer: same guarantees as the
+// JSON path, on .ckpt files.
+func TestBinaryCheckpointFileRotationAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/i1.ckpt"
+
+	if err := WriteCheckpointFileBinary(path, testCkpt(1)); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if err := WriteCheckpointFileBinary(path, testCkpt(2)); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	cp, src, err := ReadCheckpointFallback(path)
+	if err != nil || src != path || cp.MaxEpochs != 2 {
+		t.Fatalf("fallback read = %+v from %q (%v), want gen 2 from primary", cp, src, err)
+	}
+	prev, err := ReadCheckpointFile(path + ".1")
+	if err != nil || prev.MaxEpochs != 1 {
+		t.Fatalf("rotated read = %+v (%v), want gen 1", prev, err)
+	}
+}

@@ -60,11 +60,16 @@ func EncodeCheckpointFile(cp *InstanceCheckpoint) ([]byte, error) {
 }
 
 // DecodeCheckpointFile parses an enveloped checkpoint file, verifying
-// the checksum before the payload is trusted. Legacy files written
-// before the envelope existed — a bare InstanceCheckpoint object, which
-// decodes with a nil Payload — are accepted as-is, so old checkpoint
-// directories stay restorable.
+// the checksum before the payload is trusted. The format is auto-
+// detected: files opening with the binary magic decode through the
+// binary envelope (ckptbinary.go), everything else through the JSON one.
+// Legacy files written before the envelope existed — a bare
+// InstanceCheckpoint object, which decodes with a nil Payload — are
+// accepted as-is, so old checkpoint directories stay restorable.
 func DecodeCheckpointFile(data []byte) (*InstanceCheckpoint, error) {
+	if IsBinaryCheckpointFile(data) {
+		return decodeCheckpointFileBinary(data)
+	}
 	var env checkpointEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("checkpoint file corrupt or truncated: %v", err)
@@ -92,16 +97,32 @@ func DecodeCheckpointFile(data []byte) (*InstanceCheckpoint, error) {
 	return &cp, nil
 }
 
-// WriteCheckpointFile atomically replaces path with an enveloped
-// snapshot: the bytes land in a temp file first (rename is atomic, a
-// crash mid-write never clobbers the live file), and the previous
-// generation rotates to "<path>.1" so one corrupted write still leaves
-// a valid snapshot to fall back to.
+// WriteCheckpointFile atomically replaces path with a JSON-enveloped
+// snapshot; WriteCheckpointFileBinary is the binary-envelope twin.
 func WriteCheckpointFile(path string, cp *InstanceCheckpoint) error {
 	data, err := EncodeCheckpointFile(cp)
 	if err != nil {
 		return err
 	}
+	return writeCheckpointBytes(path, data)
+}
+
+// WriteCheckpointFileBinary atomically replaces path with a binary-
+// enveloped snapshot. Readers auto-detect the format, so the two writers
+// are interchangeable per file.
+func WriteCheckpointFileBinary(path string, cp *InstanceCheckpoint) error {
+	data, err := EncodeCheckpointFileBinary(cp)
+	if err != nil {
+		return err
+	}
+	return writeCheckpointBytes(path, data)
+}
+
+// writeCheckpointBytes lands the encoded snapshot atomically: a temp
+// file first (rename is atomic, a crash mid-write never clobbers the
+// live file), with the previous generation rotated to "<path>.1" so one
+// corrupted write still leaves a valid snapshot to fall back to.
+func writeCheckpointBytes(path string, data []byte) error {
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err

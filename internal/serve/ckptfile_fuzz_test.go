@@ -49,6 +49,33 @@ func FuzzDecodeCheckpointFile(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add([]byte(``))
 
+	// The binary envelope's failure surface: truncations, payload bit
+	// flips (CRC mismatch), envelope version skew, oversized length
+	// claims deep in the nested engine encoding.
+	validBin, err := EncodeCheckpointFileBinary(cp)
+	if err != nil {
+		f.Fatalf("encode binary: %v", err)
+	}
+	f.Add(validBin)
+	f.Add(validBin[:4])              // bare magic
+	f.Add(validBin[:len(validBin)/2]) // truncated mid-payload
+	binFlipped := append([]byte(nil), validBin...)
+	binFlipped[len(binFlipped)/2] ^= 0x40
+	f.Add(binFlipped)
+	binSkew := append([]byte(nil), validBin...)
+	binSkew[4], binSkew[5] = 0xff, 0xff
+	f.Add(binSkew)
+	// Inflate a length prefix deep in the payload; the CRC is left stale
+	// too, so this doubles as a checksum-mismatch seed for mutation.
+	binBomb := append([]byte(nil), validBin...)
+	for i := binaryFileHeaderLen; i+4 <= len(binBomb); i++ {
+		if binBomb[i] == 0 && binBomb[i+1] == 0 && binBomb[i+2] == 0 && binBomb[i+3] == 0 {
+			binBomb[i], binBomb[i+1], binBomb[i+2], binBomb[i+3] = 0xff, 0xff, 0xff, 0x7f
+			break
+		}
+	}
+	f.Add(binBomb)
+
 	dir := f.TempDir()
 	prev := filepath.Join(dir, "ckpt.json.1")
 	if err := os.WriteFile(prev, valid, 0o644); err != nil {

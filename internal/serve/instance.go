@@ -284,7 +284,11 @@ type Instance struct {
 	doneRunning        bool
 	scenarioSpec       *ScenarioSpec // JSON form of the active scenario, for checkpoints
 	panicNext          bool          // armed by the driver-panic fault
-	lastCP             *InstanceCheckpoint
+	// lastCP is the supervisor's restart checkpoint in binary-envelope
+	// form: flat bytes instead of a retained object graph, so parked
+	// instances anchor one buffer each in the heap, and the buffer is
+	// reused across refreshes.
+	lastCP             []byte
 	epochsSinceRestart int
 	stretch            int       // current cadence stretch factor (1..stretchMax)
 	batch              int       // epochs the next slice will step
@@ -480,7 +484,7 @@ func newInstance(id string, spec InstanceSpec, lab *experiment.Lab, speed float6
 	// Seed the supervisor's restart checkpoint before the first slice:
 	// even a crash on the very first epoch has a state to restart from.
 	i.status.Health = i.healthState
-	i.lastCP = i.buildCheckpoint()
+	i.refreshRestartCheckpoint()
 
 	if restoredFrom != "" {
 		i.publishLifecycle("restored", restoredFrom)
@@ -1029,7 +1033,7 @@ func (i *Instance) step() {
 	// cadence and close the stability window.
 	i.epochsSinceRestart++
 	if i.epochsSinceRestart%i.sup.ckptEvery == 0 {
-		i.lastCP = i.buildCheckpoint()
+		i.refreshRestartCheckpoint()
 	}
 	i.markStable()
 

@@ -90,7 +90,21 @@ func (s *Server) MigrateToShard(id string, target int) (*MigrateResult, error) {
 		s.reg.readd(inst, from)
 		return nil, err
 	}
-	spec := InstanceSpec{Restore: cp, EpochHook: inst.epochHook, Trace: inst.trace}
+	// Cross-shard moves travel through the binary wire format — what
+	// restores is the serialized artifact, exactly as in a cross-process
+	// migration, so the in-process fast path can never drift from the
+	// on-disk one.
+	wire, err := EncodeCheckpointFileBinary(cp)
+	if err != nil {
+		s.reg.readd(inst, from)
+		return nil, fmt.Errorf("encode checkpoint: %w", err)
+	}
+	restored, err := DecodeCheckpointFile(wire)
+	if err != nil {
+		s.reg.readd(inst, from)
+		return nil, fmt.Errorf("decode checkpoint: %w", err)
+	}
+	spec := InstanceSpec{Restore: restored, EpochHook: inst.epochHook, Trace: inst.trace}
 	fresh, err := s.createInstance(spec, target, "from "+id)
 	if err != nil {
 		s.reg.readd(inst, from)

@@ -311,8 +311,14 @@ func (i *Instance) quarantine(reason string) {
 // stepMu, with no concurrent mutation traffic (the crash gate fails Do
 // callers fast).
 func (i *Instance) rebuildFromCheckpoint() error {
-	cp := i.lastCP
-	if cp == nil || cp.Engine == nil {
+	if len(i.lastCP) == 0 {
+		return errors.New("no checkpoint to restart from")
+	}
+	cp, err := DecodeCheckpointFile(i.lastCP)
+	if err != nil {
+		return fmt.Errorf("decode restart checkpoint: %w", err)
+	}
+	if cp.Engine == nil {
 		return errors.New("no checkpoint to restart from")
 	}
 	var sc *scenario.Scenario

@@ -92,16 +92,30 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// deriveState mixes (seed, index) into a generator state. Two rounds of
+// the splitmix64 finaliser decorrelate nearby pairs before they become a
+// state.
+func deriveState(seed, index uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // DeriveRNG returns an independent generator for item index of the
 // simulation seeded with seed. Unlike Split, the derived stream depends
 // only on (seed, index) — never on how many values other items consumed —
 // so concurrent load points or cluster epochs draw identical samples
 // whether they run on one worker or many.
 func DeriveRNG(seed, index uint64) *RNG {
-	// Two rounds of the splitmix64 finaliser decorrelate nearby
-	// (seed, index) pairs before they become a generator state.
-	z := seed + 0x9e3779b97f4a7c15*(index+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return NewRNG(z ^ (z >> 31))
+	return NewRNG(deriveState(seed, index))
+}
+
+// Reseed resets r in place to the exact stream DeriveRNG(seed, index)
+// would return, without allocating. Hot loops that derive a fresh stream
+// every epoch keep one RNG value and reseed it instead.
+func (r *RNG) Reseed(seed, index uint64) {
+	r.state = deriveState(seed, index)
+	r.spare = 0
+	r.hasSpare = false
 }
